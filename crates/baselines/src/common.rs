@@ -1,0 +1,103 @@
+//! Shared helpers for the fault-driven baselines.
+
+use std::collections::HashMap;
+
+use pact_tiersim::PageId;
+
+/// Two-touch promotion filter: the kernel NUMA-balancing heuristic that
+/// promotes a page only on its *second* hint fault within a recency
+/// window, filtering one-off touches.
+#[derive(Debug, Clone, Default)]
+pub struct TwoTouchTracker {
+    first_touch: HashMap<PageId, u64>,
+    window_span: u64,
+}
+
+impl TwoTouchTracker {
+    /// Creates a tracker that forgets first touches older than
+    /// `window_span` sampling windows.
+    pub fn new(window_span: u64) -> Self {
+        Self {
+            first_touch: HashMap::new(),
+            window_span,
+        }
+    }
+
+    /// Records a fault on `page` during `window`; returns `true` if this
+    /// is the qualifying second touch (and resets the page's state).
+    pub fn record(&mut self, page: PageId, window: u64) -> bool {
+        match self.first_touch.get(&page).copied() {
+            Some(w) if window.saturating_sub(w) <= self.window_span => {
+                self.first_touch.remove(&page);
+                true
+            }
+            _ => {
+                self.first_touch.insert(page, window);
+                false
+            }
+        }
+    }
+
+    /// Drops stale first-touch records (call occasionally to bound
+    /// memory).
+    pub fn expire(&mut self, window: u64) {
+        let span = self.window_span;
+        self.first_touch
+            .retain(|_, w| window.saturating_sub(*w) <= span);
+    }
+
+    /// Number of pages awaiting their second touch.
+    pub fn pending(&self) -> usize {
+        self.first_touch.len()
+    }
+}
+
+/// Demotes cold units until the fast tier has at least `target_free`
+/// free base pages; returns units demoted. The standard
+/// watermark-driven reclaim all fault-based systems share.
+pub fn demote_to_watermark(ctx: &mut pact_tiersim::PolicyCtx, target_free: u64) -> usize {
+    if ctx.fast_free() >= target_free {
+        return 0;
+    }
+    let span = ctx.unit_span();
+    let deficit = target_free - ctx.fast_free();
+    let units = deficit.div_ceil(span) as usize;
+    let cold = ctx.cold_fast_units(units);
+    let n = cold.len();
+    for head in cold {
+        ctx.demote(head);
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn second_touch_within_span_qualifies() {
+        let mut t = TwoTouchTracker::new(4);
+        assert!(!t.record(PageId(1), 10));
+        assert!(t.record(PageId(1), 12));
+        // State reset: next fault is a first touch again.
+        assert!(!t.record(PageId(1), 13));
+    }
+
+    #[test]
+    fn stale_first_touch_does_not_qualify() {
+        let mut t = TwoTouchTracker::new(4);
+        assert!(!t.record(PageId(1), 0));
+        assert!(!t.record(PageId(1), 10), "too far apart");
+        // But the second fault re-armed the tracker at window 10.
+        assert!(t.record(PageId(1), 11));
+    }
+
+    #[test]
+    fn expire_drops_stale_entries() {
+        let mut t = TwoTouchTracker::new(2);
+        t.record(PageId(1), 0);
+        t.record(PageId(2), 9);
+        t.expire(10);
+        assert_eq!(t.pending(), 1);
+    }
+}

@@ -1,0 +1,150 @@
+//! `tierctl` — run any (workload, policy, ratio) combination from the
+//! command line and print the full outcome.
+//!
+//! ```text
+//! cargo run --release -p pact-bench --bin tierctl -- \
+//!     --workload bc-kron --policy pact --ratio 1:2 [--thp] [--scale smoke]
+//! tierctl --list                # show workloads and policies
+//! ```
+
+use pact_bench::{count, experiment_machine, pct, Harness, TierRatio, ALL_POLICIES};
+use pact_tiersim::Tier;
+use pact_workloads::suite::{build, Scale, SUITE};
+
+struct Args {
+    workload: String,
+    policy: String,
+    ratio: TierRatio,
+    thp: bool,
+    scale: Scale,
+    seed: u64,
+    windows: bool,
+    trace_out: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        workload: "bc-kron".into(),
+        policy: "pact".into(),
+        ratio: TierRatio::new(1, 1),
+        thp: false,
+        scale: Scale::Paper,
+        seed: 42,
+        windows: false,
+        trace_out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workload" | "-w" => args.workload = it.next().ok_or("--workload needs a value")?,
+            "--policy" | "-p" => args.policy = it.next().ok_or("--policy needs a value")?,
+            "--ratio" | "-r" => {
+                let v = it.next().ok_or("--ratio needs a value")?;
+                let (f, s) = v.split_once(':').ok_or("ratio format is F:S")?;
+                args.ratio = TierRatio::new(
+                    f.parse().map_err(|_| "bad ratio")?,
+                    s.parse().map_err(|_| "bad ratio")?,
+                );
+            }
+            "--thp" => args.thp = true,
+            "--scale" => {
+                args.scale = match it.next().as_deref() {
+                    Some("smoke") => Scale::Smoke,
+                    Some("paper") => Scale::Paper,
+                    other => return Err(format!("unknown scale {other:?}")),
+                }
+            }
+            "--seed" => args.seed = it.next().and_then(|v| v.parse().ok()).ok_or("bad seed")?,
+            "--windows" => args.windows = true,
+            "--trace-out" => {
+                args.trace_out = Some(it.next().ok_or("--trace-out needs a path")?)
+            }
+            "--list" => {
+                println!("workloads: {}", SUITE.join(", "));
+                println!("           masim, gups (motivation)");
+                println!("policies:  {}", ALL_POLICIES.join(", "));
+                println!("           pact-freq (frequency-ranked PACT)");
+                std::process::exit(0);
+            }
+            "--help" | "-h" => {
+                return Err("usage: tierctl [--workload W] [--policy P] [--ratio F:S] \
+                     [--thp] [--scale smoke|paper] [--seed N] [--windows] \
+                     [--trace-out FILE] [--list]"
+                    .into())
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = parse_args().unwrap_or_else(|msg| {
+        eprintln!("{msg}");
+        std::process::exit(2);
+    });
+    if let Some(path) = &args.trace_out {
+        let wl = build(&args.workload, args.scale, args.seed);
+        let file = std::io::BufWriter::new(
+            std::fs::File::create(path).expect("create trace file"),
+        );
+        let n = pact_tiersim::write_workload_trace(file, wl.as_ref())
+            .expect("write trace");
+        println!("wrote {n} accesses of '{}' to {path}", args.workload);
+        return;
+    }
+    let mut cfg = experiment_machine(0);
+    cfg.thp = args.thp;
+    let mut h = Harness::new(build(&args.workload, args.scale, args.seed)).with_machine(cfg);
+    let out = h.run_policy(&args.policy, args.ratio);
+    let r = &out.report;
+    let c = &r.counters;
+
+    println!(
+        "{} / {} @ {}{}",
+        args.workload,
+        args.policy,
+        args.ratio,
+        if args.thp { " (THP)" } else { "" }
+    );
+    println!("  slowdown vs DRAM:   {}", pct(out.slowdown));
+    println!("  cxl-only reference: {}", pct(h.cxl_slowdown()));
+    println!("  total cycles:       {}", r.total_cycles);
+    println!("  accesses:           {}", count(c.accesses));
+    println!(
+        "  llc misses:         {} fast + {} slow ({} hits)",
+        count(c.llc_misses[0]),
+        count(c.llc_misses[1]),
+        count(c.llc_hits)
+    );
+    println!(
+        "  measured MLP:       fast {:.1} / slow {:.1}",
+        c.tor_mlp(Tier::Fast),
+        c.tor_mlp(Tier::Slow)
+    );
+    println!(
+        "  loaded latency:     fast {:.0} / slow {:.0} cycles",
+        c.avg_demand_latency(Tier::Fast),
+        c.avg_demand_latency(Tier::Slow)
+    );
+    println!(
+        "  migrations:         {} promoted, {} demoted, {} failed",
+        count(r.promotions),
+        count(r.demotions),
+        count(r.failed_promotions)
+    );
+    println!(
+        "  sampling:           {} PEBS samples, {} hint faults",
+        count(c.pebs_samples),
+        count(c.hint_faults)
+    );
+    if args.windows {
+        println!("\nwindow  promotions  demotions  slow-misses");
+        for w in r.windows.iter().step_by((r.windows.len() / 40).max(1)) {
+            println!(
+                "{:>6}  {:>10}  {:>9}  {:>11}",
+                w.index, w.promotions, w.demotions, w.delta.llc_misses[1]
+            );
+        }
+    }
+}

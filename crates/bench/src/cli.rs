@@ -1,0 +1,89 @@
+//! Minimal command-line parsing shared by the figure binaries.
+
+use pact_workloads::suite::Scale;
+
+/// Common options of every experiment binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Options {
+    /// Workload scale (`--scale smoke|paper`).
+    pub scale: Scale,
+    /// Base RNG seed (`--seed N`).
+    pub seed: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            scale: Scale::Paper,
+            seed: 42,
+        }
+    }
+}
+
+/// Parses `std::env::args`, exiting with usage help on error.
+///
+/// Recognized flags: `--scale smoke|paper`, `--seed <u64>`, `--help`.
+pub fn parse_options() -> Options {
+    parse_from(std::env::args().skip(1)).unwrap_or_else(|msg| {
+        eprintln!("{msg}");
+        eprintln!("usage: <bin> [--scale smoke|paper] [--seed N]");
+        std::process::exit(2);
+    })
+}
+
+fn parse_from(args: impl Iterator<Item = String>) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = args.next().ok_or("--scale needs a value")?;
+                opts.scale = match v.as_str() {
+                    "smoke" => Scale::Smoke,
+                    "paper" => Scale::Paper,
+                    other => return Err(format!("unknown scale '{other}'")),
+                };
+            }
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                opts.seed = v.parse().map_err(|_| format!("bad seed '{v}'"))?;
+            }
+            "--help" | "-h" => {
+                return Err("PACT reproduction experiment binary".to_string());
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, String> {
+        parse_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.scale, Scale::Paper);
+        assert_eq!(o.seed, 42);
+    }
+
+    #[test]
+    fn parses_flags() {
+        let o = parse(&["--scale", "smoke", "--seed", "7"]).unwrap();
+        assert_eq!(o.scale, Scale::Smoke);
+        assert_eq!(o.seed, 7);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&["--scale", "big"]).is_err());
+        assert!(parse(&["--seed", "x"]).is_err());
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--seed"]).is_err());
+    }
+}

@@ -1,0 +1,363 @@
+//! Shared experiment runner: builds machines at paper tier ratios,
+//! normalizes against the DRAM-only baseline, and constructs every
+//! evaluated policy by name.
+
+use pact_baselines::{soar_profile, Alto, Colloid, Memtis, Nbt, NoTier, Nomad, Soar, Tpp};
+use pact_core::{PactConfig, PactPolicy, RankBy};
+use pact_tiersim::{Machine, MachineConfig, RunReport, TieringPolicy, Workload, PAGE_BYTES};
+
+/// A fast:slow tier-capacity ratio relative to the workload footprint
+/// (the paper's x-axis: 8:1 … 1:8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TierRatio {
+    /// Fast parts.
+    pub fast: u32,
+    /// Slow parts.
+    pub slow: u32,
+}
+
+impl TierRatio {
+    /// The paper's seven evaluated ratios.
+    pub const PAPER_SWEEP: [TierRatio; 7] = [
+        TierRatio { fast: 8, slow: 1 },
+        TierRatio { fast: 4, slow: 1 },
+        TierRatio { fast: 2, slow: 1 },
+        TierRatio { fast: 1, slow: 1 },
+        TierRatio { fast: 1, slow: 2 },
+        TierRatio { fast: 1, slow: 4 },
+        TierRatio { fast: 1, slow: 8 },
+    ];
+
+    /// Creates a ratio.
+    pub fn new(fast: u32, slow: u32) -> Self {
+        Self { fast, slow }
+    }
+
+    /// Fast-tier capacity in base pages for a footprint of
+    /// `footprint_bytes`.
+    pub fn fast_pages(&self, footprint_bytes: u64) -> u64 {
+        let total_pages = footprint_bytes.div_ceil(PAGE_BYTES);
+        (total_pages * self.fast as u64 / (self.fast + self.slow) as u64).max(1)
+    }
+}
+
+impl std::fmt::Display for TierRatio {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.fast, self.slow)
+    }
+}
+
+/// Names of all evaluated systems, in report order.
+pub const ALL_POLICIES: [&str; 9] = [
+    "pact", "colloid", "nbt", "alto", "nomad", "tpp", "memtis", "soar", "notier",
+];
+
+/// The machine configuration used by the experiments (the paper's
+/// Skylake + emulated-CXL testbed), sized for `fast_pages`.
+pub fn experiment_machine(fast_pages: u64) -> MachineConfig {
+    MachineConfig::skylake_cxl(fast_pages)
+}
+
+/// Outcome of one policy run, normalized against the DRAM baseline.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Policy name.
+    pub policy: String,
+    /// Slowdown vs DRAM-only (0.26 = 26%).
+    pub slowdown: f64,
+    /// Base pages promoted.
+    pub promotions: u64,
+    /// Base pages demoted.
+    pub demotions: u64,
+    /// The full report for deeper analysis.
+    pub report: RunReport,
+}
+
+/// Builds a policy instance by name (`soar` needs the profiling pass,
+/// so it is handled by [`Harness::run_policy`] instead).
+///
+/// # Panics
+///
+/// Panics on an unknown name (see [`ALL_POLICIES`]) or on `"soar"`.
+pub fn make_policy(name: &str) -> Box<dyn TieringPolicy> {
+    match name {
+        "pact" => Box::new(PactPolicy::new(PactConfig::default()).expect("default is valid")),
+        "pact-freq" => {
+            let cfg = PactConfig {
+                rank_by: RankBy::Frequency,
+                ..PactConfig::default()
+            };
+            Box::new(PactPolicy::new(cfg).expect("config is valid"))
+        }
+        "colloid" => Box::new(Colloid::new()),
+        "nbt" => Box::new(Nbt::new()),
+        "alto" => Box::new(Alto::new()),
+        "nomad" => Box::new(Nomad::new()),
+        "tpp" => Box::new(Tpp::new()),
+        "memtis" => Box::new(Memtis::new()),
+        "notier" => Box::new(NoTier::new()),
+        "soar" => panic!("soar requires profiling; use Harness::run_policy"),
+        other => panic!("unknown policy '{other}'"),
+    }
+}
+
+/// Per-workload experiment driver: owns the workload, caches the
+/// DRAM-only baseline and the Soar profile, and runs policies at
+/// arbitrary tier ratios.
+pub struct Harness {
+    workload: Box<dyn Workload>,
+    base_cfg: MachineConfig,
+    dram_cycles: Option<u64>,
+    soar_profile: Option<pact_baselines::SoarProfile>,
+}
+
+impl Harness {
+    /// Wraps a workload with the default experiment machine.
+    pub fn new(workload: Box<dyn Workload>) -> Self {
+        Self {
+            workload,
+            base_cfg: experiment_machine(0),
+            dram_cycles: None,
+            soar_profile: None,
+        }
+    }
+
+    /// Overrides the base machine configuration (tier capacity is still
+    /// set per run).
+    pub fn with_machine(mut self, cfg: MachineConfig) -> Self {
+        self.base_cfg = cfg;
+        self
+    }
+
+    /// The wrapped workload.
+    pub fn workload(&self) -> &dyn Workload {
+        self.workload.as_ref()
+    }
+
+    /// Footprint of the wrapped workload in base pages.
+    pub fn footprint_pages(&self) -> u64 {
+        self.workload.footprint_bytes().div_ceil(PAGE_BYTES)
+    }
+
+    fn machine(&self, fast_pages: u64) -> Machine {
+        let mut cfg = self.base_cfg.clone();
+        cfg.fast_tier_pages = fast_pages;
+        Machine::new(cfg).expect("experiment config is valid")
+    }
+
+    /// Cycles of the ideal DRAM-only run (computed once, cached).
+    pub fn dram_cycles(&mut self) -> u64 {
+        if let Some(c) = self.dram_cycles {
+            return c;
+        }
+        let machine = self.machine(u64::MAX / PAGE_BYTES);
+        let report = machine.run(self.workload.as_ref(), &mut NoTier::new());
+        self.dram_cycles = Some(report.total_cycles);
+        report.total_cycles
+    }
+
+    /// Slowdown of running entirely on the slow tier (the "CXL" line).
+    pub fn cxl_slowdown(&mut self) -> f64 {
+        let machine = self.machine(0);
+        let report = machine.run(self.workload.as_ref(), &mut NoTier::new());
+        report.total_cycles as f64 / self.dram_cycles() as f64 - 1.0
+    }
+
+    /// Runs `policy_name` at `ratio` and returns the normalized outcome.
+    pub fn run_policy(&mut self, policy_name: &str, ratio: TierRatio) -> Outcome {
+        let fast_pages = ratio.fast_pages(self.workload.footprint_bytes());
+        self.run_policy_with_fast_pages(policy_name, fast_pages)
+    }
+
+    /// Runs `policy_name` with an explicit fast-tier size in pages.
+    pub fn run_policy_with_fast_pages(&mut self, policy_name: &str, fast_pages: u64) -> Outcome {
+        let machine = self.machine(fast_pages);
+        let report = if policy_name == "soar" {
+            if self.soar_profile.is_none() {
+                self.soar_profile = Some(soar_profile(&self.base_cfg, self.workload.as_ref()));
+            }
+            let profile = self.soar_profile.as_ref().expect("profiled above");
+            let mut soar = Soar::from_profile(profile, fast_pages);
+            machine.run(self.workload.as_ref(), &mut soar)
+        } else {
+            let mut policy = make_policy(policy_name);
+            machine.run(self.workload.as_ref(), policy.as_mut())
+        };
+        self.outcome(report)
+    }
+
+    /// Runs a caller-constructed policy (for custom configurations,
+    /// e.g. PACT ablations) with an explicit fast-tier size.
+    pub fn run_custom(&mut self, policy: &mut dyn TieringPolicy, fast_pages: u64) -> Outcome {
+        let machine = self.machine(fast_pages);
+        let report = machine.run(self.workload.as_ref(), policy);
+        self.outcome(report)
+    }
+
+    fn outcome(&mut self, report: RunReport) -> Outcome {
+        let dram = self.dram_cycles();
+        Outcome {
+            policy: report.policy.clone(),
+            slowdown: report.total_cycles as f64 / dram as f64 - 1.0,
+            promotions: report.promotions,
+            demotions: report.demotions,
+            report,
+        }
+    }
+}
+
+/// Result of a policies × ratios sweep over one workload.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// Swept tier ratios.
+    pub ratios: Vec<TierRatio>,
+    /// Policies, in input order.
+    pub policies: Vec<String>,
+    /// `slowdown[p][r]` for policy `p` at ratio `r`.
+    pub slowdown: Vec<Vec<f64>>,
+    /// `promotions[p][r]` in base pages.
+    pub promotions: Vec<Vec<u64>>,
+    /// Slowdown of the all-slow-tier run (the paper's gray "CXL" line).
+    pub cxl: f64,
+}
+
+/// Runs every `(policy, ratio)` combination for the harness's workload.
+pub fn ratio_sweep(h: &mut Harness, policies: &[&str], ratios: &[TierRatio]) -> SweepResult {
+    let cxl = h.cxl_slowdown();
+    let mut slowdown = Vec::new();
+    let mut promotions = Vec::new();
+    for &p in policies {
+        let mut srow = Vec::new();
+        let mut prow = Vec::new();
+        for &r in ratios {
+            let out = h.run_policy(p, r);
+            srow.push(out.slowdown);
+            prow.push(out.promotions);
+        }
+        slowdown.push(srow);
+        promotions.push(prow);
+    }
+    SweepResult {
+        ratios: ratios.to_vec(),
+        policies: policies.iter().map(|s| s.to_string()).collect(),
+        slowdown,
+        promotions,
+        cxl,
+    }
+}
+
+impl SweepResult {
+    /// Renders the slowdown table (one row per policy, one column per
+    /// ratio), with the CXL reference line appended.
+    pub fn render_slowdowns(&self) -> String {
+        let mut header = vec!["policy".to_string()];
+        header.extend(self.ratios.iter().map(|r| r.to_string()));
+        let mut t = crate::Table::new(header);
+        for (p, row) in self.policies.iter().zip(&self.slowdown) {
+            let mut cells = vec![p.clone()];
+            cells.extend(row.iter().map(|&s| crate::pct(s)));
+            t.row(cells);
+        }
+        let mut cxl_row = vec!["(cxl-only)".to_string()];
+        cxl_row.extend(self.ratios.iter().map(|_| crate::pct(self.cxl)));
+        t.row(cxl_row);
+        t.render()
+    }
+
+    /// Renders the promotion-count table (the paper's Table 2 format).
+    pub fn render_promotions(&self) -> String {
+        let mut header = vec!["policy".to_string()];
+        header.extend(self.ratios.iter().map(|r| r.to_string()));
+        let mut t = crate::Table::new(header);
+        for (p, row) in self.policies.iter().zip(&self.promotions) {
+            let mut cells = vec![p.clone()];
+            cells.extend(row.iter().map(|&n| crate::count(n)));
+            t.row(cells);
+        }
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pact_workloads::suite::{build, Scale};
+
+    #[test]
+    fn ratio_math() {
+        let r = TierRatio::new(1, 1);
+        assert_eq!(r.fast_pages(100 * PAGE_BYTES), 50);
+        let r81 = TierRatio::new(8, 1);
+        assert_eq!(r81.fast_pages(90 * PAGE_BYTES), 80);
+        assert_eq!(TierRatio::new(1, 8).fast_pages(90 * PAGE_BYTES), 10);
+        assert_eq!(format!("{r}"), "1:1");
+    }
+
+    #[test]
+    fn make_policy_covers_all_names() {
+        for name in ALL_POLICIES {
+            if name == "soar" {
+                continue;
+            }
+            assert_eq!(make_policy(name).name(), name);
+        }
+        assert_eq!(make_policy("pact-freq").name(), "pact-freq");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown policy")]
+    fn unknown_policy_panics() {
+        make_policy("bogus");
+    }
+
+    #[test]
+    fn harness_normalizes_against_dram() {
+        let mut h = Harness::new(build("silo", Scale::Smoke, 1));
+        let out = h.run_policy("notier", TierRatio::new(1, 1));
+        assert!(out.slowdown > -0.01, "slowdown {}", out.slowdown);
+        let cxl = h.cxl_slowdown();
+        assert!(cxl >= out.slowdown - 0.05, "cxl {} vs 1:1 {}", cxl, out.slowdown);
+    }
+
+    #[test]
+    fn harness_runs_soar_via_profile() {
+        let mut h = Harness::new(build("silo", Scale::Smoke, 1));
+        let out = h.run_policy("soar", TierRatio::new(1, 1));
+        assert_eq!(out.policy, "soar");
+        assert_eq!(out.promotions, 0);
+    }
+
+    #[test]
+    fn harness_runs_pact() {
+        let mut h = Harness::new(build("silo", Scale::Smoke, 1));
+        let out = h.run_policy("pact", TierRatio::new(1, 2));
+        assert_eq!(out.policy, "pact");
+        assert!(out.slowdown.is_finite());
+    }
+
+    #[test]
+    fn sweep_renders_consistent_tables() {
+        let mut h = Harness::new(build("gups", Scale::Smoke, 2));
+        let ratios = [TierRatio::new(2, 1), TierRatio::new(1, 2)];
+        let sweep = ratio_sweep(&mut h, &["pact", "notier"], &ratios);
+        assert_eq!(sweep.policies, vec!["pact", "notier"]);
+        assert_eq!(sweep.slowdown.len(), 2);
+        assert_eq!(sweep.slowdown[0].len(), 2);
+        // NoTier never migrates.
+        assert_eq!(sweep.promotions[1], vec![0, 0]);
+        let slow = sweep.render_slowdowns();
+        assert!(slow.contains("pact") && slow.contains("(cxl-only)"));
+        assert_eq!(slow.lines().count(), 2 + 3); // header + rule + 3 rows
+        let promos = sweep.render_promotions();
+        assert!(promos.contains("notier"));
+    }
+
+    #[test]
+    fn dram_cycles_is_cached_and_stable() {
+        let mut h = Harness::new(build("gups", Scale::Smoke, 3));
+        let a = h.dram_cycles();
+        let b = h.dram_cycles();
+        assert_eq!(a, b);
+        assert!(a > 0);
+    }
+}

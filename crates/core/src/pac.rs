@@ -1,0 +1,69 @@
+//! The per-tier stall model (Equation 1) underlying PAC.
+
+use pact_tiersim::{PmuCounters, Tier};
+
+/// Equation 1 of the paper: estimated LLC-miss-induced stalls of one
+/// tier over an interval,
+///
+/// ```text
+/// LLC-stalls = k · LLC-misses / MLP
+/// ```
+///
+/// where `k` is a per-tier coefficient dominated by the tier's loaded
+/// latency and `MLP` is the tier's memory-level parallelism measured
+/// from CHA/TOR occupancy (`ΔT1 / ΔT2`).
+///
+/// # Example
+///
+/// ```
+/// // 1000 misses at 418-cycle CXL latency with MLP 4 stall ~104.5k cycles.
+/// let s = pact_core::estimate_tier_stalls(418.0, 1000, 4.0);
+/// assert_eq!(s, 104_500.0);
+/// ```
+pub fn estimate_tier_stalls(k: f64, llc_misses: u64, mlp: f64) -> f64 {
+    k * llc_misses as f64 / mlp.max(1.0)
+}
+
+/// Convenience wrapper: applies [`estimate_tier_stalls`] to a counter
+/// delta for `tier`, measuring MLP the paper's way (TOR occupancy over
+/// busy cycles).
+pub fn estimate_tier_stalls_from_delta(k: f64, delta: &PmuCounters, tier: Tier) -> f64 {
+    estimate_tier_stalls(k, delta.llc_misses[tier.index()], delta.tor_mlp(tier))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stalls_scale_linearly_with_misses() {
+        let a = estimate_tier_stalls(400.0, 100, 2.0);
+        let b = estimate_tier_stalls(400.0, 200, 2.0);
+        assert_eq!(b, 2.0 * a);
+    }
+
+    #[test]
+    fn higher_mlp_amortizes_stalls() {
+        let serial = estimate_tier_stalls(400.0, 100, 1.0);
+        let parallel = estimate_tier_stalls(400.0, 100, 8.0);
+        assert_eq!(serial, 8.0 * parallel);
+    }
+
+    #[test]
+    fn mlp_below_one_clamps() {
+        assert_eq!(
+            estimate_tier_stalls(400.0, 10, 0.1),
+            estimate_tier_stalls(400.0, 10, 1.0)
+        );
+    }
+
+    #[test]
+    fn from_delta_uses_tier_counters() {
+        let mut d = PmuCounters::default();
+        d.llc_misses = [50, 100];
+        d.tor_occupancy = [0, 40];
+        d.tor_busy = [0, 10]; // slow-tier MLP 4
+        let s = estimate_tier_stalls_from_delta(418.0, &d, Tier::Slow);
+        assert_eq!(s, 418.0 * 100.0 / 4.0);
+    }
+}

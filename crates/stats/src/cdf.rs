@@ -1,0 +1,100 @@
+//! Empirical cumulative distribution function.
+
+/// An empirical CDF over a finite sample.
+///
+/// The paper's Figure 7 reports CDFs of PACT's performance improvement over
+/// each competing tiering system; the bench harness uses this type to emit
+/// the same series.
+///
+/// # Example
+///
+/// ```
+/// use pact_stats::Ecdf;
+/// let c = Ecdf::new(&[1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(c.fraction_at_or_below(2.0), 0.5);
+/// assert_eq!(c.fraction_at_or_below(0.0), 0.0);
+/// assert_eq!(c.fraction_at_or_below(10.0), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds the ECDF from an unsorted sample; NaNs are dropped.
+    pub fn new(values: &[f64]) -> Self {
+        let mut sorted: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaNs were filtered"));
+        Self { sorted }
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `P(X <= x)` under the empirical distribution.
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// The `(value, cumulative_fraction)` step points of the CDF, one per
+    /// sample, suitable for plotting or tabulation.
+    pub fn steps(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len() as f64;
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, (i + 1) as f64 / n))
+            .collect()
+    }
+
+    /// Sorted view of the underlying sample.
+    pub fn as_sorted(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_step_correctly() {
+        let c = Ecdf::new(&[3.0, 1.0, 2.0]);
+        assert_eq!(c.fraction_at_or_below(0.5), 0.0);
+        assert!((c.fraction_at_or_below(1.0) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((c.fraction_at_or_below(2.5) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(c.fraction_at_or_below(3.0), 1.0);
+    }
+
+    #[test]
+    fn duplicates_count_multiply() {
+        let c = Ecdf::new(&[2.0, 2.0, 5.0, 2.0]);
+        assert_eq!(c.fraction_at_or_below(2.0), 0.75);
+    }
+
+    #[test]
+    fn steps_end_at_one() {
+        let c = Ecdf::new(&[4.0, 8.0]);
+        let steps = c.steps();
+        assert_eq!(steps, vec![(4.0, 0.5), (8.0, 1.0)]);
+    }
+
+    #[test]
+    fn empty_sample_is_safe() {
+        let c = Ecdf::new(&[]);
+        assert!(c.is_empty());
+        assert_eq!(c.fraction_at_or_below(1.0), 0.0);
+        assert!(c.steps().is_empty());
+    }
+}

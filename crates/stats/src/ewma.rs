@@ -1,0 +1,122 @@
+//! Exponentially weighted moving average.
+
+/// An EWMA accumulator: `v <- alpha * v + (1 - alpha) * x` — or, in PACT's
+/// accumulation form (§4.3, Algorithm 1 line 8), `v <- alpha * v + x`.
+///
+/// PACT's cooling factor `alpha ∈ [0, 1]` controls how much history a page's
+/// PAC retains: `alpha = 1.0` is pure accumulation (the paper's robust
+/// default), `alpha = 0.5` halves history each application, `alpha = 0`
+/// keeps only the newest contribution. [`Ewma::accumulate`] implements that
+/// form; [`Ewma::update`] implements the conventional normalized average used
+/// for smoothing counter series.
+///
+/// # Example
+///
+/// ```
+/// use pact_stats::Ewma;
+/// let mut e = Ewma::new(0.5);
+/// e.accumulate(10.0);
+/// e.accumulate(10.0);
+/// assert_eq!(e.value(), 15.0); // 0.5 * 10 + 10
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ewma {
+    alpha: f64,
+    value: f64,
+    initialized: bool,
+}
+
+impl Ewma {
+    /// Creates an EWMA with decay factor `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `[0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0, 1]");
+        Self {
+            alpha,
+            value: 0.0,
+            initialized: false,
+        }
+    }
+
+    /// PACT-style accumulation: `v <- alpha * v + x`.
+    pub fn accumulate(&mut self, x: f64) -> f64 {
+        self.value = self.alpha * self.value + x;
+        self.initialized = true;
+        self.value
+    }
+
+    /// Conventional smoothing: `v <- alpha * v + (1 - alpha) * x`, seeded
+    /// with the first observation.
+    pub fn update(&mut self, x: f64) -> f64 {
+        if self.initialized {
+            self.value = self.alpha * self.value + (1.0 - self.alpha) * x;
+        } else {
+            self.value = x;
+            self.initialized = true;
+        }
+        self.value
+    }
+
+    /// Current accumulated value.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// Decay factor.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Whether any observation has been applied.
+    pub fn is_initialized(&self) -> bool {
+        self.initialized
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulate_alpha_one_is_pure_sum() {
+        let mut e = Ewma::new(1.0);
+        for _ in 0..5 {
+            e.accumulate(2.0);
+        }
+        assert_eq!(e.value(), 10.0);
+    }
+
+    #[test]
+    fn accumulate_alpha_zero_keeps_latest() {
+        let mut e = Ewma::new(0.0);
+        e.accumulate(5.0);
+        e.accumulate(7.0);
+        assert_eq!(e.value(), 7.0);
+    }
+
+    #[test]
+    fn update_seeds_with_first_value() {
+        let mut e = Ewma::new(0.9);
+        assert_eq!(e.update(4.0), 4.0);
+        let v = e.update(8.0);
+        assert!((v - (0.9 * 4.0 + 0.1 * 8.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn update_converges_to_constant_input() {
+        let mut e = Ewma::new(0.8);
+        for _ in 0..200 {
+            e.update(3.0);
+        }
+        assert!((e.value() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn invalid_alpha_panics() {
+        Ewma::new(1.5);
+    }
+}

@@ -1,0 +1,48 @@
+//! Lightweight, dependency-free statistics primitives used throughout the
+//! PACT reproduction.
+//!
+//! The PACT design (ASPLOS '26) leans on a handful of classic statistical
+//! tools: Pearson correlation to validate the per-tier stall model (Fig. 2),
+//! reservoir sampling and the Freedman–Diaconis rule for adaptive promotion
+//! binning (Algorithm 3), quantiles for skew analysis (Fig. 1), EWMA-style
+//! cooling (§4.3.4), and empirical CDFs for the evaluation (Fig. 7). This
+//! crate provides exactly those tools with small, well-tested
+//! implementations.
+//!
+//! # Example
+//!
+//! ```
+//! use pact_stats::{pearson, Quantiles};
+//!
+//! let xs = [1.0, 2.0, 3.0, 4.0];
+//! let ys = [2.1, 3.9, 6.2, 7.8];
+//! let r = pearson(&xs, &ys).unwrap();
+//! assert!(r > 0.99);
+//!
+//! let q = Quantiles::from_unsorted(&[1.0, 2.0, 3.0, 4.0, 100.0]);
+//! assert_eq!(q.median(), 3.0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod cdf;
+mod ewma;
+mod histogram;
+mod linfit;
+mod pearson;
+mod quantile;
+mod rank;
+mod reservoir;
+mod rng;
+mod summary;
+
+pub use cdf::Ecdf;
+pub use ewma::Ewma;
+pub use histogram::{freedman_diaconis_width, Histogram};
+pub use linfit::{linear_fit, LinearFit};
+pub use pearson::pearson;
+pub use quantile::Quantiles;
+pub use rank::{gini, spearman, top_k_overlap};
+pub use reservoir::Reservoir;
+pub use rng::SplitMix64;
+pub use summary::Summary;

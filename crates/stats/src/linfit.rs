@@ -1,0 +1,100 @@
+//! Ordinary least-squares line fitting.
+
+/// Result of a one-dimensional least-squares fit `y ≈ slope · x + intercept`.
+///
+/// Figure 2's per-tier stall model is a line through the origin-ish cloud of
+/// `(misses/MLP, stalls)` points; its slope is the tier coefficient `k` of
+/// Equation 1. The bench harness fits that slope with [`linear_fit`] and
+/// reports it alongside the Pearson correlation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination (R²) of the fit.
+    pub r_squared: f64,
+}
+
+/// Fits `y = slope · x + intercept` by ordinary least squares.
+///
+/// Returns `None` for mismatched lengths, fewer than two points, or zero
+/// variance in `x`.
+///
+/// # Example
+///
+/// ```
+/// let fit = pact_stats::linear_fit(&[0.0, 1.0, 2.0], &[1.0, 3.0, 5.0]).unwrap();
+/// assert!((fit.slope - 2.0).abs() < 1e-12);
+/// assert!((fit.intercept - 1.0).abs() < 1e-12);
+/// assert!(fit.r_squared > 0.999);
+/// ```
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<LinearFit> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    if sxx == 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let r_squared = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
+    Some(LinearFit {
+        slope,
+        intercept,
+        r_squared,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.5 * x - 7.0).collect();
+        let fit = linear_fit(&xs, &ys).unwrap();
+        assert!((fit.slope - 3.5).abs() < 1e-9);
+        assert!((fit.intercept + 7.0).abs() < 1e-9);
+        assert!((fit.r_squared - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_line_has_lower_r2() {
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = [0.0, 2.5, 1.5, 4.0, 3.0, 6.0];
+        let fit = linear_fit(&xs, &ys).unwrap();
+        assert!(fit.slope > 0.5);
+        assert!(fit.r_squared < 1.0 && fit.r_squared > 0.5);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(linear_fit(&[1.0], &[1.0]).is_none());
+        assert!(linear_fit(&[1.0, 1.0], &[1.0, 2.0]).is_none());
+        assert!(linear_fit(&[1.0, 2.0], &[1.0]).is_none());
+    }
+
+    #[test]
+    fn constant_y_gives_r2_one_and_zero_slope() {
+        let fit = linear_fit(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]).unwrap();
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+}

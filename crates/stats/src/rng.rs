@@ -1,0 +1,117 @@
+//! A tiny, cloneable, deterministic RNG.
+
+
+
+/// SplitMix64: a fast, high-quality 64-bit PRNG with trivially
+/// serializable state.
+///
+/// Used where the PACT components need a deterministic RNG that is also
+/// `Clone` (e.g. so a configured policy can be duplicated across runs);
+/// `rand`'s `StdRng` intentionally does not implement `Clone`.
+///
+/// # Example
+///
+/// ```
+/// use pact_stats::SplitMix64;
+/// use rand::Rng;  // infallible facade over TryRng
+///
+/// let mut a = SplitMix64::new(7);
+/// let mut b = a.clone();
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates the generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+}
+
+impl SplitMix64 {
+    fn step(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+// `rand` 0.10's infallible `Rng` is blanket-implemented for any
+// `TryRng<Error = Infallible>`, so this is the whole integration.
+impl rand::TryRng for SplitMix64 {
+    type Error = std::convert::Infallible;
+
+    fn try_next_u32(&mut self) -> Result<u32, Self::Error> {
+        Ok((self.step() >> 32) as u32)
+    }
+
+    fn try_next_u64(&mut self) -> Result<u64, Self::Error> {
+        Ok(self.step())
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Self::Error> {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.step().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, RngExt};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(43);
+        assert_ne!(SplitMix64::new(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn clone_snapshots_state() {
+        let mut a = SplitMix64::new(1);
+        a.next_u64();
+        let mut b = a;
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn works_with_rand_adapters() {
+        let mut r = SplitMix64::new(5);
+        let x: f64 = r.random();
+        assert!((0.0..1.0).contains(&x));
+        let y = r.random_range(0..10u32);
+        assert!(y < 10);
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut r = SplitMix64::new(9);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn output_looks_uniform() {
+        let mut r = SplitMix64::new(123);
+        let mut ones = 0u32;
+        for _ in 0..1000 {
+            ones += r.next_u64().count_ones();
+        }
+        let avg = ones as f64 / 1000.0;
+        assert!((avg - 32.0).abs() < 1.0, "avg bit count {avg}");
+    }
+}

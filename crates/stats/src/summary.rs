@@ -1,0 +1,95 @@
+//! One-pass summary statistics.
+
+use crate::Quantiles;
+
+/// Summary statistics of a sample: count, mean, min/median/max, quartiles.
+///
+/// Used by the bench harness to report distributions the paper summarizes in
+/// prose (e.g. "average improvement of 9.95% ... peak 57%") and by Figure 1's
+/// violin-style tabulation (min / median / max per frequency group).
+///
+/// # Example
+///
+/// ```
+/// use pact_stats::Summary;
+/// let s = Summary::from_values(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+/// assert_eq!(s.count, 5);
+/// assert_eq!(s.mean, 3.0);
+/// assert_eq!(s.median, 3.0);
+/// assert_eq!(s.max, 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of (non-NaN) samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes the summary of `values`, ignoring NaNs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no non-NaN value is present.
+    pub fn from_values(values: &[f64]) -> Self {
+        let q = Quantiles::from_unsorted(values);
+        assert!(!q.is_empty(), "summary of empty sample");
+        let mean = q.as_sorted().iter().sum::<f64>() / q.len() as f64;
+        Self {
+            count: q.len(),
+            mean,
+            min: q.min(),
+            q1: q.q1(),
+            median: q.median(),
+            q3: q.q3(),
+            max: q.max(),
+        }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} min={:.3} q1={:.3} med={:.3} q3={:.3} max={:.3}",
+            self.count, self.mean, self.min, self.q1, self.median, self.q3, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::from_values(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count, 8);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = Summary::from_values(&[1.0]);
+        assert!(format!("{s}").contains("n=1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_panics() {
+        Summary::from_values(&[]);
+    }
+}

@@ -1,0 +1,345 @@
+//! The tiering-policy interface: how PACT and every baseline plug into
+//! the simulated machine.
+//!
+//! A policy receives sampled memory events ([`SampleEvent`]) as they
+//! occur and a counter snapshot at every sampling-window boundary
+//! ([`WindowStats`]). In both callbacks it may queue page migrations and
+//! adjust the hint-fault scan rate through [`PolicyCtx`]. The machine
+//! charges all mechanism costs — hint faults on the critical path,
+//! migration daemon CPU budget, channel bandwidth for page copies, TLB
+//! shootdowns — so policies compete on decisions, not accounting tricks.
+
+use crate::chmu::Chmu;
+use crate::mem::Memory;
+use crate::pmu::{PmuCounters, SampleEvent};
+use crate::types::{PageId, Tier};
+
+/// Static facts about the machine a policy is about to run on, passed to
+/// [`TieringPolicy::prepare`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineInfo {
+    /// Fast-tier capacity in base pages.
+    pub fast_tier_pages: u64,
+    /// Total addressable base pages across all processes.
+    pub total_pages: u64,
+    /// Whether allocation/migration is at huge-page granularity.
+    pub thp: bool,
+    /// Base pages per allocation/migration unit (1 without THP).
+    pub unit_span: u64,
+    /// Cycles per sampling window.
+    pub window_cycles: u64,
+    /// Unloaded tier latencies in cycles, indexed by [`Tier::index`].
+    pub latency_cycles: [u64; 2],
+    /// PEBS sampling period (1 sample per `pebs_rate` events).
+    pub pebs_rate: u64,
+    /// Core frequency in GHz.
+    pub freq_ghz: f64,
+    /// MSHRs per hardware thread (upper bound on per-thread MLP).
+    pub mshrs: usize,
+}
+
+/// A queued page-migration request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationOrder {
+    /// Any page of the unit to migrate.
+    pub page: PageId,
+    /// Destination tier.
+    pub to: Tier,
+    /// If true the migration runs synchronously on the thread that
+    /// triggered the current callback (TPP promotes in the fault path);
+    /// otherwise the background daemon performs it within its budget.
+    pub sync: bool,
+}
+
+/// Per-window counter view handed to [`TieringPolicy::on_window`].
+#[derive(Debug, Clone, Copy)]
+pub struct WindowStats<'a> {
+    /// Zero-based window index.
+    pub index: u64,
+    /// Machine time at the window boundary, in cycles.
+    pub end_cycles: u64,
+    /// Counter deltas for this window alone.
+    pub delta: PmuCounters,
+    /// Cumulative counters since the run started.
+    pub cumulative: &'a PmuCounters,
+}
+
+/// Capability handle through which a policy inspects memory state and
+/// requests actions. Borrowed mutably for the duration of one callback.
+#[derive(Debug)]
+pub struct PolicyCtx<'a> {
+    mem: &'a mut Memory,
+    chmu: Option<&'a mut Chmu>,
+    orders: Vec<MigrationOrder>,
+    telemetry: Vec<(&'static str, f64)>,
+    hint_scan_per_window: &'a mut u64,
+    promotions: u64,
+    demotions: u64,
+    window: u64,
+}
+
+impl<'a> PolicyCtx<'a> {
+    pub(crate) fn new(
+        mem: &'a mut Memory,
+        chmu: Option<&'a mut Chmu>,
+        hint_scan_per_window: &'a mut u64,
+        promotions: u64,
+        demotions: u64,
+        window: u64,
+    ) -> Self {
+        Self {
+            mem,
+            chmu,
+            orders: Vec::new(),
+            telemetry: Vec::new(),
+            hint_scan_per_window,
+            promotions,
+            demotions,
+            window,
+        }
+    }
+
+    pub(crate) fn into_parts(self) -> (Vec<MigrationOrder>, Vec<(&'static str, f64)>) {
+        (self.orders, self.telemetry)
+    }
+
+    /// Queues a background promotion of the unit containing `page`.
+    pub fn promote(&mut self, page: PageId) {
+        self.orders.push(MigrationOrder {
+            page,
+            to: Tier::Fast,
+            sync: false,
+        });
+    }
+
+    /// Queues a *synchronous* promotion: the triggering thread pays the
+    /// migration latency (the TPP fault-path promotion model).
+    pub fn promote_sync(&mut self, page: PageId) {
+        self.orders.push(MigrationOrder {
+            page,
+            to: Tier::Fast,
+            sync: true,
+        });
+    }
+
+    /// Queues a background demotion of the unit containing `page`.
+    pub fn demote(&mut self, page: PageId) {
+        self.orders.push(MigrationOrder {
+            page,
+            to: Tier::Slow,
+            sync: false,
+        });
+    }
+
+    /// Residency of a page, `None` if never touched.
+    pub fn tier_of(&self, page: PageId) -> Option<Tier> {
+        self.mem.tier_of(page)
+    }
+
+    /// Fast-tier capacity in base pages.
+    pub fn fast_capacity(&self) -> u64 {
+        self.mem.fast_capacity()
+    }
+
+    /// Base pages currently resident in the fast tier.
+    pub fn fast_used(&self) -> u64 {
+        self.mem.fast_used()
+    }
+
+    /// Free base pages in the fast tier.
+    pub fn fast_free(&self) -> u64 {
+        self.mem.fast_free()
+    }
+
+    /// Base pages per migration unit (1, or 512 under THP).
+    pub fn unit_span(&self) -> u64 {
+        self.mem.unit_span()
+    }
+
+    /// Head page of the migration unit containing `page`.
+    pub fn unit_head(&self, page: PageId) -> PageId {
+        self.mem.unit_head(page)
+    }
+
+    /// Up to `n` cold fast-tier unit heads from the kernel CLOCK list
+    /// (the standard demotion candidate source).
+    pub fn cold_fast_units(&mut self, n: usize) -> Vec<PageId> {
+        self.mem.pop_cold_fast_units(n)
+    }
+
+    /// Direct-reclaim variant: fills the demand past the cold supply by
+    /// evicting referenced units in clock order, as the kernel does
+    /// when reclaim escalates. Use sparingly — this is how eager
+    /// demotion guarantees space for genuinely critical promotions.
+    pub fn reclaim_fast_units(&mut self, n: usize) -> Vec<PageId> {
+        self.mem.reclaim_fast_units(n)
+    }
+
+    /// Up to `n` slow-tier unit heads in round-robin scan order.
+    pub fn scan_slow_units(&mut self, n: usize) -> Vec<PageId> {
+        self.mem.scan_slow_units(n)
+    }
+
+    /// Last window in which the unit containing `page` was touched.
+    pub fn last_touch_window(&self, page: PageId) -> u32 {
+        self.mem.last_touch_window(page)
+    }
+
+    /// Sets how many slow-tier pages per window the kernel poisons for
+    /// hint-fault sampling (0 disables scanning). Fault-driven systems
+    /// (NBT, TPP, Colloid, Nomad) pay for their visibility this way.
+    pub fn set_hint_scan_rate(&mut self, pages_per_window: u64) {
+        *self.hint_scan_per_window = pages_per_window;
+    }
+
+    /// Cumulative promotions (base pages) executed so far in this run.
+    pub fn promotions(&self) -> u64 {
+        self.promotions
+    }
+
+    /// Cumulative demotions (base pages) executed so far in this run.
+    pub fn demotions(&self) -> u64 {
+        self.demotions
+    }
+
+    /// Index of the current sampling window.
+    pub fn window_index(&self) -> u64 {
+        self.window
+    }
+
+    /// Records a named time-series value for this window (e.g. PACT's
+    /// current bin width); surfaces in the run report for Figures 8–9.
+    pub fn telemetry(&mut self, key: &'static str, value: f64) {
+        self.telemetry.push((key, value));
+    }
+
+    /// Whether the machine has a CXL Hotness Monitoring Unit.
+    pub fn has_chmu(&self) -> bool {
+        self.chmu.is_some()
+    }
+
+    /// Reads and resets the CHMU: the hot list `(page, exact-ish count)`
+    /// of slow-tier accesses since the last read, hottest first,
+    /// truncated to `n`. Returns `None` when the machine has no CHMU.
+    pub fn read_chmu(&mut self, n: usize) -> Option<(Vec<(PageId, u64)>, u64)> {
+        let chmu = self.chmu.as_deref_mut()?;
+        let hot = chmu.read_hot(n);
+        let total = chmu.total();
+        chmu.reset();
+        Some((hot, total))
+    }
+}
+
+/// A tiered-memory management policy.
+///
+/// Implementations decide which pages live in the fast tier, using only
+/// information a real kernel/daemon could obtain: PEBS samples, hint
+/// faults, aggregate PMU counters (misses, TOR occupancy — not the
+/// simulator's ground-truth stall split), and page-table metadata.
+pub trait TieringPolicy {
+    /// Short identifier used in reports (e.g. `"pact"`, `"colloid"`).
+    fn name(&self) -> &str;
+
+    /// PEBS scope this policy needs, overriding the machine default
+    /// (PACT samples slow-tier misses only; Memtis samples both tiers).
+    /// `None` keeps the machine configuration.
+    fn pebs_scope(&self) -> Option<crate::config::PebsScope> {
+        None
+    }
+
+    /// Called once before the run starts with machine parameters.
+    fn prepare(&mut self, _info: &MachineInfo) {}
+
+    /// Allocation-time placement hint for a first-touched page. `None`
+    /// (the default) keeps kernel first-touch allocation; `Some(tier)`
+    /// requests that tier (a full fast tier still falls back to slow).
+    /// Soar's profile-guided object placement uses this hook.
+    fn place(&self, _page: PageId) -> Option<Tier> {
+        None
+    }
+
+    /// Called for every delivered sample event (PEBS or hint fault).
+    fn on_sample(&mut self, _ev: &SampleEvent, _ctx: &mut PolicyCtx) {}
+
+    /// Called at every sampling-window boundary with counter deltas.
+    fn on_window(&mut self, _win: &WindowStats, _ctx: &mut PolicyCtx) {}
+}
+
+/// The no-op policy: first-touch placement, no migration. This is the
+/// paper's **NoTier** baseline and the policy used for DRAM-only and
+/// CXL-only reference runs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FirstTouch;
+
+impl FirstTouch {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl TieringPolicy for FirstTouch {
+    fn name(&self) -> &str {
+        "notier"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_queues_orders_and_telemetry() {
+        let mut mem = Memory::new(16, 4, 1);
+        mem.ensure_mapped(PageId(0));
+        let mut scan = 0u64;
+        let mut ctx = PolicyCtx::new(&mut mem, None, &mut scan, 3, 5, 7);
+        assert_eq!(ctx.promotions(), 3);
+        assert_eq!(ctx.demotions(), 5);
+        assert_eq!(ctx.window_index(), 7);
+        ctx.promote(PageId(1));
+        ctx.promote_sync(PageId(2));
+        ctx.demote(PageId(0));
+        ctx.set_hint_scan_rate(64);
+        ctx.telemetry("bin_width", 1.5);
+        let (orders, telem) = ctx.into_parts();
+        assert_eq!(orders.len(), 3);
+        assert_eq!(orders[0], MigrationOrder { page: PageId(1), to: Tier::Fast, sync: false });
+        assert!(orders[1].sync);
+        assert_eq!(orders[2].to, Tier::Slow);
+        assert_eq!(telem, vec![("bin_width", 1.5)]);
+        assert_eq!(scan, 64);
+    }
+
+    #[test]
+    fn ctx_exposes_memory_queries() {
+        let mut mem = Memory::new(16, 4, 1);
+        mem.ensure_mapped(PageId(9));
+        let mut scan = 0u64;
+        let ctx = PolicyCtx::new(&mut mem, None, &mut scan, 0, 0, 0);
+        assert_eq!(ctx.fast_capacity(), 4);
+        assert_eq!(ctx.fast_used(), 1);
+        assert_eq!(ctx.fast_free(), 3);
+        assert_eq!(ctx.tier_of(PageId(9)), Some(Tier::Fast));
+        assert_eq!(ctx.tier_of(PageId(0)), None);
+        assert_eq!(ctx.unit_span(), 1);
+    }
+
+    #[test]
+    fn first_touch_is_inert() {
+        let mut p = FirstTouch::new();
+        assert_eq!(p.name(), "notier");
+        let mut mem = Memory::new(4, 4, 1);
+        let mut scan = 0u64;
+        let mut ctx = PolicyCtx::new(&mut mem, None, &mut scan, 0, 0, 0);
+        let win = WindowStats {
+            index: 0,
+            end_cycles: 0,
+            delta: PmuCounters::default(),
+            cumulative: &PmuCounters::default(),
+        };
+        p.on_window(&win, &mut ctx);
+        let (orders, _) = ctx.into_parts();
+        assert!(orders.is_empty());
+    }
+}

@@ -1,0 +1,169 @@
+//! Workload abstraction: named processes emitting per-thread access streams.
+
+use crate::types::Access;
+
+/// One thread's infinite-or-finite stream of memory accesses.
+///
+/// Streams are pulled lazily by the machine, one access at a time, so
+/// workloads can run real algorithms (graph traversals, hash probes)
+/// incrementally without materializing a trace.
+pub trait AccessStream {
+    /// Produces the next access, or `None` when the thread finishes.
+    fn next_access(&mut self) -> Option<Access>;
+}
+
+/// A named memory region inside a workload's address space.
+///
+/// Regions are the "objects" that object-granular systems (Soar) profile
+/// and place; page-granular systems ignore them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Region {
+    /// Human-readable name (e.g. `"csr_neighbors"`, `"dist_array"`).
+    pub name: String,
+    /// First byte of the region (process-local virtual address).
+    pub start: u64,
+    /// Region length in bytes.
+    pub bytes: u64,
+}
+
+impl Region {
+    /// Creates a region.
+    pub fn new(name: impl Into<String>, start: u64, bytes: u64) -> Self {
+        Self {
+            name: name.into(),
+            start,
+            bytes,
+        }
+    }
+
+    /// Whether `vaddr` falls inside this region.
+    pub fn contains(&self, vaddr: u64) -> bool {
+        vaddr >= self.start && vaddr < self.start + self.bytes
+    }
+}
+
+/// A runnable workload (one simulated process).
+///
+/// `streams` must return a *fresh* set of thread streams each call so the
+/// same workload can be executed multiple times (DRAM-only baseline run,
+/// policy run, Soar profiling run) with identical access sequences.
+pub trait Workload {
+    /// Workload name used in reports (e.g. `"bc-kron"`).
+    fn name(&self) -> String;
+
+    /// Size of the process's virtual address space in bytes. All emitted
+    /// `vaddr`s must be below this.
+    fn footprint_bytes(&self) -> u64;
+
+    /// Named allocations for object-granular policies. Optional.
+    fn regions(&self) -> Vec<Region> {
+        Vec::new()
+    }
+
+    /// Background workloads (e.g. a bandwidth-hog co-runner) keep running
+    /// while foreground work exists but do not gate run completion: the
+    /// machine stops them once every foreground process finishes.
+    fn is_background(&self) -> bool {
+        false
+    }
+
+    /// Fresh per-thread access streams for one execution.
+    fn streams(&self) -> Vec<Box<dyn AccessStream + '_>>;
+
+    /// Optional initialization phase (data loading, array zeroing) run
+    /// single-threaded *before* the worker streams start. Its accesses
+    /// perform the process's first touches in allocation order — the
+    /// reason large apps' late-allocated hot state lands in the slow
+    /// tier under first-touch placement.
+    fn prologue(&self) -> Option<Box<dyn AccessStream + '_>> {
+        None
+    }
+}
+
+/// An [`AccessStream`] over a pre-materialized access vector; convenient
+/// for tests and trace replay.
+#[derive(Debug, Clone)]
+pub struct VecStream {
+    accesses: std::vec::IntoIter<Access>,
+}
+
+impl VecStream {
+    /// Wraps a vector of accesses.
+    pub fn new(accesses: Vec<Access>) -> Self {
+        Self {
+            accesses: accesses.into_iter(),
+        }
+    }
+}
+
+impl AccessStream for VecStream {
+    fn next_access(&mut self) -> Option<Access> {
+        self.accesses.next()
+    }
+}
+
+/// A single-threaded workload replaying a fixed trace; for tests.
+#[derive(Debug, Clone)]
+pub struct TraceWorkload {
+    name: String,
+    footprint: u64,
+    trace: Vec<Access>,
+}
+
+impl TraceWorkload {
+    /// Creates a trace workload. `footprint` must exceed every vaddr.
+    pub fn new(name: impl Into<String>, footprint: u64, trace: Vec<Access>) -> Self {
+        Self {
+            name: name.into(),
+            footprint,
+            trace,
+        }
+    }
+}
+
+impl Workload for TraceWorkload {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        self.footprint
+    }
+
+    fn streams(&self) -> Vec<Box<dyn AccessStream + '_>> {
+        vec![Box::new(VecStream::new(self.trace.clone()))]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_contains() {
+        let r = Region::new("buf", 4096, 8192);
+        assert!(!r.contains(4095));
+        assert!(r.contains(4096));
+        assert!(r.contains(12287));
+        assert!(!r.contains(12288));
+    }
+
+    #[test]
+    fn vec_stream_drains_in_order() {
+        let mut s = VecStream::new(vec![Access::load(0), Access::load(64)]);
+        assert_eq!(s.next_access(), Some(Access::load(0)));
+        assert_eq!(s.next_access(), Some(Access::load(64)));
+        assert_eq!(s.next_access(), None);
+    }
+
+    #[test]
+    fn trace_workload_replays_identically() {
+        let w = TraceWorkload::new("t", 4096, vec![Access::load(8)]);
+        let mut s1 = w.streams();
+        let mut s2 = w.streams();
+        assert_eq!(s1[0].next_access(), s2[0].next_access());
+        assert_eq!(w.name(), "t");
+        assert_eq!(w.footprint_bytes(), 4096);
+        assert!(w.regions().is_empty());
+    }
+}

@@ -1,0 +1,91 @@
+//! Property tests over the substrate primitives: channel, LLC, memory,
+//! and the CHMU counter table.
+
+use pact_tiersim::{Channel, Chmu, Llc, LlcConfig, Memory, PageId, SpaceSaving, Tier};
+use proptest::prelude::*;
+
+proptest! {
+    /// Channel delays are non-negative and zero on an idle channel.
+    #[test]
+    fn channel_delay_nonnegative(transfer in 0.5f64..50.0,
+                                 times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut ch = Channel::new(transfer);
+        for &t in &times {
+            let d = ch.book(t, 1);
+            prop_assert!(d >= 0.0);
+        }
+    }
+
+    /// The channel conserves work: booking N lines at one instant
+    /// delays the last one by at least (N - capacity_per_window) slots.
+    #[test]
+    fn channel_conserves_work(transfer in 1.0f64..8.0, n in 100u64..2_000) {
+        let mut ch = Channel::new(transfer);
+        let d = ch.book(0, n);
+        // All n lines must fit into delay + one epoch of service.
+        prop_assert!(d >= (n as f64 - 2.0 * 128.0 / transfer) * transfer,
+            "n={n} transfer={transfer} delay={d}");
+    }
+
+    /// LLC occupancy never exceeds geometry, and re-access of the most
+    /// recent line always hits.
+    #[test]
+    fn llc_mru_always_hits(lines in prop::collection::vec(0u64..10_000, 1..500)) {
+        let mut llc = Llc::new(LlcConfig { size_bytes: 64 * 1024, ways: 8 });
+        for &l in &lines {
+            llc.access(l);
+            prop_assert!(llc.contains(l), "just-inserted line missing");
+        }
+        prop_assert_eq!(llc.hits() + llc.misses(), lines.len() as u64);
+    }
+
+    /// Memory tier accounting: fast_used equals the number of
+    /// fast-resident pages after arbitrary move sequences.
+    #[test]
+    fn memory_accounting_is_exact(ops in prop::collection::vec((0u64..64, any::<bool>()), 1..300)) {
+        let mut mem = Memory::new(64, 24, 1);
+        for &(page, promote) in &ops {
+            mem.ensure_mapped(PageId(page));
+            let _ = mem.move_unit(
+                PageId(page),
+                if promote { Tier::Fast } else { Tier::Slow },
+            );
+        }
+        let counted = (0..64)
+            .filter(|&p| mem.tier_of(PageId(p)) == Some(Tier::Fast))
+            .count() as u64;
+        prop_assert_eq!(counted, mem.fast_used());
+        prop_assert!(mem.fast_used() <= mem.fast_capacity());
+    }
+
+    /// Space-Saving counts are within the documented error bound of the
+    /// true counts for items it retains.
+    #[test]
+    fn space_saving_error_bound(stream in prop::collection::vec(0u64..50, 50..2_000)) {
+        let mut ss = SpaceSaving::new(16);
+        let mut truth = std::collections::HashMap::new();
+        for &p in &stream {
+            ss.observe(PageId(p));
+            *truth.entry(p).or_insert(0u64) += 1;
+        }
+        for (page, count, err) in ss.hot_list() {
+            let t = truth[&page.0];
+            prop_assert!(count >= t, "undercount: {count} < true {t}");
+            prop_assert!(count - err <= t, "error bound violated");
+        }
+        prop_assert_eq!(ss.total(), stream.len() as u64);
+    }
+
+    /// The CHMU hot list is sorted descending and bounded by n.
+    #[test]
+    fn chmu_hot_list_is_sorted(stream in prop::collection::vec(0u64..100, 1..1_000),
+                               n in 1usize..32) {
+        let mut chmu = Chmu::new(32);
+        for &p in &stream {
+            chmu.observe(PageId(p));
+        }
+        let hot = chmu.read_hot(n);
+        prop_assert!(hot.len() <= n);
+        prop_assert!(hot.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+}

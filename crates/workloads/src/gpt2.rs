@@ -1,0 +1,275 @@
+//! GPT-2-shaped autoregressive inference traffic.
+//!
+//! Token generation streams every transformer layer's weight matrices
+//! (large, sequential, prefetch-friendly — high MLP) and walks the
+//! growing KV cache during attention (strided, layer-interleaved). The
+//! paper observes that hotness-based tiering *loses* to NoTier on gpt-2:
+//! the frequently-touched weight pages are latency-tolerant streams, so
+//! promoting them burns migrations for no stall reduction. PACT's
+//! criticality signal sees the low stall contribution and leaves them
+//! alone.
+
+use std::collections::VecDeque;
+
+use pact_tiersim::{Access, AccessStream, Region, Workload, LINE_BYTES};
+
+use crate::common::{BufferedStream, Generator, InitPhase, LayoutBuilder};
+
+/// Scaled GPT-2 inference: `layers` transformer blocks with
+/// `weight_bytes_per_layer` of parameters each, generating `tokens`
+/// tokens with a KV cache.
+#[derive(Debug, Clone)]
+pub struct Gpt2 {
+    layers: usize,
+    weight_bytes_per_layer: u64,
+    tokens: u32,
+    threads: usize,
+    weight_bases: Vec<u64>,
+    kv_base: u64,
+    kv_bytes_per_token_layer: u64,
+    embed_base: u64,
+    footprint: u64,
+    regions: Vec<Region>,
+}
+
+impl Gpt2 {
+    /// Builds a scaled GPT-2 model.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero layers/tokens or a weight slab smaller than a line.
+    pub fn new(layers: usize, weight_bytes_per_layer: u64, tokens: u32) -> Self {
+        Self::with_threads(layers, weight_bytes_per_layer, tokens, 4)
+    }
+
+    /// Builds a scaled GPT-2 model with an explicit worker-thread count
+    /// (GEMV rows and attention heads are partitioned across threads,
+    /// as in multi-threaded CPU inference).
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero layers/tokens/threads or a weight slab smaller
+    /// than a line.
+    pub fn with_threads(
+        layers: usize,
+        weight_bytes_per_layer: u64,
+        tokens: u32,
+        threads: usize,
+    ) -> Self {
+        assert!(layers > 0 && tokens > 0 && threads > 0, "need layers, tokens, threads");
+        assert!(weight_bytes_per_layer >= LINE_BYTES);
+        let context = tokens + 256; // prompt prefix
+        let kv_bytes_per_token_layer = 2 * 1024; // K+V rows, scaled
+        let mut lb = LayoutBuilder::new();
+        let weight_bases: Vec<u64> = (0..layers)
+            .map(|i| lb.region(format!("w_layer{i}"), weight_bytes_per_layer))
+            .collect();
+        let kv_base = lb.region(
+            "kv_cache",
+            layers as u64 * context as u64 * kv_bytes_per_token_layer,
+        );
+        let embed_base = lb.region("embeddings", 16 << 20);
+        let (footprint, regions) = lb.finish();
+        Self {
+            layers,
+            weight_bytes_per_layer,
+            tokens,
+            threads,
+            weight_bases,
+            kv_base,
+            kv_bytes_per_token_layer,
+            embed_base,
+            footprint,
+            regions,
+        }
+    }
+
+    /// The paper-suite configuration: 8 layers x 2 MiB of weights, 256
+    /// prompt + 160 generated tokens (~36 MiB footprint).
+    pub fn paper_scale() -> Self {
+        Self::new(8, 2 << 20, 160)
+    }
+}
+
+impl Workload for Gpt2 {
+    fn name(&self) -> String {
+        "gpt-2".into()
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        self.footprint
+    }
+
+    fn regions(&self) -> Vec<Region> {
+        self.regions.clone()
+    }
+
+    /// Model load: weights and embeddings are written into memory
+    /// before inference starts.
+    fn prologue(&self) -> Option<Box<dyn AccessStream + '_>> {
+        let mut init = InitPhase::new();
+        for r in &self.regions {
+            if r.name != "kv_cache" {
+                init = init.zero(r.start, r.bytes);
+            }
+        }
+        Some(init.into_stream())
+    }
+
+    fn streams(&self) -> Vec<Box<dyn AccessStream + '_>> {
+        (0..self.threads)
+            .map(|t| {
+                Box::new(BufferedStream::new(Gpt2Gen {
+                    wl: self,
+                    thread: t as u64,
+                    token: 0,
+                    layer: 0,
+                    weight_cursor: 0,
+                })) as Box<dyn AccessStream + '_>
+            })
+            .collect()
+    }
+}
+
+struct Gpt2Gen<'w> {
+    wl: &'w Gpt2,
+    thread: u64,
+    token: u32,
+    layer: usize,
+    /// Byte offset inside this thread's slice of the current layer.
+    weight_cursor: u64,
+}
+
+/// Weight bytes streamed per refill step.
+const WEIGHT_CHUNK: u64 = 16 * 1024;
+
+impl Generator for Gpt2Gen<'_> {
+    fn refill(&mut self, out: &mut VecDeque<Access>) -> bool {
+        if self.token >= self.wl.tokens {
+            return false;
+        }
+        let wl = self.wl;
+        let threads = wl.threads as u64;
+        // This thread's GEMV row slice of the layer.
+        let slice = wl.weight_bytes_per_layer / threads;
+        let slice_base = wl.weight_bases[self.layer] + self.thread * slice;
+        if self.weight_cursor == 0 {
+            // Entering a layer: attention over this thread's share of
+            // the KV cache (heads are partitioned across threads).
+            let past = 256 + self.token as u64; // prompt + generated so far
+            let stride = wl.kv_bytes_per_token_layer;
+            let mut t = self.thread;
+            while t < past {
+                // K and V row reads for (token t, this layer): the V row
+                // address depends on the attention score of the K row.
+                let row = wl.kv_base + (t * wl.layers as u64 + self.layer as u64) * stride;
+                out.push_back(Access::load(row).with_work(4));
+                out.push_back(Access::dependent_load(row + stride / 2).with_work(4));
+                t += threads;
+            }
+            if self.thread == 0 {
+                // Append this token's K/V rows.
+                let row =
+                    wl.kv_base + (past * wl.layers as u64 + self.layer as u64) * stride;
+                out.push_back(Access::store(row));
+                out.push_back(Access::store(row + stride / 2));
+            }
+            // Activation/embedding gathers: token-dependent indirect
+            // lookups (vocabulary rows, layernorm tables).
+            for g in 0..8u64 {
+                let tok_hash = (self.token as u64)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(self.layer as u64 * 131 + self.thread * 17 + g * 7919);
+                out.push_back(
+                    Access::dependent_load(wl.embed_base + tok_hash % (16 << 20) / 64 * 64)
+                        .with_work(6),
+                );
+            }
+        }
+        // Stream a chunk of this thread's weight slice (GEMV traversal).
+        let end = (self.weight_cursor + WEIGHT_CHUNK).min(slice);
+        let mut addr = slice_base + self.weight_cursor;
+        while addr < slice_base + end {
+            // ~8 cycles of FMA per 16-float line keeps a 4-thread GEMV
+            // just under the fast tier's bandwidth.
+            out.push_back(Access::load(addr).with_work(8));
+            addr += LINE_BYTES;
+        }
+        self.weight_cursor = end;
+        if self.weight_cursor >= slice {
+            self.weight_cursor = 0;
+            self.layer += 1;
+            if self.layer == wl.layers {
+                self.layer = 0;
+                self.token += 1;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pact_tiersim::AccessKind;
+
+    fn drain(w: &Gpt2) -> Vec<Access> {
+        let mut v = Vec::new();
+        for mut s in w.streams() {
+            while let Some(a) = s.next_access() {
+                assert!(a.vaddr < w.footprint_bytes());
+                v.push(a);
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn trace_is_dominated_by_weight_streaming() {
+        let w = Gpt2::new(4, 256 * 1024, 8);
+        let t = drain(&w);
+        let weight_top = w.regions()[3].start + w.regions()[3].bytes;
+        let weight_accesses = t.iter().filter(|a| a.vaddr < weight_top).count();
+        assert!(
+            weight_accesses * 10 > t.len() * 7,
+            "weights should dominate: {}/{}",
+            weight_accesses,
+            t.len()
+        );
+    }
+
+    #[test]
+    fn kv_cache_grows_with_tokens() {
+        let w = Gpt2::new(2, 64 * 1024, 16);
+        let t = drain(&w);
+        let kv = w.regions().iter().find(|r| r.name == "kv_cache").unwrap().clone();
+        let stores: Vec<u64> = t
+            .iter()
+            .filter(|a| a.kind == AccessKind::Store && kv.contains(a.vaddr))
+            .map(|a| a.vaddr)
+            .collect();
+        // 2 stores per (token, layer): 16 tokens x 2 layers x 2
+        // (thread 0 appends them).
+        assert_eq!(stores.len(), 16 * 2 * 2);
+    }
+
+    #[test]
+    fn trace_length_scales_with_tokens() {
+        let t8 = drain(&Gpt2::new(2, 128 * 1024, 8)).len();
+        let t16 = drain(&Gpt2::new(2, 128 * 1024, 16)).len();
+        assert!(t16 as f64 > 1.8 * t8 as f64);
+    }
+
+    #[test]
+    fn deterministic() {
+        let w = Gpt2::new(2, 64 * 1024, 4);
+        assert_eq!(drain(&w), drain(&w));
+    }
+
+    #[test]
+    fn paper_scale_footprint_reasonable() {
+        let w = Gpt2::paper_scale();
+        let mb = w.footprint_bytes() >> 20;
+        assert!((30..120).contains(&mb), "footprint {mb} MiB");
+    }
+}

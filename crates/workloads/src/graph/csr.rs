@@ -1,0 +1,174 @@
+//! Compressed-sparse-row graph representation.
+
+use super::gen::EdgeList;
+
+/// A CSR graph: `offsets[v]..offsets[v+1]` indexes `neighbors`.
+///
+/// Built from an [`EdgeList`] with optional symmetrization; self-loops
+/// and duplicate edges are removed and adjacency lists are sorted (which
+/// the triangle-counting kernel requires).
+#[derive(Debug, Clone)]
+pub struct Csr {
+    n: u32,
+    offsets: Vec<u64>,
+    neighbors: Vec<u32>,
+}
+
+impl Csr {
+    /// Builds a CSR from `edges`. When `symmetric` is true every edge is
+    /// inserted in both directions (GAPBS kernels run on symmetrized
+    /// graphs).
+    pub fn from_edges(el: &EdgeList, symmetric: bool) -> Self {
+        let n = el.n as usize;
+        let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(el.edges.len() * 2);
+        for &(s, d) in &el.edges {
+            if s == d {
+                continue;
+            }
+            pairs.push((s, d));
+            if symmetric {
+                pairs.push((d, s));
+            }
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+        let mut offsets = vec![0u64; n + 1];
+        for &(s, _) in &pairs {
+            offsets[s as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let neighbors = pairs.into_iter().map(|(_, d)| d).collect();
+        Self {
+            n: el.n,
+            offsets,
+            neighbors,
+        }
+    }
+
+    /// Vertex count.
+    pub fn num_vertices(&self) -> u32 {
+        self.n
+    }
+
+    /// Directed edge count after cleanup.
+    pub fn num_edges(&self) -> u64 {
+        self.neighbors.len() as u64
+    }
+
+    /// Out-degree of `v`.
+    pub fn degree(&self, v: u32) -> u64 {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Index of `v`'s first neighbor in the neighbor array.
+    pub fn offset(&self, v: u32) -> u64 {
+        self.offsets[v as usize]
+    }
+
+    /// Sorted adjacency list of `v`.
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        &self.neighbors[self.offsets[v as usize] as usize..self.offsets[v as usize + 1] as usize]
+    }
+
+    /// The vertex with the largest out-degree (a stable BFS/BC source).
+    pub fn max_degree_vertex(&self) -> u32 {
+        (0..self.n).max_by_key(|&v| self.degree(v)).unwrap_or(0)
+    }
+
+    /// `count` distinct source vertices with non-zero degree, chosen
+    /// deterministically and spread across the ID space.
+    pub fn pick_sources(&self, count: usize) -> Vec<u32> {
+        let mut sources = Vec::with_capacity(count);
+        let mut v = 0u64;
+        let stride = (self.n as u64 / (count as u64 + 1)).max(1);
+        while sources.len() < count {
+            let cand = (v * stride + stride / 2) % self.n as u64;
+            let cand = cand as u32;
+            if self.degree(cand) > 0 && !sources.contains(&cand) {
+                sources.push(cand);
+            }
+            v += 1;
+            if v > 4 * self.n as u64 {
+                break; // pathological graph: give up gracefully
+            }
+        }
+        sources
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::gen::{kronecker, EdgeList};
+    use super::*;
+
+    fn tiny() -> EdgeList {
+        EdgeList {
+            n: 4,
+            edges: vec![(0, 1), (0, 2), (1, 2), (2, 3), (0, 1), (3, 3)],
+        }
+    }
+
+    #[test]
+    fn builds_directed_csr() {
+        let g = Csr::from_edges(&tiny(), false);
+        assert_eq!(g.num_vertices(), 4);
+        // (0,1),(0,2),(1,2),(2,3); dup and self-loop dropped.
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[2]);
+        assert_eq!(g.neighbors(3), &[] as &[u32]);
+        assert_eq!(g.degree(2), 1);
+    }
+
+    #[test]
+    fn symmetrization_doubles_edges() {
+        let g = Csr::from_edges(&tiny(), true);
+        assert_eq!(g.num_edges(), 8);
+        assert_eq!(g.neighbors(3), &[2]);
+        assert_eq!(g.neighbors(2), &[0, 1, 3]);
+    }
+
+    #[test]
+    fn adjacency_lists_are_sorted() {
+        let g = Csr::from_edges(&kronecker(10, 8, 5), true);
+        for v in 0..g.num_vertices() {
+            let ns = g.neighbors(v);
+            assert!(ns.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn offsets_are_consistent() {
+        let g = Csr::from_edges(&kronecker(8, 4, 1), false);
+        let mut total = 0;
+        for v in 0..g.num_vertices() {
+            assert_eq!(g.offset(v) + g.degree(v), g.offset(v) + g.neighbors(v).len() as u64);
+            total += g.degree(v);
+        }
+        assert_eq!(total, g.num_edges());
+    }
+
+    #[test]
+    fn sources_are_distinct_and_valid() {
+        let g = Csr::from_edges(&kronecker(10, 8, 2), true);
+        let s = g.pick_sources(4);
+        assert_eq!(s.len(), 4);
+        for &v in &s {
+            assert!(g.degree(v) > 0);
+        }
+        let mut d = s.clone();
+        d.dedup();
+        assert_eq!(d.len(), 4);
+    }
+
+    #[test]
+    fn max_degree_vertex_is_max() {
+        let g = Csr::from_edges(&tiny(), true);
+        let m = g.max_degree_vertex();
+        for v in 0..4 {
+            assert!(g.degree(v) <= g.degree(m));
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Shared access-emission conventions for graph kernels.
+//!
+//! Kernels run the real algorithm on the host graph while emitting the
+//! memory accesses the algorithm would perform against the simulated
+//! address space. Conventions:
+//!
+//! * array scans (adjacency lists, weight arrays) emit **one load per
+//!   cache line** with `work` covering the per-element compute — the
+//!   simulator models memory at line granularity anyway;
+//! * the first line of an adjacency scan is *dependent* (its address
+//!   comes from the just-loaded offset);
+//! * per-neighbor accesses into vertex-state arrays are dependent for
+//!   the first neighbor of each adjacency-list line (its index arrives
+//!   with that line load) and independent for the rest, which is how
+//!   out-of-order cores actually overlap them.
+
+use std::collections::VecDeque;
+
+use pact_tiersim::{Access, LINE_BYTES};
+
+/// Neighbors (4-byte IDs) per cache line.
+pub const IDS_PER_LINE: u64 = LINE_BYTES / 4;
+
+/// Emits a load of element `idx` of an 8-byte-element array at `base`.
+#[inline]
+pub fn load_elem8(out: &mut VecDeque<Access>, base: u64, idx: u64, dep: bool, work: u16) {
+    let mut a = Access::load(base + idx * 8).with_work(work);
+    a.dep = dep;
+    out.push_back(a);
+}
+
+/// Emits a load of element `idx` of a 4-byte-element array at `base`.
+#[inline]
+pub fn load_elem4(out: &mut VecDeque<Access>, base: u64, idx: u64, dep: bool, work: u16) {
+    let mut a = Access::load(base + idx * 4).with_work(work);
+    a.dep = dep;
+    out.push_back(a);
+}
+
+/// Emits a store to element `idx` of an 8-byte-element array at `base`.
+#[inline]
+pub fn store_elem8(out: &mut VecDeque<Access>, base: u64, idx: u64) {
+    out.push_back(Access::store(base + idx * 8));
+}
+
+/// Emits a store to element `idx` of a 4-byte-element array at `base`.
+#[inline]
+pub fn store_elem4(out: &mut VecDeque<Access>, base: u64, idx: u64) {
+    out.push_back(Access::store(base + idx * 4));
+}
+
+/// Emits the line-granular loads of a scan over elements
+/// `start..start + count` of a 4-byte-element array at `base`. The first
+/// line is dependent when `first_dep` is set.
+pub fn scan_lines4(
+    out: &mut VecDeque<Access>,
+    base: u64,
+    start: u64,
+    count: u64,
+    first_dep: bool,
+    work_per_line: u16,
+) {
+    if count == 0 {
+        return;
+    }
+    let first_line = (base + start * 4) / LINE_BYTES;
+    let last_line = (base + (start + count - 1) * 4) / LINE_BYTES;
+    for (i, line) in (first_line..=last_line).enumerate() {
+        let mut a = Access::load(line * LINE_BYTES).with_work(work_per_line);
+        a.dep = first_dep && i == 0;
+        out.push_back(a);
+    }
+}
+
+/// Whether the neighbor at `pos` within an adjacency scan starts a new
+/// cache line (its state access should be marked dependent).
+#[inline]
+pub fn starts_line(pos: u64) -> bool {
+    pos.is_multiple_of(IDS_PER_LINE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_emits_one_load_per_line() {
+        let mut out = VecDeque::new();
+        // 40 elements of 4 bytes from index 0: 160 bytes = 3 lines.
+        scan_lines4(&mut out, 0, 0, 40, true, 5);
+        assert_eq!(out.len(), 3);
+        assert!(out[0].dep);
+        assert!(!out[1].dep);
+        assert_eq!(out[1].vaddr, LINE_BYTES);
+        assert_eq!(out[0].work, 5);
+    }
+
+    #[test]
+    fn scan_handles_unaligned_start() {
+        let mut out = VecDeque::new();
+        // Elements 15..17 of a 4B array: bytes 60..68 crosses a line edge.
+        scan_lines4(&mut out, 0, 15, 2, false, 0);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn empty_scan_emits_nothing() {
+        let mut out = VecDeque::new();
+        scan_lines4(&mut out, 0, 5, 0, true, 0);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn elem_addresses() {
+        let mut out = VecDeque::new();
+        load_elem8(&mut out, 4096, 3, true, 2);
+        load_elem4(&mut out, 4096, 3, false, 2);
+        store_elem8(&mut out, 0, 1);
+        store_elem4(&mut out, 0, 1);
+        assert_eq!(out[0].vaddr, 4096 + 24);
+        assert!(out[0].dep);
+        assert_eq!(out[1].vaddr, 4096 + 12);
+        assert_eq!(out[2].vaddr, 8);
+        assert_eq!(out[3].vaddr, 4);
+    }
+
+    #[test]
+    fn line_start_positions() {
+        assert!(starts_line(0));
+        assert!(!starts_line(1));
+        assert!(starts_line(16));
+    }
+}

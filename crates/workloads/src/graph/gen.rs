@@ -1,0 +1,149 @@
+//! Synthetic graph generators: Kronecker (R-MAT), uniform random, and
+//! power-law ("twitter-like") graphs.
+//!
+//! These stand in for the GAP Benchmark Suite inputs the paper uses
+//! (`-kron`, `-urand`, `-twitter`): the Kronecker generator follows the
+//! Graph500/GAPBS R-MAT recipe, and the power-law generator produces the
+//! heavy-tailed degree distribution that makes the real Twitter graph
+//! interesting for tiering (hub pages with serialized access).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::common::Zipf;
+
+/// An edge list over vertices `0..n`.
+#[derive(Debug, Clone)]
+pub struct EdgeList {
+    /// Vertex count.
+    pub n: u32,
+    /// Directed edges (may contain duplicates and self-loops; the CSR
+    /// builder cleans them up).
+    pub edges: Vec<(u32, u32)>,
+}
+
+/// Generates a Kronecker (R-MAT) graph with `2^scale` vertices and
+/// `edge_factor * 2^scale` directed edges, using the Graph500
+/// probabilities (a, b, c, d) = (0.57, 0.19, 0.19, 0.05).
+pub fn kronecker(scale: u32, edge_factor: u32, seed: u64) -> EdgeList {
+    assert!(scale > 0 && scale < 31, "scale out of range");
+    let n = 1u32 << scale;
+    let m = n as u64 * edge_factor as u64;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(m as usize);
+    const A: f64 = 0.57;
+    const B: f64 = 0.19;
+    const C: f64 = 0.19;
+    for _ in 0..m {
+        let mut src = 0u32;
+        let mut dst = 0u32;
+        for bit in (0..scale).rev() {
+            let r: f64 = rng.random();
+            let (si, di) = if r < A {
+                (0, 0)
+            } else if r < A + B {
+                (0, 1)
+            } else if r < A + B + C {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            src |= si << bit;
+            dst |= di << bit;
+        }
+        edges.push((src, dst));
+    }
+    EdgeList { n, edges }
+}
+
+/// Generates a uniform random graph: `m` directed edges with endpoints
+/// drawn uniformly from `0..n` (the GAPBS `-urand` input).
+pub fn uniform(n: u32, m: u64, seed: u64) -> EdgeList {
+    assert!(n > 1, "need at least two vertices");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let edges = (0..m)
+        .map(|_| (rng.random_range(0..n), rng.random_range(0..n)))
+        .collect();
+    EdgeList { n, edges }
+}
+
+/// Generates a power-law graph: edge destinations drawn Zipf(θ) over the
+/// vertex set, sources uniform. θ near 0.9 yields the hub-dominated
+/// degree distribution of social graphs like Twitter.
+pub fn power_law(n: u32, m: u64, theta: f64, seed: u64) -> EdgeList {
+    assert!(n > 1, "need at least two vertices");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let zipf = Zipf::new(n as u64, theta);
+    let edges = (0..m)
+        .map(|_| {
+            let src = rng.random_range(0..n);
+            let dst = zipf.sample(&mut rng) as u32;
+            (src, dst)
+        })
+        .collect();
+    EdgeList { n, edges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn degree_counts(el: &EdgeList) -> Vec<u32> {
+        let mut deg = vec![0u32; el.n as usize];
+        for &(_, d) in &el.edges {
+            deg[d as usize] += 1;
+        }
+        deg
+    }
+
+    #[test]
+    fn kronecker_shape() {
+        let g = kronecker(10, 8, 1);
+        assert_eq!(g.n, 1024);
+        assert_eq!(g.edges.len(), 8192);
+        assert!(g.edges.iter().all(|&(s, d)| s < g.n && d < g.n));
+    }
+
+    #[test]
+    fn kronecker_is_skewed() {
+        let g = kronecker(12, 16, 2);
+        let mut deg = degree_counts(&g);
+        deg.sort_unstable_by(|a, b| b.cmp(a));
+        let top1pct: u64 = deg[..deg.len() / 100].iter().map(|&d| d as u64).sum();
+        let total: u64 = deg.iter().map(|&d| d as u64).sum();
+        assert!(
+            top1pct as f64 / total as f64 > 0.10,
+            "R-MAT should concentrate degree: top1% holds {top1pct}/{total}"
+        );
+    }
+
+    #[test]
+    fn uniform_is_not_skewed() {
+        let g = uniform(4096, 65_536, 3);
+        let deg = degree_counts(&g);
+        let max = *deg.iter().max().unwrap();
+        assert!(max < 64, "uniform max degree should be modest, got {max}");
+    }
+
+    #[test]
+    fn power_law_has_hubs() {
+        let g = power_law(4096, 65_536, 0.9, 4);
+        let deg = degree_counts(&g);
+        let max = *deg.iter().max().unwrap() as u64;
+        let total: u64 = deg.iter().map(|&d| d as u64).sum();
+        assert!(
+            max as f64 / total as f64 > 0.01,
+            "hub should absorb >1% of edges, got {max}/{total}"
+        );
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(kronecker(8, 4, 7).edges, kronecker(8, 4, 7).edges);
+        assert_eq!(uniform(100, 500, 7).edges, uniform(100, 500, 7).edges);
+        assert_eq!(
+            power_law(100, 500, 0.8, 7).edges,
+            power_law(100, 500, 0.8, 7).edges
+        );
+    }
+}

@@ -1,0 +1,260 @@
+//! Masim: the memory-access-pattern microbenchmark from Linux's DAMON
+//! subsystem, extended (as in the paper's §3) with precisely controlled
+//! sequential and pointer-chasing threads.
+
+use std::collections::VecDeque;
+
+use pact_tiersim::{Access, AccessStream, Region, Workload, LINE_BYTES};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use crate::common::{stream_rng, BufferedStream, Generator, LayoutBuilder};
+
+/// Access pattern of one Masim thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MasimPattern {
+    /// Linear array traversal: independent loads, prefetch-friendly.
+    Sequential,
+    /// Uniform-random pointer chase: each load's address depends on the
+    /// previous load (serialized, MLP ≈ 1).
+    RandomChase,
+    /// Uniform-random independent loads (high MLP, no spatial locality).
+    RandomIndependent,
+}
+
+/// One Masim thread: a pattern over a private buffer.
+#[derive(Debug, Clone, Copy)]
+pub struct MasimThread {
+    /// The pattern this thread executes.
+    pub pattern: MasimPattern,
+    /// Private buffer size in bytes.
+    pub buffer_bytes: u64,
+    /// Loads to execute.
+    pub loads: u64,
+    /// Compute cycles between loads.
+    pub work: u16,
+}
+
+/// The Masim workload: a set of pattern threads over disjoint buffers.
+///
+/// The paper's Figure 1a configuration is [`Masim::figure1`]: one
+/// sequential and one pointer-chasing read-only thread with uniform page
+/// access probability and equal load counts, which bifurcates PAC (~low
+/// for sequential, ~higher for random) despite identical frequencies.
+#[derive(Debug, Clone)]
+pub struct Masim {
+    name: String,
+    threads: Vec<MasimThread>,
+    starts: Vec<u64>,
+    footprint: u64,
+    regions: Vec<Region>,
+    seed: u64,
+}
+
+impl Masim {
+    /// Builds a Masim instance from explicit thread specs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is empty or any buffer is smaller than a line.
+    pub fn new(name: impl Into<String>, threads: Vec<MasimThread>, seed: u64) -> Self {
+        assert!(!threads.is_empty(), "Masim needs at least one thread");
+        let mut lb = LayoutBuilder::new();
+        let mut starts = Vec::new();
+        for (i, t) in threads.iter().enumerate() {
+            assert!(t.buffer_bytes >= LINE_BYTES, "buffer too small");
+            starts.push(lb.region(format!("masim_buf{i}"), t.buffer_bytes));
+        }
+        let (footprint, regions) = lb.finish();
+        Self {
+            name: name.into(),
+            threads,
+            starts,
+            footprint,
+            regions,
+            seed,
+        }
+    }
+
+    /// The paper's Figure 1a setup, scaled: one sequential and one
+    /// pointer-chasing thread, each issuing `loads` loads over
+    /// `buffer_bytes` of private memory.
+    pub fn figure1(buffer_bytes: u64, loads: u64, seed: u64) -> Self {
+        let mk = |pattern| MasimThread {
+            pattern,
+            buffer_bytes,
+            loads,
+            work: 2,
+        };
+        Self::new(
+            "masim",
+            vec![mk(MasimPattern::Sequential), mk(MasimPattern::RandomChase)],
+            seed,
+        )
+    }
+
+    /// A single-pattern Masim process (used by the colocation study of
+    /// Figure 12, which pits a sequential process against a random one).
+    pub fn single(
+        name: impl Into<String>,
+        pattern: MasimPattern,
+        buffer_bytes: u64,
+        loads: u64,
+        seed: u64,
+    ) -> Self {
+        Self::new(
+            name,
+            vec![MasimThread {
+                pattern,
+                buffer_bytes,
+                loads,
+                work: 2,
+            }],
+            seed,
+        )
+    }
+}
+
+impl Workload for Masim {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        self.footprint
+    }
+
+    fn regions(&self) -> Vec<Region> {
+        self.regions.clone()
+    }
+
+    fn streams(&self) -> Vec<Box<dyn AccessStream + '_>> {
+        self.threads
+            .iter()
+            .zip(&self.starts)
+            .enumerate()
+            .map(|(i, (t, &start))| {
+                let gen = MasimGen {
+                    spec: *t,
+                    start,
+                    lines: t.buffer_bytes / LINE_BYTES,
+                    cursor: 0,
+                    emitted: 0,
+                    rng: stream_rng(self.seed, i as u64),
+                };
+                Box::new(BufferedStream::new(gen)) as Box<dyn AccessStream + '_>
+            })
+            .collect()
+    }
+}
+
+struct MasimGen {
+    spec: MasimThread,
+    start: u64,
+    lines: u64,
+    cursor: u64,
+    emitted: u64,
+    rng: StdRng,
+}
+
+impl Generator for MasimGen {
+    fn refill(&mut self, out: &mut VecDeque<Access>) -> bool {
+        if self.emitted >= self.spec.loads {
+            return false;
+        }
+        // Emit a small batch per refill to amortize dispatch.
+        let batch = (self.spec.loads - self.emitted).min(64);
+        for _ in 0..batch {
+            let a = match self.spec.pattern {
+                MasimPattern::Sequential => {
+                    let line = self.cursor % self.lines;
+                    self.cursor += 1;
+                    Access::load(self.start + line * LINE_BYTES)
+                }
+                MasimPattern::RandomChase => {
+                    let line = self.rng.random_range(0..self.lines);
+                    Access::dependent_load(self.start + line * LINE_BYTES)
+                }
+                MasimPattern::RandomIndependent => {
+                    let line = self.rng.random_range(0..self.lines);
+                    Access::load(self.start + line * LINE_BYTES)
+                }
+            };
+            out.push_back(a.with_work(self.spec.work));
+        }
+        self.emitted += batch;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pact_tiersim::PAGE_BYTES;
+
+    fn drain(w: &Masim) -> Vec<Vec<Access>> {
+        w.streams()
+            .into_iter()
+            .map(|mut s| {
+                let mut v = Vec::new();
+                while let Some(a) = s.next_access() {
+                    v.push(a);
+                }
+                v
+            })
+            .collect()
+    }
+
+    #[test]
+    fn figure1_has_two_equal_threads() {
+        let w = Masim::figure1(1 << 20, 1000, 7);
+        let t = drain(&w);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].len(), 1000);
+        assert_eq!(t[1].len(), 1000);
+        // Thread 0 sequential: consecutive lines, independent.
+        assert!(t[0].iter().all(|a| !a.dep));
+        assert_eq!(t[0][1].vaddr - t[0][0].vaddr, LINE_BYTES);
+        // Thread 1 chase: dependent.
+        assert!(t[1].iter().all(|a| a.dep));
+    }
+
+    #[test]
+    fn buffers_are_disjoint() {
+        let w = Masim::figure1(1 << 20, 500, 7);
+        let t = drain(&w);
+        let max0 = t[0].iter().map(|a| a.vaddr).max().unwrap();
+        let min1 = t[1].iter().map(|a| a.vaddr).min().unwrap();
+        assert!(max0 < 1 << 20);
+        assert!(min1 >= 1 << 20);
+        assert!(w.footprint_bytes() >= 2 << 20);
+    }
+
+    #[test]
+    fn streams_replay_identically() {
+        let w = Masim::figure1(1 << 18, 300, 3);
+        assert_eq!(drain(&w), drain(&w));
+    }
+
+    #[test]
+    fn uniform_page_coverage_of_chase() {
+        let w = Masim::single("m", MasimPattern::RandomChase, 64 * PAGE_BYTES, 20_000, 5);
+        let t = drain(&w);
+        let mut counts = vec![0u32; 64];
+        for a in &t[0] {
+            counts[(a.vaddr / PAGE_BYTES) as usize] += 1;
+        }
+        // Uniform probability: every page touched, no page dominant.
+        assert!(counts.iter().all(|&c| c > 0));
+        let max = *counts.iter().max().unwrap() as f64;
+        let min = *counts.iter().min().unwrap() as f64;
+        assert!(max / min < 3.0, "max {max} min {min}");
+    }
+
+    #[test]
+    fn regions_cover_footprint() {
+        let w = Masim::figure1(1 << 20, 10, 1);
+        let total: u64 = w.regions().iter().map(|r| r.bytes).sum();
+        assert_eq!(total, w.footprint_bytes());
+    }
+}

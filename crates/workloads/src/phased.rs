@@ -1,0 +1,330 @@
+//! Parameterized phased synthetic workloads.
+//!
+//! These drive the paper's two model-validation studies: the 96-workload
+//! sweep behind Figure 2 (per-tier stall modelling) and the MLP
+//! phase-stability traces of Figure 3. Each workload is a sequence of
+//! phases with a chosen access pattern, working-set size, dependence
+//! ratio, and compute density; sweeping those axes produces a family of
+//! workloads spanning MLP ≈ 1 (pure chase) to MLP ≈ MSHRs (pure random
+//! streaming).
+
+use std::collections::VecDeque;
+
+use pact_tiersim::{Access, AccessStream, Region, Workload, LINE_BYTES};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use crate::common::{stream_rng, BufferedStream, Generator, LayoutBuilder};
+
+/// Access pattern of one phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PhasePattern {
+    /// Linear scan (prefetch-friendly, independent).
+    Stream,
+    /// Uniform-random independent loads.
+    RandomIndependent,
+    /// Uniform-random dependent loads (pointer chase).
+    Chase,
+    /// Random loads with the given fraction dependent.
+    Mixed {
+        /// Fraction of loads that are dependent on their predecessor.
+        dep_fraction: f64,
+    },
+}
+
+/// One phase of execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Phase {
+    /// Pattern during the phase.
+    pub pattern: PhasePattern,
+    /// Loads in the phase.
+    pub loads: u64,
+    /// Compute cycles between loads.
+    pub work: u16,
+    /// Fraction of the buffer the phase touches (working set), in (0, 1].
+    pub working_set: f64,
+}
+
+/// A synthetic workload executing a fixed sequence of phases over one
+/// buffer.
+#[derive(Debug, Clone)]
+pub struct Phased {
+    name: String,
+    buffer_bytes: u64,
+    phases: Vec<Phase>,
+    repeat: u32,
+    footprint: u64,
+    regions: Vec<Region>,
+    seed: u64,
+}
+
+impl Phased {
+    /// Builds a phased workload cycling through `phases` `repeat` times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is empty, the buffer is smaller than a line, or
+    /// a working set is outside `(0, 1]`.
+    pub fn new(
+        name: impl Into<String>,
+        buffer_bytes: u64,
+        phases: Vec<Phase>,
+        repeat: u32,
+        seed: u64,
+    ) -> Self {
+        assert!(!phases.is_empty(), "need at least one phase");
+        assert!(buffer_bytes >= LINE_BYTES, "buffer too small");
+        for p in &phases {
+            assert!(
+                p.working_set > 0.0 && p.working_set <= 1.0,
+                "working_set must be in (0, 1]"
+            );
+        }
+        let mut lb = LayoutBuilder::new();
+        lb.region("phased_buf", buffer_bytes);
+        let (footprint, regions) = lb.finish();
+        Self {
+            name: name.into(),
+            buffer_bytes,
+            phases,
+            repeat,
+            footprint,
+            regions,
+            seed,
+        }
+    }
+
+    /// The sweep used for Figure 2: `index` in `0..96` selects a
+    /// combination of dependence ratio (8 steps), compute density
+    /// (4 steps), and working-set size (3 steps).
+    pub fn sweep_variant(index: usize, buffer_bytes: u64, loads: u64, seed: u64) -> Phased {
+        assert!(index < 96, "sweep has 96 variants");
+        let dep_step = index % 8;
+        let work_step = (index / 8) % 4;
+        let ws_step = index / 32;
+        let dep_fraction = dep_step as f64 / 7.0;
+        let work = [0u16, 4, 12, 32][work_step];
+        let working_set = [0.25, 0.5, 1.0][ws_step];
+        let pattern = if dep_fraction == 0.0 {
+            PhasePattern::RandomIndependent
+        } else if dep_fraction >= 1.0 {
+            PhasePattern::Chase
+        } else {
+            PhasePattern::Mixed { dep_fraction }
+        };
+        Phased::new(
+            format!("sweep{index:02}"),
+            buffer_bytes,
+            vec![Phase {
+                pattern,
+                loads,
+                work,
+                working_set,
+            }],
+            1,
+            seed.wrapping_add(index as u64),
+        )
+    }
+
+    /// The Figure 3 trace: alternating streaming and chasing phases, so
+    /// MLP is stable within phases and shifts across them.
+    pub fn mlp_phases(buffer_bytes: u64, loads_per_phase: u64, phase_pairs: u32, seed: u64) -> Phased {
+        Phased::new(
+            "mlp-phases",
+            buffer_bytes,
+            vec![
+                Phase {
+                    // Streaming: prefetch-covered, so the Little's-law
+                    // estimate (which counts prefetch bytes) overshoots.
+                    pattern: PhasePattern::Stream,
+                    loads: loads_per_phase,
+                    work: 2,
+                    working_set: 1.0,
+                },
+                Phase {
+                    pattern: PhasePattern::RandomIndependent,
+                    loads: loads_per_phase,
+                    work: 2,
+                    working_set: 1.0,
+                },
+                Phase {
+                    pattern: PhasePattern::Chase,
+                    loads: loads_per_phase / 4, // chase is ~4x slower per load
+                    work: 2,
+                    working_set: 1.0,
+                },
+            ],
+            phase_pairs,
+            seed,
+        )
+    }
+}
+
+impl Workload for Phased {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        self.footprint
+    }
+
+    fn regions(&self) -> Vec<Region> {
+        self.regions.clone()
+    }
+
+    fn streams(&self) -> Vec<Box<dyn AccessStream + '_>> {
+        let gen = PhasedGen {
+            lines: self.buffer_bytes / LINE_BYTES,
+            phases: self.phases.clone(),
+            rounds_left: self.repeat,
+            phase_idx: 0,
+            emitted_in_phase: 0,
+            cursor: 0,
+            rng: stream_rng(self.seed, 0),
+        };
+        vec![Box::new(BufferedStream::new(gen))]
+    }
+}
+
+struct PhasedGen {
+    lines: u64,
+    phases: Vec<Phase>,
+    rounds_left: u32,
+    phase_idx: usize,
+    emitted_in_phase: u64,
+    cursor: u64,
+    rng: StdRng,
+}
+
+impl Generator for PhasedGen {
+    fn refill(&mut self, out: &mut VecDeque<Access>) -> bool {
+        loop {
+            if self.rounds_left == 0 {
+                return false;
+            }
+            let phase = self.phases[self.phase_idx];
+            if self.emitted_in_phase >= phase.loads {
+                self.emitted_in_phase = 0;
+                self.phase_idx += 1;
+                if self.phase_idx == self.phases.len() {
+                    self.phase_idx = 0;
+                    self.rounds_left -= 1;
+                }
+                continue;
+            }
+            let span = ((self.lines as f64 * phase.working_set) as u64).max(1);
+            let batch = (phase.loads - self.emitted_in_phase).min(64);
+            for _ in 0..batch {
+                let (line, dep) = match phase.pattern {
+                    PhasePattern::Stream => {
+                        self.cursor = (self.cursor + 1) % span;
+                        (self.cursor, false)
+                    }
+                    PhasePattern::RandomIndependent => (self.rng.random_range(0..span), false),
+                    PhasePattern::Chase => (self.rng.random_range(0..span), true),
+                    PhasePattern::Mixed { dep_fraction } => (
+                        self.rng.random_range(0..span),
+                        self.rng.random::<f64>() < dep_fraction,
+                    ),
+                };
+                let mut a = Access::load(line * LINE_BYTES).with_work(phase.work);
+                a.dep = dep;
+                out.push_back(a);
+            }
+            self.emitted_in_phase += batch;
+            return true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(w: &Phased) -> Vec<Access> {
+        let mut s = w.streams().remove(0);
+        let mut v = Vec::new();
+        while let Some(a) = s.next_access() {
+            v.push(a);
+        }
+        v
+    }
+
+    #[test]
+    fn phase_counts_and_repeat() {
+        let p = Phased::new(
+            "t",
+            1 << 20,
+            vec![
+                Phase {
+                    pattern: PhasePattern::Stream,
+                    loads: 100,
+                    work: 0,
+                    working_set: 1.0,
+                },
+                Phase {
+                    pattern: PhasePattern::Chase,
+                    loads: 50,
+                    work: 0,
+                    working_set: 1.0,
+                },
+            ],
+            3,
+            1,
+        );
+        let t = drain(&p);
+        assert_eq!(t.len(), 3 * 150);
+        // First 100 independent, next 50 dependent.
+        assert!(t[..100].iter().all(|a| !a.dep));
+        assert!(t[100..150].iter().all(|a| a.dep));
+    }
+
+    #[test]
+    fn working_set_bounds_addresses() {
+        let p = Phased::new(
+            "t",
+            1 << 20,
+            vec![Phase {
+                pattern: PhasePattern::RandomIndependent,
+                loads: 5_000,
+                work: 0,
+                working_set: 0.25,
+            }],
+            1,
+            1,
+        );
+        let max_addr = drain(&p).iter().map(|a| a.vaddr).max().unwrap();
+        assert!(max_addr < (1 << 20) / 4);
+    }
+
+    #[test]
+    fn sweep_variants_are_distinct_and_valid() {
+        let a = Phased::sweep_variant(0, 1 << 20, 100, 1);
+        let b = Phased::sweep_variant(95, 1 << 20, 100, 1);
+        assert_ne!(a.name(), b.name());
+        assert!(drain(&a).iter().all(|x| !x.dep));
+        assert!(drain(&b).iter().all(|x| x.dep));
+    }
+
+    #[test]
+    #[should_panic(expected = "96")]
+    fn sweep_rejects_out_of_range() {
+        Phased::sweep_variant(96, 1 << 20, 100, 1);
+    }
+
+    #[test]
+    fn mlp_phases_alternate() {
+        let p = Phased::mlp_phases(1 << 20, 400, 2, 1);
+        let t = drain(&p);
+        assert_eq!(t.len(), 2 * (400 + 400 + 100));
+        assert!(!t[0].dep);
+        assert!(t[850].dep, "chase phase after stream+random");
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = Phased::sweep_variant(42, 1 << 20, 500, 9);
+        assert_eq!(drain(&p), drain(&p));
+    }
+}

@@ -1,0 +1,393 @@
+//! SPEC CPU 2017-shaped kernels: 603.bwaves_s, 631.deepsjeng_s, and
+//! 657.xz_s.
+//!
+//! Each reproduces the memory *shape* of its SPEC counterpart at
+//! simulation scale: bwaves is a blocked multi-array stencil (pure
+//! streaming, very high MLP), deepsjeng is compute-heavy tree search
+//! with random transposition-table probes, and xz is LZMA-style match
+//! finding mixing a sequential input window with dependent hash-chain
+//! walks.
+
+use std::collections::VecDeque;
+
+use pact_tiersim::{Access, AccessStream, Region, Workload, LINE_BYTES};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use crate::common::{stream_rng, BufferedStream, Generator, InitPhase, LayoutBuilder};
+
+// --- 603.bwaves ---------------------------------------------------------
+
+/// A bwaves-shaped stencil: per sweep, read three neighbor elements from
+/// each of several input grids and write one output grid, row by row.
+#[derive(Debug, Clone)]
+pub struct Bwaves {
+    grid_bytes: u64,
+    sweeps: u32,
+    grids: Vec<u64>,
+    out_base: u64,
+    footprint: u64,
+    regions: Vec<Region>,
+}
+
+impl Bwaves {
+    /// Builds a stencil over four input grids of `grid_bytes` each plus
+    /// an output grid, swept `sweeps` times.
+    pub fn new(grid_bytes: u64, sweeps: u32) -> Self {
+        assert!(grid_bytes >= LINE_BYTES);
+        let mut lb = LayoutBuilder::new();
+        let grids: Vec<u64> = (0..4)
+            .map(|i| lb.region(format!("grid{i}"), grid_bytes))
+            .collect();
+        let out_base = lb.region("grid_out", grid_bytes);
+        let (footprint, regions) = lb.finish();
+        Self {
+            grid_bytes,
+            sweeps,
+            grids,
+            out_base,
+            footprint,
+            regions,
+        }
+    }
+
+    /// The paper-suite configuration (~40 MiB, 3 sweeps).
+    pub fn paper_scale() -> Self {
+        Self::new(8 << 20, 3)
+    }
+}
+
+impl Workload for Bwaves {
+    fn name(&self) -> String {
+        "603.bwaves".into()
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        self.footprint
+    }
+
+    fn regions(&self) -> Vec<Region> {
+        self.regions.clone()
+    }
+
+    fn streams(&self) -> Vec<Box<dyn AccessStream + '_>> {
+        vec![Box::new(BufferedStream::new(BwavesGen {
+            wl: self,
+            sweep: 0,
+            cursor: 0,
+        }))]
+    }
+}
+
+struct BwavesGen<'w> {
+    wl: &'w Bwaves,
+    sweep: u32,
+    cursor: u64,
+}
+
+impl Generator for BwavesGen<'_> {
+    fn refill(&mut self, out: &mut VecDeque<Access>) -> bool {
+        if self.sweep >= self.wl.sweeps {
+            return false;
+        }
+        // One refill = one line across all grids.
+        let line = self.cursor;
+        for &g in &self.wl.grids {
+            out.push_back(Access::load(g + line * LINE_BYTES).with_work(5));
+        }
+        out.push_back(Access::store(self.wl.out_base + line * LINE_BYTES));
+        self.cursor += 1;
+        if self.cursor * LINE_BYTES >= self.wl.grid_bytes {
+            self.cursor = 0;
+            self.sweep += 1;
+        }
+        true
+    }
+}
+
+// --- 631.deepsjeng ------------------------------------------------------
+
+/// A deepsjeng-shaped game-tree search: heavy compute on a small hot
+/// state with random transposition-table probes and occasional stores.
+#[derive(Debug, Clone)]
+pub struct Deepsjeng {
+    tt_bytes: u64,
+    nodes: u64,
+    threads: usize,
+    tt_base: u64,
+    stack_base: u64,
+    footprint: u64,
+    regions: Vec<Region>,
+    seed: u64,
+}
+
+impl Deepsjeng {
+    /// Builds a search over a `tt_bytes` transposition table, visiting
+    /// `nodes` tree nodes across `threads` threads.
+    pub fn new(tt_bytes: u64, nodes: u64, threads: usize, seed: u64) -> Self {
+        assert!(tt_bytes >= LINE_BYTES && threads > 0);
+        let mut lb = LayoutBuilder::new();
+        let tt_base = lb.region("transposition_table", tt_bytes);
+        let stack_base = lb.region("search_stack", 1 << 20);
+        let (footprint, regions) = lb.finish();
+        Self {
+            tt_bytes,
+            nodes,
+            threads,
+            tt_base,
+            stack_base,
+            footprint,
+            regions,
+            seed,
+        }
+    }
+
+    /// The paper-suite configuration (~24 MiB table).
+    pub fn paper_scale(nodes: u64, seed: u64) -> Self {
+        Self::new(24 << 20, nodes, 4, seed)
+    }
+}
+
+impl Workload for Deepsjeng {
+    fn name(&self) -> String {
+        "631.deepsjeng".into()
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        self.footprint
+    }
+
+    fn regions(&self) -> Vec<Region> {
+        self.regions.clone()
+    }
+
+    /// Transposition-table allocation.
+    fn prologue(&self) -> Option<Box<dyn AccessStream + '_>> {
+        Some(InitPhase::new().zero(self.tt_base, self.tt_bytes).into_stream())
+    }
+
+    fn streams(&self) -> Vec<Box<dyn AccessStream + '_>> {
+        let per_thread = self.nodes / self.threads as u64;
+        (0..self.threads)
+            .map(|i| {
+                Box::new(BufferedStream::new(DeepsjengGen {
+                    wl: self,
+                    remaining: per_thread,
+                    depth: 0,
+                    rng: stream_rng(self.seed, i as u64),
+                })) as Box<dyn AccessStream + '_>
+            })
+            .collect()
+    }
+}
+
+struct DeepsjengGen<'w> {
+    wl: &'w Deepsjeng,
+    remaining: u64,
+    depth: u64,
+    rng: StdRng,
+}
+
+impl Generator for DeepsjengGen<'_> {
+    fn refill(&mut self, out: &mut VecDeque<Access>) -> bool {
+        if self.remaining == 0 {
+            return false;
+        }
+        self.remaining -= 1;
+        let wl = self.wl;
+        // Evaluate a node: lots of compute over the (cache-hot) stack.
+        self.depth = (self.depth + 1) % 64;
+        out.push_back(Access::load(wl.stack_base + self.depth * LINE_BYTES).with_work(60));
+        // Transposition-table probe: random line, address from hash
+        // (independent), verify+maybe store.
+        let lines = wl.tt_bytes / LINE_BYTES;
+        let probe = self.rng.random_range(0..lines);
+        out.push_back(Access::load(wl.tt_base + probe * LINE_BYTES).with_work(20));
+        if self.rng.random::<f64>() < 0.3 {
+            out.push_back(Access::store(wl.tt_base + probe * LINE_BYTES));
+        }
+        true
+    }
+}
+
+// --- 657.xz --------------------------------------------------------------
+
+/// An xz-shaped LZMA match finder: sequential input scan, random hash
+/// head lookups, and dependent hash-chain walks through the history
+/// window.
+#[derive(Debug, Clone)]
+pub struct Xz {
+    window_bytes: u64,
+    input_bytes: u64,
+    window_base: u64,
+    hash_base: u64,
+    input_base: u64,
+    hash_entries: u64,
+    footprint: u64,
+    regions: Vec<Region>,
+    seed: u64,
+}
+
+impl Xz {
+    /// Builds a compressor with a `window_bytes` history window over
+    /// `input_bytes` of input.
+    pub fn new(window_bytes: u64, input_bytes: u64, seed: u64) -> Self {
+        assert!(window_bytes >= LINE_BYTES && input_bytes >= LINE_BYTES);
+        let hash_entries = (window_bytes / 32).next_power_of_two();
+        let mut lb = LayoutBuilder::new();
+        let window_base = lb.region("history_window", window_bytes);
+        let hash_base = lb.region("hash_chains", hash_entries * 8);
+        let input_base = lb.region("input", input_bytes);
+        let (footprint, regions) = lb.finish();
+        Self {
+            window_bytes,
+            input_bytes,
+            window_base,
+            hash_base,
+            input_base,
+            hash_entries,
+            footprint,
+            regions,
+            seed,
+        }
+    }
+
+    /// The paper-suite configuration (~48 MiB).
+    pub fn paper_scale(seed: u64) -> Self {
+        Self::new(24 << 20, 16 << 20, seed)
+    }
+}
+
+impl Workload for Xz {
+    fn name(&self) -> String {
+        "657.xz".into()
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        self.footprint
+    }
+
+    fn regions(&self) -> Vec<Region> {
+        self.regions.clone()
+    }
+
+    /// Input buffering: the file is read into memory first.
+    fn prologue(&self) -> Option<Box<dyn AccessStream + '_>> {
+        Some(
+            InitPhase::new()
+                .zero(self.input_base, self.input_bytes)
+                .into_stream(),
+        )
+    }
+
+    fn streams(&self) -> Vec<Box<dyn AccessStream + '_>> {
+        vec![Box::new(BufferedStream::new(XzGen {
+            wl: self,
+            cursor: 0,
+            rng: stream_rng(self.seed, 0),
+        }))]
+    }
+}
+
+struct XzGen<'w> {
+    wl: &'w Xz,
+    cursor: u64,
+    rng: StdRng,
+}
+
+impl Generator for XzGen<'_> {
+    fn refill(&mut self, out: &mut VecDeque<Access>) -> bool {
+        let wl = self.wl;
+        if self.cursor * LINE_BYTES >= wl.input_bytes {
+            return false;
+        }
+        // Read the next input line (sequential).
+        out.push_back(Access::load(wl.input_base + self.cursor * LINE_BYTES).with_work(8));
+        // Hash-head lookup (random, independent).
+        let h = self.rng.random_range(0..wl.hash_entries);
+        out.push_back(Access::load(wl.hash_base + h * 8).with_work(4));
+        // Chain walk into the history window: dependent match checks.
+        let walks = 1 + (self.rng.random_range(0..4u32));
+        let window_lines = wl.window_bytes / LINE_BYTES;
+        for _ in 0..walks {
+            let pos = self.rng.random_range(0..window_lines);
+            out.push_back(
+                Access::dependent_load(wl.window_base + pos * LINE_BYTES).with_work(12),
+            );
+        }
+        // Append the line to the history window (store).
+        let wpos = self.cursor % window_lines;
+        out.push_back(Access::store(wl.window_base + wpos * LINE_BYTES));
+        self.cursor += 1;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pact_tiersim::AccessKind;
+
+    fn drain(streams: Vec<Box<dyn AccessStream + '_>>, fp: u64) -> Vec<Access> {
+        let mut all = Vec::new();
+        for mut s in streams {
+            while let Some(a) = s.next_access() {
+                assert!(a.vaddr < fp);
+                all.push(a);
+            }
+        }
+        all
+    }
+
+    #[test]
+    fn bwaves_is_pure_streaming() {
+        let w = Bwaves::new(1 << 20, 2);
+        let t = drain(w.streams(), w.footprint_bytes());
+        assert!(t.iter().all(|a| !a.dep));
+        let stores = t.iter().filter(|a| a.kind == AccessKind::Store).count();
+        let loads = t.len() - stores;
+        assert_eq!(loads, 4 * stores); // 4 reads per write
+    }
+
+    #[test]
+    fn bwaves_sweeps_whole_grids() {
+        let w = Bwaves::new(1 << 18, 1);
+        let t = drain(w.streams(), w.footprint_bytes());
+        let lines = (1 << 18) / LINE_BYTES;
+        assert_eq!(t.len() as u64, lines * 5);
+    }
+
+    #[test]
+    fn deepsjeng_is_compute_heavy() {
+        let w = Deepsjeng::new(1 << 20, 1_000, 2, 1);
+        let t = drain(w.streams(), w.footprint_bytes());
+        let avg_work: f64 =
+            t.iter().map(|a| a.work as f64).sum::<f64>() / t.len() as f64;
+        assert!(avg_work > 20.0, "avg work {avg_work}");
+    }
+
+    #[test]
+    fn xz_mixes_patterns() {
+        let w = Xz::new(1 << 20, 1 << 18, 2);
+        let t = drain(w.streams(), w.footprint_bytes());
+        let deps = t.iter().filter(|a| a.dep).count();
+        let stores = t.iter().filter(|a| a.kind == AccessKind::Store).count();
+        assert!(deps > 1_000);
+        assert!(stores > 1_000);
+        assert!(t.len() > 4 * stores); // loads dominate
+    }
+
+    #[test]
+    fn all_are_deterministic() {
+        let w = Xz::new(1 << 18, 1 << 16, 3);
+        assert_eq!(
+            drain(w.streams(), w.footprint_bytes()),
+            drain(w.streams(), w.footprint_bytes())
+        );
+        let d = Deepsjeng::new(1 << 18, 500, 2, 3);
+        assert_eq!(
+            drain(d.streams(), d.footprint_bytes()).len(),
+            drain(d.streams(), d.footprint_bytes()).len()
+        );
+    }
+}

@@ -1,0 +1,141 @@
+//! Property and conformance tests over the whole workload suite.
+
+use pact_tiersim::{AccessKind, Workload};
+use pact_workloads::suite::{build, Scale, SUITE};
+use proptest::prelude::*;
+
+fn all_names() -> Vec<&'static str> {
+    let mut v = SUITE.to_vec();
+    v.push("masim");
+    v.push("gups");
+    v
+}
+
+/// Every emitted access of every stream (prologue included) stays
+/// within the declared footprint.
+#[test]
+fn all_accesses_stay_in_bounds() {
+    for name in all_names() {
+        let wl = build(name, Scale::Smoke, 3);
+        let fp = wl.footprint_bytes();
+        let mut streams = Vec::new();
+        if let Some(p) = wl.prologue() {
+            streams.push(p);
+        }
+        streams.extend(wl.streams());
+        let mut total = 0u64;
+        for mut s in streams {
+            while let Some(a) = s.next_access() {
+                assert!(a.vaddr < fp, "{name}: {:#x} >= footprint {fp:#x}", a.vaddr);
+                total += 1;
+            }
+        }
+        assert!(total > 100, "{name}: suspiciously few accesses ({total})");
+    }
+}
+
+/// `streams()` returns fresh, identical iterators on each call — the
+/// property the DRAM-baseline/policy-run comparison depends on.
+#[test]
+fn streams_are_replayable() {
+    for name in all_names() {
+        let wl = build(name, Scale::Smoke, 5);
+        let collect = || -> Vec<(u64, u64)> {
+            // (count, xor-hash of addresses) per stream
+            wl.streams()
+                .into_iter()
+                .map(|mut s| {
+                    let mut n = 0u64;
+                    let mut h = 0u64;
+                    while let Some(a) = s.next_access() {
+                        n += 1;
+                        h ^= a.vaddr.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(7);
+                    }
+                    (n, h)
+                })
+                .collect()
+        };
+        assert_eq!(collect(), collect(), "{name} replays differ");
+    }
+}
+
+/// Prologues only load existing data or populate regions with stores;
+/// they never emit dependent loads (initialization is streaming).
+#[test]
+fn prologues_are_streaming() {
+    for name in all_names() {
+        let wl = build(name, Scale::Smoke, 7);
+        let Some(mut p) = wl.prologue() else { continue };
+        while let Some(a) = p.next_access() {
+            assert!(!a.dep, "{name}: dependent access in prologue");
+        }
+    }
+}
+
+/// Different seeds produce different (but equally sized) graph inputs
+/// for the randomized workloads.
+#[test]
+fn seeds_change_content_not_shape() {
+    let a = build("bc-kron", Scale::Smoke, 1);
+    let b = build("bc-kron", Scale::Smoke, 2);
+    // Footprints match to within a few percent (edge dedup varies the
+    // neighbor-array length slightly across seeds).
+    let (fa, fb) = (a.footprint_bytes() as f64, b.footprint_bytes() as f64);
+    assert!((fa / fb - 1.0).abs() < 0.05, "footprints {fa} vs {fb}");
+    let first = |wl: &dyn Workload| {
+        let mut s = wl.streams();
+        let mut v = Vec::new();
+        for _ in 0..2_000 {
+            match s[0].next_access() {
+                Some(x) => v.push(x.vaddr),
+                None => break,
+            }
+        }
+        v
+    };
+    assert_ne!(first(a.as_ref()), first(b.as_ref()));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The YCSB mix parameter controls the store fraction as documented.
+    #[test]
+    fn kvstore_mix_controls_writes(seed in any::<u64>()) {
+        use pact_workloads::{KvStore, YcsbMix};
+        let frac = |mix: YcsbMix| {
+            let wl = KvStore::new(2_000, 128, 3_000, 1, mix, seed);
+            let mut s = wl.streams();
+            let mut stores = 0usize;
+            let mut total = 0usize;
+            while let Some(a) = s[0].next_access() {
+                total += 1;
+                if a.kind == AccessKind::Store {
+                    stores += 1;
+                }
+            }
+            stores as f64 / total as f64
+        };
+        let a = frac(YcsbMix::A);
+        let b = frac(YcsbMix::B);
+        let c = frac(YcsbMix::C);
+        prop_assert!(a > b && b > c, "A {a:.2} B {b:.2} C {c:.2}");
+        prop_assert_eq!(c, 0.0);
+    }
+
+    /// Masim chase threads emit only dependent loads over their own
+    /// buffer regardless of configuration.
+    #[test]
+    fn masim_chase_is_fully_dependent(loads in 100u64..5_000, seed in any::<u64>()) {
+        use pact_workloads::{Masim, MasimPattern};
+        let wl = Masim::single("m", MasimPattern::RandomChase, 1 << 20, loads, seed);
+        let mut s = wl.streams();
+        let mut n = 0;
+        while let Some(a) = s[0].next_access() {
+            prop_assert!(a.dep);
+            prop_assert!(a.vaddr < 1 << 20);
+            n += 1;
+        }
+        prop_assert_eq!(n, loads);
+    }
+}

@@ -1,0 +1,6 @@
+//! Umbrella crate: see `examples/` and `tests/`. Re-exports the workspace crates.
+pub use pact_baselines as baselines;
+pub use pact_core as core;
+pub use pact_stats as stats;
+pub use pact_tiersim as tiersim;
+pub use pact_workloads as workloads;
