@@ -1,0 +1,36 @@
+#!/usr/bin/env sh
+# Offline CI gate: format, lint, build, and the tier-1 test suite.
+#
+# The workspace is fully hermetic — `rand`, `proptest`, and `criterion`
+# are replaced by in-repo implementations (crates/stats/src/rng.rs and
+# vendor/) — so this script must pass with no network access:
+#
+#     CARGO_NET_OFFLINE=true ci/run.sh
+#
+# PACT_JOBS is pinned so sweep-shaped tests exercise the parallel
+# executor deterministically regardless of the runner's core count.
+set -eu
+
+cd "$(dirname "$0")/.."
+export CARGO_NET_OFFLINE="${CARGO_NET_OFFLINE:-true}"
+export PACT_JOBS="${PACT_JOBS:-4}"
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "==> full workspace tests"
+cargo test --workspace -q
+
+echo "==> sweep perf probe (records BENCH_sweep.json)"
+cargo run --release -p pact-bench --bin probe_sweep
+
+echo "CI OK"

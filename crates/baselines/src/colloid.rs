@@ -11,9 +11,7 @@
 
 use std::collections::VecDeque;
 
-use pact_tiersim::{
-    MachineInfo, PageId, PolicyCtx, SampleEvent, Tier, TieringPolicy, WindowStats,
-};
+use pact_tiersim::{MachineInfo, PageId, PolicyCtx, SampleEvent, Tier, TieringPolicy, WindowStats};
 
 use crate::common::demote_to_watermark;
 
@@ -167,7 +165,9 @@ mod tests {
         let mut x = 17u64;
         for _ in 0..n {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(3);
-            trace.push(Access::dependent_load((x % pages) * PAGE_BYTES + ((x >> 40) % 64) * 64));
+            trace.push(Access::dependent_load(
+                (x % pages) * PAGE_BYTES + ((x >> 40) % 64) * 64,
+            ));
         }
         TraceWorkload::new("chase", pages * PAGE_BYTES, trace)
     }
@@ -229,11 +229,10 @@ mod tests {
         let r_full = m.run(&chase_trace(1024, 200_000), &mut full);
         let mut scaled = Colloid::new();
         scaled.set_rate_scale(0.01); // budget ~10/window, below arrival rate
-        // rate_scale is reset-safe: prepare() does not clear it.
+                                     // rate_scale is reset-safe: prepare() does not clear it.
         let r_scaled = m.run(&chase_trace(1024, 200_000), &mut scaled);
-        let peak = |r: &pact_tiersim::RunReport| {
-            r.windows.iter().map(|w| w.promotions).max().unwrap_or(0)
-        };
+        let peak =
+            |r: &pact_tiersim::RunReport| r.windows.iter().map(|w| w.promotions).max().unwrap_or(0);
         assert!(
             peak(&r_scaled) < peak(&r_full),
             "scaled peak {} vs full peak {}",

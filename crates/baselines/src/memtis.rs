@@ -176,7 +176,9 @@ mod tests {
             } else {
                 x % pages
             };
-            trace.push(Access::dependent_load(p * PAGE_BYTES + ((x >> 30) % 64) * 64));
+            trace.push(Access::dependent_load(
+                p * PAGE_BYTES + ((x >> 30) % 64) * 64,
+            ));
         }
         TraceWorkload::new("skewed", pages * PAGE_BYTES, trace)
     }
@@ -214,7 +216,10 @@ mod tests {
     fn memtis_beats_first_touch_on_skew() {
         let m = Machine::new(cfg(150)).unwrap();
         let r_m = m.run(&skewed_trace(1024, 200_000), &mut Memtis::new());
-        let r_ft = m.run(&skewed_trace(1024, 200_000), &mut pact_tiersim::FirstTouch::new());
+        let r_ft = m.run(
+            &skewed_trace(1024, 200_000),
+            &mut pact_tiersim::FirstTouch::new(),
+        );
         assert!(
             r_m.total_cycles < r_ft.total_cycles,
             "memtis {} vs notier {}",

@@ -6,9 +6,7 @@
 //! two-touch filter), rate-limited per window. Demotion is
 //! watermark-driven kernel reclaim from the LRU tail.
 
-use pact_tiersim::{
-    MachineInfo, PolicyCtx, SampleEvent, Tier, TieringPolicy, WindowStats,
-};
+use pact_tiersim::{MachineInfo, PolicyCtx, SampleEvent, Tier, TieringPolicy, WindowStats};
 
 use crate::common::{demote_to_watermark, TwoTouchTracker};
 

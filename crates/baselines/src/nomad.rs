@@ -9,11 +9,8 @@
 //! thousands, not millions) and the shadow copies consume fast-tier
 //! capacity, so the usable fast tier shrinks — slowdowns exceed 100%.
 
-use pact_tiersim::{
-    MachineInfo, PageId, PolicyCtx, SampleEvent, Tier, TieringPolicy, WindowStats,
-};
 use pact_stats::SplitMix64;
-use rand::RngExt;
+use pact_tiersim::{MachineInfo, PageId, PolicyCtx, SampleEvent, Tier, TieringPolicy, WindowStats};
 
 use crate::common::{demote_to_watermark, TwoTouchTracker};
 

@@ -12,7 +12,7 @@
 
 use pact_tiersim::{
     Machine, MachineConfig, MachineInfo, PageId, PebsScope, PolicyCtx, Region, SampleEvent, Tier,
-    TieringPolicy, Workload, WindowStats, PAGE_BYTES,
+    TieringPolicy, WindowStats, Workload, PAGE_BYTES,
 };
 
 /// One profiled object's criticality.
@@ -179,15 +179,17 @@ impl Soar {
 
     fn is_fast(&self, page: PageId) -> bool {
         let p = page.0;
-        self.fast_ranges.binary_search_by(|&(s, e)| {
-            if p < s {
-                std::cmp::Ordering::Greater
-            } else if p >= e {
-                std::cmp::Ordering::Less
-            } else {
-                std::cmp::Ordering::Equal
-            }
-        }).is_ok()
+        self.fast_ranges
+            .binary_search_by(|&(s, e)| {
+                if p < s {
+                    std::cmp::Ordering::Greater
+                } else if p >= e {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .is_ok()
     }
 }
 
@@ -239,7 +241,9 @@ mod tests {
             for _ in 0..150_000 {
                 x = x.wrapping_mul(6364136223846793005).wrapping_add(5);
                 let p = 128 + x % 128;
-                trace.push(Access::dependent_load(p * PAGE_BYTES + ((x >> 40) % 64) * 64));
+                trace.push(Access::dependent_load(
+                    p * PAGE_BYTES + ((x >> 40) % 64) * 64,
+                ));
             }
             vec![Box::new(VecStream::new(trace))]
         }

@@ -13,8 +13,14 @@ fn scenario() -> TraceWorkload {
     let mut x = 5u64;
     for i in 0..200_000u64 {
         x = x.wrapping_mul(6364136223846793005).wrapping_add(i);
-        let page = if !x.is_multiple_of(4) { x % 128 } else { 128 + x % 384 };
-        trace.push(Access::dependent_load(page * PAGE_BYTES + ((x >> 40) % 64) * 64));
+        let page = if !x.is_multiple_of(4) {
+            x % 128
+        } else {
+            128 + x % 384
+        };
+        trace.push(Access::dependent_load(
+            page * PAGE_BYTES + ((x >> 40) % 64) * 64,
+        ));
     }
     TraceWorkload::new("zipfish", 512 * PAGE_BYTES, trace)
 }
@@ -44,7 +50,11 @@ fn names_are_unique_and_stable() {
     let mut dedup = names.clone();
     dedup.sort();
     dedup.dedup();
-    assert_eq!(dedup.len(), names.len(), "duplicate policy names: {names:?}");
+    assert_eq!(
+        dedup.len(),
+        names.len(),
+        "duplicate policy names: {names:?}"
+    );
     assert_eq!(
         names,
         vec!["notier", "nbt", "tpp", "memtis", "colloid", "nomad", "alto"]

@@ -8,8 +8,7 @@ use std::hint::black_box;
 use pact_core::{AdaptiveBins, PacStore, PactConfig};
 use pact_stats::{freedman_diaconis_width, Reservoir, SplitMix64};
 use pact_tiersim::{
-    Access, FirstTouch, Llc, LlcConfig, Machine, MachineConfig, PageId, SpaceSaving,
-    TraceWorkload,
+    Access, FirstTouch, Llc, LlcConfig, Machine, MachineConfig, PageId, SpaceSaving, TraceWorkload,
 };
 use pact_workloads::Zipf;
 
@@ -31,9 +30,7 @@ fn bench_pac_store(c: &mut Criterion) {
                 }
                 store
             },
-            |mut store| {
-                black_box(store.attribute_period(1e6, 1.0, |e| e.period_samples as f64))
-            },
+            |mut store| black_box(store.attribute_period(1e6, 1.0, |e| e.period_samples as f64)),
             criterion::BatchSize::SmallInput,
         );
     });
@@ -85,7 +82,9 @@ fn bench_engine(c: &mut Criterion) {
         let mut x = 1u64;
         for _ in 0..100_000 {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-            trace.push(Access::dependent_load((x % 4_000) * 4096 + ((x >> 40) % 64) * 64));
+            trace.push(Access::dependent_load(
+                (x % 4_000) * 4096 + ((x >> 40) % 64) * 64,
+            ));
         }
         let wl = TraceWorkload::new("chase", 4_000 * 4096, trace);
         let machine = Machine::new(MachineConfig::skylake_cxl(1_000)).unwrap();

@@ -10,19 +10,24 @@
 //! * MSHR count: validates that Equation 1's MLP amortization is an
 //!   emergent property of the substrate, not a tuned constant.
 
+use std::sync::Arc;
+
 use pact_bench::{banner, count, parse_options, pct, save_results, Harness, Table, TierRatio};
 use pact_core::{Attribution, PactConfig, PactPolicy, SamplingSource};
-use pact_tiersim::{FirstTouch, Machine, Tier};
+use pact_tiersim::{FirstTouch, Machine, Tier, Workload};
 use pact_workloads::suite::build;
 
 fn main() {
     let opts = parse_options();
     let ratio = TierRatio::new(1, 2);
     let mut out = String::new();
+    // Every ablation block reuses bc-kron: generate the graph once and
+    // share it across harnesses instead of rebuilding it per block.
+    let bc: Arc<dyn Workload> = Arc::from(build("bc-kron", opts.scale, opts.seed));
 
     // --- m sweep -------------------------------------------------------
     {
-        let mut h = Harness::new(build("bc-kron", opts.scale, opts.seed));
+        let h = Harness::from_arc(bc.clone());
         let fast = ratio.fast_pages(h.workload().footprint_bytes());
         let mut t = Table::new(vec!["m (units)", "slowdown", "promotions", "demotions"]);
         for m in [0u64, 8, 32, 128] {
@@ -46,7 +51,7 @@ fn main() {
 
     // --- reservoir size -------------------------------------------------
     {
-        let mut h = Harness::new(build("bc-kron", opts.scale, opts.seed));
+        let h = Harness::from_arc(bc.clone());
         let fast = ratio.fast_pages(h.workload().footprint_bytes());
         let mut t = Table::new(vec!["reservoir", "slowdown", "promotions"]);
         for size in [25usize, 50, 100, 400, 1600] {
@@ -64,7 +69,7 @@ fn main() {
 
     // --- T_scale ---------------------------------------------------------
     {
-        let mut h = Harness::new(build("bc-kron", opts.scale, opts.seed));
+        let h = Harness::from_arc(bc.clone());
         let fast = ratio.fast_pages(h.workload().footprint_bytes());
         let mut t = Table::new(vec!["t_scale", "slowdown", "promotions"]);
         for ts in [25.0f64, 50.0, 100.0, 400.0] {
@@ -74,7 +79,11 @@ fn main() {
             };
             let mut p = PactPolicy::new(cfg).unwrap();
             let o = h.run_custom(&mut p, fast);
-            t.row(vec![format!("{ts:.0}"), pct(o.slowdown), count(o.promotions)]);
+            t.row(vec![
+                format!("{ts:.0}"),
+                pct(o.slowdown),
+                count(o.promotions),
+            ]);
         }
         out.push_str(&banner("Ablation: scaling target T_scale"));
         out.push_str(&t.render());
@@ -85,7 +94,11 @@ fn main() {
         let mut t = Table::new(vec!["workload", "proportional", "latency-weighted"]);
         for name in ["bc-kron", "silo", "redis"] {
             eprintln!("[ablations] attribution on {name}");
-            let mut h = Harness::new(build(name, opts.scale, opts.seed));
+            let h = if name == "bc-kron" {
+                Harness::from_arc(bc.clone())
+            } else {
+                Harness::new(build(name, opts.scale, opts.seed))
+            };
             let fast = ratio.fast_pages(h.workload().footprint_bytes());
             let mut cells = vec![name.to_string()];
             for attribution in [Attribution::Proportional, Attribution::LatencyWeighted] {
@@ -114,8 +127,7 @@ fn main() {
         ] {
             let mut cfg = pact_bench::experiment_machine(0);
             cfg.chmu_counters = chmu;
-            let mut h =
-                Harness::new(build("bc-kron", opts.scale, opts.seed)).with_machine(cfg);
+            let h = Harness::from_arc(bc.clone()).with_machine(cfg);
             let fast = ratio.fast_pages(h.workload().footprint_bytes());
             let pcfg = PactConfig {
                 sampling,

@@ -7,13 +7,17 @@
 //! the gap to hotness systems should shrink with the latency gap but
 //! the ordering should hold.
 
+use std::sync::Arc;
+
 use pact_bench::{banner, count, parse_options, pct, save_results, Harness, Table, TierRatio};
-use pact_tiersim::MachineConfig;
+use pact_tiersim::{MachineConfig, Workload};
 use pact_workloads::suite::build;
 
 fn main() {
     let opts = parse_options();
     let ratio = TierRatio::new(1, 1);
+    // One graph shared across both latency configurations.
+    let bc: Arc<dyn Workload> = Arc::from(build("bc-kron", opts.scale, opts.seed));
     let mut out = String::new();
     let mut t = Table::new(vec![
         "slow tier",
@@ -26,7 +30,7 @@ fn main() {
         ("CXL 190ns", MachineConfig::skylake_cxl(0)),
         ("NUMA 140ns", MachineConfig::skylake_numa(0)),
     ] {
-        let mut h = Harness::new(build("bc-kron", opts.scale, opts.seed)).with_machine(cfg);
+        let h = Harness::from_arc(bc.clone()).with_machine(cfg);
         let all_slow = h.cxl_slowdown();
         for policy in ["pact", "memtis", "nbt", "colloid", "notier"] {
             let o = h.run_policy(policy, ratio);

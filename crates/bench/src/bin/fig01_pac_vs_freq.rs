@@ -33,7 +33,12 @@ fn main() {
             .store()
             .iter()
             .filter(|(_, e)| e.total_samples > 0 && e.pac > 0.0)
-            .map(|(_, e)| (e.total_samples, e.pac / (e.total_samples * cfg.pebs.rate) as f64))
+            .map(|(_, e)| {
+                (
+                    e.total_samples,
+                    e.pac / (e.total_samples * cfg.pebs.rate) as f64,
+                )
+            })
             .collect();
         pages.sort_by_key(|&(f, _)| f);
         out.push_str(&banner(&format!(
@@ -51,12 +56,21 @@ fn main() {
         }
         // Frequency quantile groups (the violin x-axis).
         let mut t = Table::new(vec![
-            "freq-group", "pages", "min", "q1", "median", "q3", "max", "max/min",
+            "freq-group",
+            "pages",
+            "min",
+            "q1",
+            "median",
+            "q3",
+            "max",
+            "max/min",
         ]);
         const GROUPS: usize = 5;
         for g in 0..GROUPS {
             let lo = pages.len() * g / GROUPS;
-            let hi = (pages.len() * (g + 1) / GROUPS).max(lo + 1).min(pages.len());
+            let hi = (pages.len() * (g + 1) / GROUPS)
+                .max(lo + 1)
+                .min(pages.len());
             let slice = &pages[lo..hi];
             let pacs: Vec<f64> = slice.iter().map(|&(_, p)| p).collect();
             let s = Summary::from_values(&pacs);

@@ -41,7 +41,9 @@ fn main() {
         littles.push(d.littles_law_mlp(Tier::Slow, machine.config().window_cycles));
     }
     let mut out = String::new();
-    out.push_str(&banner("Figure 3a: TOR-MLP vs system-wide MLP (per window)"));
+    out.push_str(&banner(
+        "Figure 3a: TOR-MLP vs system-wide MLP (per window)",
+    ));
     out.push_str(&format!("windows: {}\n", tor.len()));
     out.push_str(&format!("TOR-MLP   {}\n", sparkline(&tor, 72)));
     out.push_str(&format!("sys-MLP   {}\n", sparkline(&system, 72)));

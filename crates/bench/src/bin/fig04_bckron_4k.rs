@@ -12,11 +12,11 @@ use pact_workloads::suite::build;
 
 fn main() {
     let opts = parse_options();
-    let mut h = Harness::new(build("bc-kron", opts.scale, opts.seed));
+    let h = Harness::new(build("bc-kron", opts.scale, opts.seed));
     let policies = [
         "pact", "colloid", "nbt", "alto", "nomad", "tpp", "memtis", "soar", "notier",
     ];
-    let sweep = ratio_sweep(&mut h, &policies, &TierRatio::PAPER_SWEEP);
+    let sweep = ratio_sweep(&h, &policies, &TierRatio::PAPER_SWEEP);
 
     let mut out = String::new();
     out.push_str(&banner("Figure 4: bc-kron slowdown vs DRAM (4KB pages)"));

@@ -8,18 +8,20 @@
 //! shape: PACT still lowest; Memtis (THP-aware) becomes the strongest
 //! baseline.
 
-use pact_bench::{banner, experiment_machine, parse_options, ratio_sweep, save_results, Harness, TierRatio};
+use pact_bench::{
+    banner, experiment_machine, parse_options, ratio_sweep, save_results, Harness, TierRatio,
+};
 use pact_workloads::suite::build;
 
 fn main() {
     let opts = parse_options();
     let mut cfg = experiment_machine(0);
     cfg.thp = true;
-    let mut h = Harness::new(build("bc-kron", opts.scale, opts.seed)).with_machine(cfg);
+    let h = Harness::new(build("bc-kron", opts.scale, opts.seed)).with_machine(cfg);
     let policies = [
         "pact", "colloid", "nbt", "alto", "nomad", "tpp", "memtis", "soar", "notier",
     ];
-    let sweep = ratio_sweep(&mut h, &policies, &TierRatio::PAPER_SWEEP);
+    let sweep = ratio_sweep(&h, &policies, &TierRatio::PAPER_SWEEP);
 
     let mut out = String::new();
     out.push_str(&banner("Figure 5: bc-kron slowdown vs DRAM (THP)"));

@@ -6,7 +6,7 @@
 //! baseline and the cases where a baseline wins (the paper reports a
 //! 4.1% average / 11.8% max gap in those).
 
-use pact_bench::{banner, parse_options, save_results, Harness, Table, TierRatio};
+use pact_bench::{banner, exec, parse_options, save_results, Harness, Table, TierRatio};
 use pact_workloads::suite::{build, SUITE};
 
 fn main() {
@@ -21,15 +21,20 @@ fn main() {
     let mut promo_table = Table::new(header);
     let mut results: Vec<(String, Vec<f64>)> = Vec::new();
 
+    let jobs = exec::jobs_from_env();
     for name in SUITE {
         eprintln!("[fig06] {name}");
-        let mut h = Harness::new(build(name, opts.scale, opts.seed));
+        // Build the workload once; the harness shares it (and the
+        // cached DRAM baseline / Soar profile) across worker threads.
+        let h = Harness::new(build(name, opts.scale, opts.seed));
         let cxl = h.cxl_slowdown();
+        // The Soar profile is a OnceLock: the first worker to need it
+        // computes it, the rest block briefly and then share it.
+        let outs = exec::run_indexed(policies.len(), jobs, |i| h.run_policy(policies[i], ratio));
         let mut srow = vec![name.to_string(), pact_bench::pct(cxl)];
         let mut prow = vec![name.to_string(), "-".to_string()];
         let mut slows = Vec::new();
-        for p in policies {
-            let out = h.run_policy(p, ratio);
+        for out in outs {
             srow.push(pact_bench::pct(out.slowdown));
             prow.push(pact_bench::count(out.promotions));
             slows.push(out.slowdown);

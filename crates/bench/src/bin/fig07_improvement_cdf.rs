@@ -21,7 +21,7 @@ fn main() {
         let mut t = Table::new(vec!["workload", "vs colloid", "vs nbt", "vs memtis"]);
         for name in SUITE {
             eprintln!("[fig07] {name} @ {ratio}");
-            let mut h = Harness::new(build(name, opts.scale, opts.seed));
+            let h = Harness::new(build(name, opts.scale, opts.seed));
             let pact_cycles = h.run_policy("pact", ratio).report.total_cycles as f64;
             let mut cells = vec![name.to_string()];
             for (bi, b) in baselines.iter().enumerate() {

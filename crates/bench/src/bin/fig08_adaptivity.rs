@@ -12,7 +12,7 @@ use pact_workloads::suite::build;
 
 fn main() {
     let opts = parse_options();
-    let mut h = Harness::new(build("sssp-kron", opts.scale, opts.seed));
+    let h = Harness::new(build("sssp-kron", opts.scale, opts.seed));
     let ratio = TierRatio::new(1, 1);
 
     let pact = h.run_policy("pact", ratio);

@@ -8,8 +8,19 @@
 //! others, with PAC front-loading its promotions while the frequency
 //! policy oscillates.
 
-use pact_bench::{banner, parse_options, save_results, sparkline, Harness, Table, TierRatio};
+use pact_bench::{banner, exec, parse_options, save_results, sparkline, Harness, Table, TierRatio};
 use pact_workloads::suite::build;
+
+/// Runs the PAC-ranked and frequency-ranked variants over one shared
+/// workload, fanning the two independent runs across workers.
+fn pac_vs_freq(h: &Harness, ratio: TierRatio) -> (pact_bench::Outcome, pact_bench::Outcome) {
+    h.dram_cycles(); // warm the shared baseline before fanning out
+    let mut outs = exec::run_indexed(2, exec::jobs_from_env(), |i| {
+        h.run_policy(["pact", "pact-freq"][i], ratio)
+    })
+    .into_iter();
+    (outs.next().unwrap(), outs.next().unwrap())
+}
 
 fn main() {
     let opts = parse_options();
@@ -18,11 +29,14 @@ fn main() {
 
     // Featured workload: timeline comparison.
     {
-        let mut h = Harness::new(build("bc-kron", opts.scale, opts.seed));
-        let pac = h.run_policy("pact", ratio);
-        let freq = h.run_policy("pact-freq", ratio);
+        let h = Harness::new(build("bc-kron", opts.scale, opts.seed));
+        let (pac, freq) = pac_vs_freq(&h, ratio);
         let series = |o: &pact_bench::Outcome| -> Vec<f64> {
-            o.report.windows.iter().map(|w| w.promotions as f64).collect()
+            o.report
+                .windows
+                .iter()
+                .map(|w| w.promotions as f64)
+                .collect()
         };
         out.push_str(&banner("Figure 9: promotion timelines (bc-kron @ 1:1)"));
         out.push_str(&format!("PAC   {}\n", sparkline(&series(&pac), 72)));
@@ -54,12 +68,10 @@ fn main() {
     ]);
     for name in ["bc-urand", "sssp-kron", "silo"] {
         eprintln!("[fig09] {name}");
-        let mut h = Harness::new(build(name, opts.scale, opts.seed));
-        let pac = h.run_policy("pact", ratio);
-        let freq = h.run_policy("pact-freq", ratio);
-        let improvement =
-            (freq.report.total_cycles as f64 - pac.report.total_cycles as f64)
-                / freq.report.total_cycles as f64;
+        let h = Harness::new(build(name, opts.scale, opts.seed));
+        let (pac, freq) = pac_vs_freq(&h, ratio);
+        let improvement = (freq.report.total_cycles as f64 - pac.report.total_cycles as f64)
+            / freq.report.total_cycles as f64;
         t.row(vec![
             name.to_string(),
             pact_bench::pct(pac.slowdown),

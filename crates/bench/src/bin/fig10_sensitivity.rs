@@ -7,20 +7,26 @@
 //! longer PAC periods increase both promotions and slowdown; cooling
 //! rarely helps over pure accumulation (α = 1).
 
+use std::sync::Arc;
+
 use pact_bench::{banner, parse_options, save_results, Harness, Table, TierRatio};
 use pact_core::{Cooling, PactConfig, PactPolicy};
+use pact_tiersim::Workload;
 use pact_workloads::suite::build;
 
 fn main() {
     let opts = parse_options();
     let ratio = TierRatio::new(1, 1);
     let mut out = String::new();
+    // bc-kron features in all three sweeps: generate it once and share
+    // the immutable graph across every harness.
+    let bc: Arc<dyn Workload> = Arc::from(build("bc-kron", opts.scale, opts.seed));
 
     // (a) PEBS sampling rate. The paper sweeps 800..4000 around a
     // default of 400 on billion-miss runs; scaled to our miss volume
     // the default is 50, swept proportionally.
     {
-        let mut h = Harness::new(build("bc-kron", opts.scale, opts.seed));
+        let mut h = Harness::from_arc(bc.clone());
         let mut t = Table::new(vec!["pebs rate (1-in-N)", "slowdown", "promotions"]);
         for rate in [25u64, 50, 100, 200, 400] {
             let mut cfg = pact_bench::experiment_machine(0);
@@ -42,7 +48,7 @@ fn main() {
     // (b) PAC sampling period, in machine windows (the paper's default
     // 20 ms corresponds to one window; it sweeps 10 ms .. 1000 ms).
     {
-        let mut h = Harness::new(build("bc-kron", opts.scale, opts.seed));
+        let h = Harness::from_arc(bc.clone());
         let mut t = Table::new(vec!["period (windows)", "slowdown", "promotions"]);
         for period in [1u32, 2, 4, 8, 16, 32] {
             let cfg = PactConfig {
@@ -70,7 +76,11 @@ fn main() {
         let mut t = Table::new(vec!["workload", "no cooling", "halve", "reset"]);
         for name in ["bc-kron", "sssp-kron", "redis"] {
             eprintln!("[fig10c] {name}");
-            let mut h = Harness::new(build(name, opts.scale, opts.seed));
+            let h = if name == "bc-kron" {
+                Harness::from_arc(bc.clone())
+            } else {
+                Harness::new(build(name, opts.scale, opts.seed))
+            };
             let mut cells = vec![name.to_string()];
             for cooling in [Cooling::None, Cooling::Halve, Cooling::Reset] {
                 let cfg = PactConfig {

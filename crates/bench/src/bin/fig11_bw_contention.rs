@@ -28,18 +28,14 @@ fn run_level(
     let bc_pages = bc.footprint_bytes().div_ceil(PAGE_BYTES);
     let mlc_pages = mlc.footprint_bytes().div_ceil(PAGE_BYTES);
     // MLC lives on the local node: its buffers always fit the fast tier.
-    let fast = bc_pages * fast_ratio_of_bc.0 / (fast_ratio_of_bc.0 + fast_ratio_of_bc.1)
-        + mlc_pages
-        + 512;
+    let fast =
+        bc_pages * fast_ratio_of_bc.0 / (fast_ratio_of_bc.0 + fast_ratio_of_bc.1) + mlc_pages + 512;
 
     // DRAM-only reference under identical contention.
     let mut dram_cfg = pact_bench::experiment_machine(u64::MAX / PAGE_BYTES);
     dram_cfg.thp = thp;
     let dram = Machine::new(dram_cfg).unwrap();
-    let base = dram.run_colocated(
-        &[bc.as_ref(), &mlc],
-        &mut pact_tiersim::FirstTouch::new(),
-    );
+    let base = dram.run_colocated(&[bc.as_ref(), &mlc], &mut pact_tiersim::FirstTouch::new());
     let base_cycles = base
         .per_process
         .iter()
@@ -50,7 +46,7 @@ fn run_level(
     let mut cfg = pact_bench::experiment_machine(fast);
     cfg.thp = thp;
     let machine = Machine::new(cfg).unwrap();
-    let mut policy = make_policy(policy_name);
+    let mut policy = make_policy(policy_name).expect("fig11 sweeps known policies");
     let r = machine.run_colocated(&[bc.as_ref(), &mlc], policy.as_mut());
     let cycles = r
         .per_process

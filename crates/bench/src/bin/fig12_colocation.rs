@@ -19,20 +19,35 @@ fn build_pair(opts: &pact_bench::Options) -> (Masim, Masim) {
         Scale::Paper => (8 << 20, 20_000_000, 600_000),
     };
     (
-        Masim::single("masim-seq", MasimPattern::Sequential, buf, seq_loads, opts.seed),
-        Masim::single("masim-rnd", MasimPattern::RandomChase, buf, rnd_loads, opts.seed + 1),
+        Masim::single(
+            "masim-seq",
+            MasimPattern::Sequential,
+            buf,
+            seq_loads,
+            opts.seed,
+        ),
+        Masim::single(
+            "masim-rnd",
+            MasimPattern::RandomChase,
+            buf,
+            rnd_loads,
+            opts.seed + 1,
+        ),
     )
 }
 
 fn proc_cycles(r: &RunReport, name: &str) -> u64 {
-    r.per_process.iter().find(|p| p.name == name).unwrap().cycles
+    r.per_process
+        .iter()
+        .find(|p| p.name == name)
+        .unwrap()
+        .cycles
 }
 
 fn main() {
     let opts = parse_options();
     let (seq, rnd) = build_pair(&opts);
-    let total_pages =
-        (seq.footprint_bytes() + rnd.footprint_bytes()).div_ceil(PAGE_BYTES);
+    let total_pages = (seq.footprint_bytes() + rnd.footprint_bytes()).div_ceil(PAGE_BYTES);
     let fast = total_pages / 2; // fast tier holds half the footprint
 
     // Solo DRAM baselines for per-process normalization.
@@ -55,7 +70,7 @@ fn main() {
     let mut rows: Vec<(String, f64, f64, f64, u64)> = Vec::new();
     for name in ["pact", "colloid", "notier"] {
         let machine = Machine::new(pact_bench::experiment_machine(fast)).unwrap();
-        let mut policy = make_policy(name);
+        let mut policy = make_policy(name).expect("fig12 sweeps known policies");
         let r = machine.run_colocated(&[&seq, &rnd], policy.as_mut());
         let s_seq = proc_cycles(&r, "masim-seq") as f64 / base_seq as f64 - 1.0;
         let s_rnd = proc_cycles(&r, "masim-rnd") as f64 / base_rnd as f64 - 1.0;

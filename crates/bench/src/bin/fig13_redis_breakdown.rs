@@ -51,7 +51,7 @@ fn metrics(name: &'static str, out: &pact_bench::Outcome) -> Row {
 fn main() {
     let opts = parse_options();
     let ratio = TierRatio::new(1, 1);
-    let mut h = Harness::new(build("redis", opts.scale, opts.seed));
+    let h = Harness::new(build("redis", opts.scale, opts.seed));
     let fast = ratio.fast_pages(h.workload().footprint_bytes());
 
     let mut rows = Vec::new();
@@ -73,7 +73,9 @@ fn main() {
     let base = rows[0].throughput;
     let base_lat = rows[0].mean_lat;
     let mut out = String::new();
-    out.push_str(&banner("Figure 13: Redis YCSB-C @ 1:1 — binning breakdown vs Colloid"));
+    out.push_str(&banner(
+        "Figure 13: Redis YCSB-C @ 1:1 — binning breakdown vs Colloid",
+    ));
     let mut t = Table::new(vec![
         "system",
         "throughput (acc/cyc)",

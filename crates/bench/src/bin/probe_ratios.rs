@@ -5,7 +5,7 @@ use pact_workloads::suite::{build, Scale};
 
 fn main() {
     let wl_name = std::env::args().nth(1).unwrap_or_else(|| "bc-kron".into());
-    let mut h = Harness::new(build(&wl_name, Scale::Paper, 42));
+    let h = Harness::new(build(&wl_name, Scale::Paper, 42));
     eprintln!("{wl_name}: cxl-only {:.1}%", h.cxl_slowdown() * 100.0);
     let policies = ["notier", "pact", "memtis", "colloid", "nbt", "soar"];
     eprint!("{:8}", "ratio");
@@ -13,7 +13,11 @@ fn main() {
         eprint!("  {p:>12}");
     }
     eprintln!();
-    for ratio in [TierRatio::new(4, 1), TierRatio::new(1, 1), TierRatio::new(1, 4)] {
+    for ratio in [
+        TierRatio::new(4, 1),
+        TierRatio::new(1, 1),
+        TierRatio::new(1, 4),
+    ] {
         eprint!("{:8}", format!("{ratio}"));
         for p in policies {
             let out = h.run_policy(p, ratio);

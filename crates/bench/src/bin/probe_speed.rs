@@ -14,8 +14,12 @@ fn main() {
     };
     let t0 = Instant::now();
     let wl = build("bc-kron", scale, 42);
-    eprintln!("build: {:?} footprint {} MiB", t0.elapsed(), wl.footprint_bytes() >> 20);
-    let mut h = Harness::new(wl);
+    eprintln!(
+        "build: {:?} footprint {} MiB",
+        t0.elapsed(),
+        wl.footprint_bytes() >> 20
+    );
+    let h = Harness::new(wl);
     // DRAM-only reference with full counters.
     {
         let out = h.run_policy_with_fast_pages("notier", u64::MAX / 4096);
@@ -23,13 +27,17 @@ fn main() {
         let cyc = out.report.total_cycles;
         eprintln!(
             "dram-only cycles {} misses F/S {}/{} lat F {:.0} mlp F {:.1} util F {:.2}",
-            cyc, c.llc_misses[0], c.llc_misses[1],
+            cyc,
+            c.llc_misses[0],
+            c.llc_misses[1],
             c.avg_demand_latency(pact_tiersim::Tier::Fast),
             c.tor_mlp(pact_tiersim::Tier::Fast),
             (c.bytes[0] / 64) as f64 * 2.7 / cyc as f64,
         );
     }
-    for policy in ["notier", "pact", "colloid", "nbt", "tpp", "memtis", "alto", "nomad", "soar"] {
+    for policy in [
+        "notier", "pact", "colloid", "nbt", "tpp", "memtis", "alto", "nomad", "soar",
+    ] {
         let t = Instant::now();
         let out = h.run_policy(policy, TierRatio::new(1, 1));
         let c = &out.report.counters;

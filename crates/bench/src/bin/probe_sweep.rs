@@ -1,0 +1,95 @@
+//! Sweep-executor perf probe: times a fixed smoke-scale policy × ratio
+//! sweep serially (`jobs = 1`) and in parallel (`PACT_JOBS`, default 4),
+//! checks the two results are bit-identical, and records wall time and
+//! simulated-cycles-per-second in `BENCH_sweep.json`.
+//!
+//! ```text
+//! cargo run --release -p pact-bench --bin probe_sweep
+//! PACT_JOBS=8 cargo run --release -p pact-bench --bin probe_sweep
+//! ```
+
+use std::time::Instant;
+
+use pact_bench::{ratio_sweep_jobs, Harness, SweepResult, TierRatio};
+use pact_workloads::suite::{build, Scale};
+
+const POLICIES: [&str; 5] = ["pact", "colloid", "memtis", "tpp", "notier"];
+
+/// Total simulated cycles across the sweep, reconstructed from the
+/// normalized slowdowns (`cycles = dram * (1 + slowdown)`).
+fn sim_cycles(sweep: &SweepResult, dram: u64) -> u64 {
+    sweep
+        .slowdown
+        .iter()
+        .flatten()
+        .map(|s| (dram as f64 * (1.0 + s)) as u64)
+        .sum()
+}
+
+fn main() {
+    let jobs = match std::env::var(pact_bench::exec::JOBS_ENV) {
+        Ok(v) => v.trim().parse().ok().filter(|&n| n > 0).unwrap_or(4),
+        Err(_) => 4,
+    };
+    let ratios = [
+        TierRatio::new(4, 1),
+        TierRatio::new(1, 1),
+        TierRatio::new(1, 4),
+    ];
+    eprintln!(
+        "[probe_sweep] bc-kron smoke, {} policies x {} ratios, serial vs {jobs} jobs",
+        POLICIES.len(),
+        ratios.len()
+    );
+    let h = Harness::new(build("bc-kron", Scale::Smoke, 42));
+    let dram = h.dram_cycles(); // warm the shared baseline outside both timings
+
+    let t = Instant::now();
+    let serial = ratio_sweep_jobs(&h, &POLICIES, &ratios, 1);
+    let serial_secs = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let parallel = ratio_sweep_jobs(&h, &POLICIES, &ratios, jobs);
+    let parallel_secs = t.elapsed().as_secs_f64();
+
+    let identical = serial == parallel
+        && serial
+            .slowdown
+            .iter()
+            .flatten()
+            .zip(parallel.slowdown.iter().flatten())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+    let cycles = sim_cycles(&serial, dram);
+    let speedup = serial_secs / parallel_secs;
+    eprintln!(
+        "[probe_sweep] serial {serial_secs:.2}s, {jobs} jobs {parallel_secs:.2}s \
+         (speedup {speedup:.2}x), identical: {identical}"
+    );
+
+    let json = format!(
+        "{{\n  \"workload\": \"bc-kron\",\n  \"scale\": \"smoke\",\n  \
+         \"policies\": {},\n  \"ratios\": {},\n  \"cells\": {},\n  \
+         \"host_parallelism\": {},\n  \"sim_cycles\": {},\n  \
+         \"serial\": {{ \"jobs\": 1, \"wall_seconds\": {:.4}, \"sim_cycles_per_sec\": {:.3e} }},\n  \
+         \"parallel\": {{ \"jobs\": {}, \"wall_seconds\": {:.4}, \"sim_cycles_per_sec\": {:.3e} }},\n  \
+         \"speedup\": {:.3},\n  \"bit_identical\": {}\n}}\n",
+        POLICIES.len(),
+        ratios.len(),
+        POLICIES.len() * ratios.len(),
+        pact_bench::exec::default_jobs(),
+        cycles,
+        serial_secs,
+        cycles as f64 / serial_secs,
+        jobs,
+        parallel_secs,
+        cycles as f64 / parallel_secs,
+        speedup,
+        identical,
+    );
+    match std::fs::write("BENCH_sweep.json", &json) {
+        Ok(()) => println!("[saved BENCH_sweep.json]"),
+        Err(e) => eprintln!("warning: could not write BENCH_sweep.json: {e}"),
+    }
+    print!("{json}");
+    assert!(identical, "parallel sweep diverged from serial");
+}

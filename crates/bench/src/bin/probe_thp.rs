@@ -6,7 +6,7 @@ use pact_workloads::suite::{build, Scale};
 fn main() {
     let mut cfg = experiment_machine(0);
     cfg.thp = true;
-    let mut h = Harness::new(build("bc-kron", Scale::Paper, 42)).with_machine(cfg);
+    let h = Harness::new(build("bc-kron", Scale::Paper, 42)).with_machine(cfg);
     for ratio in [TierRatio::new(1, 1), TierRatio::new(1, 4)] {
         for p in ["pact", "memtis", "nbt", "colloid", "notier"] {
             let o = h.run_policy(p, ratio);

@@ -56,9 +56,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--seed" => args.seed = it.next().and_then(|v| v.parse().ok()).ok_or("bad seed")?,
             "--windows" => args.windows = true,
-            "--trace-out" => {
-                args.trace_out = Some(it.next().ok_or("--trace-out needs a path")?)
-            }
+            "--trace-out" => args.trace_out = Some(it.next().ok_or("--trace-out needs a path")?),
             "--list" => {
                 println!("workloads: {}", SUITE.join(", "));
                 println!("           masim, gups (motivation)");
@@ -85,18 +83,20 @@ fn main() {
     });
     if let Some(path) = &args.trace_out {
         let wl = build(&args.workload, args.scale, args.seed);
-        let file = std::io::BufWriter::new(
-            std::fs::File::create(path).expect("create trace file"),
-        );
-        let n = pact_tiersim::write_workload_trace(file, wl.as_ref())
-            .expect("write trace");
+        let file = std::io::BufWriter::new(std::fs::File::create(path).expect("create trace file"));
+        let n = pact_tiersim::write_workload_trace(file, wl.as_ref()).expect("write trace");
         println!("wrote {n} accesses of '{}' to {path}", args.workload);
         return;
     }
     let mut cfg = experiment_machine(0);
     cfg.thp = args.thp;
-    let mut h = Harness::new(build(&args.workload, args.scale, args.seed)).with_machine(cfg);
-    let out = h.run_policy(&args.policy, args.ratio);
+    let h = Harness::new(build(&args.workload, args.scale, args.seed)).with_machine(cfg);
+    let out = h
+        .try_run_policy(&args.policy, args.ratio)
+        .unwrap_or_else(|e| {
+            eprintln!("{e}; known policies: {}", ALL_POLICIES.join(", "));
+            std::process::exit(2);
+        });
     let r = &out.report;
     let c = &r.counters;
 

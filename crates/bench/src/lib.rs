@@ -20,12 +20,14 @@
 #![warn(missing_docs)]
 
 mod cli;
+pub mod exec;
 mod report;
 mod runner;
 
 pub use cli::{parse_options, Options};
+pub use exec::{jobs_from_env, run_indexed};
 pub use report::{banner, cdf_lines, count, pct, save_results, sparkline, Table};
 pub use runner::{
-    experiment_machine, make_policy, ratio_sweep, Harness, Outcome, SweepResult, TierRatio,
-    ALL_POLICIES,
+    experiment_machine, is_runnable_policy, make_policy, ratio_sweep, ratio_sweep_jobs, Harness,
+    Outcome, PolicyError, SweepResult, TierRatio, ALL_POLICIES,
 };

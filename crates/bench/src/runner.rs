@@ -2,6 +2,8 @@
 //! normalizes against the DRAM-only baseline, and constructs every
 //! evaluated policy by name.
 
+use std::sync::{Arc, OnceLock};
+
 use pact_baselines::{soar_profile, Alto, Colloid, Memtis, Nbt, NoTier, Nomad, Soar, Tpp};
 use pact_core::{PactConfig, PactPolicy, RankBy};
 use pact_tiersim::{Machine, MachineConfig, RunReport, TieringPolicy, Workload, PAGE_BYTES};
@@ -73,14 +75,37 @@ pub struct Outcome {
     pub report: RunReport,
 }
 
-/// Builds a policy instance by name (`soar` needs the profiling pass,
-/// so it is handled by [`Harness::run_policy`] instead).
+/// Why a policy name could not be instantiated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolicyError {
+    /// The name is not in [`ALL_POLICIES`] (or a known variant).
+    Unknown(String),
+    /// `soar` needs a profiling pass first; use
+    /// [`Harness::run_policy`], which performs it.
+    NeedsProfile,
+}
+
+impl std::fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PolicyError::Unknown(name) => write!(f, "unknown policy '{name}'"),
+            PolicyError::NeedsProfile => {
+                write!(f, "soar requires profiling; use Harness::run_policy")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PolicyError {}
+
+/// Builds a policy instance by name.
 ///
-/// # Panics
-///
-/// Panics on an unknown name (see [`ALL_POLICIES`]) or on `"soar"`.
-pub fn make_policy(name: &str) -> Box<dyn TieringPolicy> {
-    match name {
+/// Returns [`PolicyError::NeedsProfile`] for `"soar"` (its profiling
+/// pass is driven by [`Harness::run_policy`]) and
+/// [`PolicyError::Unknown`] for names outside [`ALL_POLICIES`], so
+/// sweep drivers can skip bad names instead of aborting mid-sweep.
+pub fn make_policy(name: &str) -> Result<Box<dyn TieringPolicy>, PolicyError> {
+    Ok(match name {
         "pact" => Box::new(PactPolicy::new(PactConfig::default()).expect("default is valid")),
         "pact-freq" => {
             let cfg = PactConfig {
@@ -96,29 +121,46 @@ pub fn make_policy(name: &str) -> Box<dyn TieringPolicy> {
         "tpp" => Box::new(Tpp::new()),
         "memtis" => Box::new(Memtis::new()),
         "notier" => Box::new(NoTier::new()),
-        "soar" => panic!("soar requires profiling; use Harness::run_policy"),
-        other => panic!("unknown policy '{other}'"),
-    }
+        "soar" => return Err(PolicyError::NeedsProfile),
+        other => return Err(PolicyError::Unknown(other.to_string())),
+    })
 }
 
-/// Per-workload experiment driver: owns the workload, caches the
-/// DRAM-only baseline and the Soar profile, and runs policies at
-/// arbitrary tier ratios.
+/// Whether `name` can be run by the harness (includes `"soar"`, which
+/// the harness handles via its profiling pass).
+pub fn is_runnable_policy(name: &str) -> bool {
+    name == "soar" || make_policy(name).is_ok()
+}
+
+/// Per-workload experiment driver: owns (a shared handle to) the
+/// workload, caches the DRAM-only baseline and the Soar profile, and
+/// runs policies at arbitrary tier ratios.
+///
+/// All run methods take `&self`: the expensive artifacts (workload
+/// data, baseline cycles, Soar profile) are built once and shared, so
+/// a sweep can fan independent `(policy, ratio)` cells across threads
+/// against one `Harness`.
 pub struct Harness {
-    workload: Box<dyn Workload>,
+    workload: Arc<dyn Workload>,
     base_cfg: MachineConfig,
-    dram_cycles: Option<u64>,
-    soar_profile: Option<pact_baselines::SoarProfile>,
+    dram_cycles: OnceLock<u64>,
+    soar_profile: OnceLock<pact_baselines::SoarProfile>,
 }
 
 impl Harness {
     /// Wraps a workload with the default experiment machine.
     pub fn new(workload: Box<dyn Workload>) -> Self {
+        Self::from_arc(Arc::from(workload))
+    }
+
+    /// Wraps an already-shared workload (e.g. one `Arc` fanned across
+    /// several harnesses) with the default experiment machine.
+    pub fn from_arc(workload: Arc<dyn Workload>) -> Self {
         Self {
             workload,
             base_cfg: experiment_machine(0),
-            dram_cycles: None,
-            soar_profile: None,
+            dram_cycles: OnceLock::new(),
+            soar_profile: OnceLock::new(),
         }
     }
 
@@ -134,6 +176,12 @@ impl Harness {
         self.workload.as_ref()
     }
 
+    /// A shared handle to the wrapped workload, for building further
+    /// harnesses over the same (expensive) artifact.
+    pub fn workload_arc(&self) -> Arc<dyn Workload> {
+        Arc::clone(&self.workload)
+    }
+
     /// Footprint of the wrapped workload in base pages.
     pub fn footprint_pages(&self) -> u64 {
         self.workload.footprint_bytes().div_ceil(PAGE_BYTES)
@@ -146,55 +194,86 @@ impl Harness {
     }
 
     /// Cycles of the ideal DRAM-only run (computed once, cached).
-    pub fn dram_cycles(&mut self) -> u64 {
-        if let Some(c) = self.dram_cycles {
-            return c;
-        }
-        let machine = self.machine(u64::MAX / PAGE_BYTES);
-        let report = machine.run(self.workload.as_ref(), &mut NoTier::new());
-        self.dram_cycles = Some(report.total_cycles);
-        report.total_cycles
+    pub fn dram_cycles(&self) -> u64 {
+        *self.dram_cycles.get_or_init(|| {
+            let machine = self.machine(u64::MAX / PAGE_BYTES);
+            let report = machine.run(self.workload.as_ref(), &mut NoTier::new());
+            report.total_cycles
+        })
     }
 
     /// Slowdown of running entirely on the slow tier (the "CXL" line).
-    pub fn cxl_slowdown(&mut self) -> f64 {
+    pub fn cxl_slowdown(&self) -> f64 {
         let machine = self.machine(0);
         let report = machine.run(self.workload.as_ref(), &mut NoTier::new());
         report.total_cycles as f64 / self.dram_cycles() as f64 - 1.0
     }
 
+    /// The Soar object-placement profile (computed once, cached).
+    fn soar(&self) -> &pact_baselines::SoarProfile {
+        self.soar_profile
+            .get_or_init(|| soar_profile(&self.base_cfg, self.workload.as_ref()))
+    }
+
     /// Runs `policy_name` at `ratio` and returns the normalized outcome.
-    pub fn run_policy(&mut self, policy_name: &str, ratio: TierRatio) -> Outcome {
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown policy name; use [`Harness::try_run_policy`]
+    /// to degrade gracefully.
+    pub fn run_policy(&self, policy_name: &str, ratio: TierRatio) -> Outcome {
         let fast_pages = ratio.fast_pages(self.workload.footprint_bytes());
         self.run_policy_with_fast_pages(policy_name, fast_pages)
     }
 
+    /// Runs `policy_name` at `ratio`, reporting unknown names as an
+    /// error instead of panicking.
+    pub fn try_run_policy(
+        &self,
+        policy_name: &str,
+        ratio: TierRatio,
+    ) -> Result<Outcome, PolicyError> {
+        let fast_pages = ratio.fast_pages(self.workload.footprint_bytes());
+        self.try_run_policy_with_fast_pages(policy_name, fast_pages)
+    }
+
     /// Runs `policy_name` with an explicit fast-tier size in pages.
-    pub fn run_policy_with_fast_pages(&mut self, policy_name: &str, fast_pages: u64) -> Outcome {
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown policy name.
+    pub fn run_policy_with_fast_pages(&self, policy_name: &str, fast_pages: u64) -> Outcome {
+        self.try_run_policy_with_fast_pages(policy_name, fast_pages)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Runs `policy_name` with an explicit fast-tier size, reporting
+    /// unknown names as an error instead of panicking.
+    pub fn try_run_policy_with_fast_pages(
+        &self,
+        policy_name: &str,
+        fast_pages: u64,
+    ) -> Result<Outcome, PolicyError> {
         let machine = self.machine(fast_pages);
         let report = if policy_name == "soar" {
-            if self.soar_profile.is_none() {
-                self.soar_profile = Some(soar_profile(&self.base_cfg, self.workload.as_ref()));
-            }
-            let profile = self.soar_profile.as_ref().expect("profiled above");
-            let mut soar = Soar::from_profile(profile, fast_pages);
+            let mut soar = Soar::from_profile(self.soar(), fast_pages);
             machine.run(self.workload.as_ref(), &mut soar)
         } else {
-            let mut policy = make_policy(policy_name);
+            let mut policy = make_policy(policy_name)?;
             machine.run(self.workload.as_ref(), policy.as_mut())
         };
-        self.outcome(report)
+        Ok(self.outcome(report))
     }
 
     /// Runs a caller-constructed policy (for custom configurations,
     /// e.g. PACT ablations) with an explicit fast-tier size.
-    pub fn run_custom(&mut self, policy: &mut dyn TieringPolicy, fast_pages: u64) -> Outcome {
+    pub fn run_custom(&self, policy: &mut dyn TieringPolicy, fast_pages: u64) -> Outcome {
         let machine = self.machine(fast_pages);
         let report = machine.run(self.workload.as_ref(), policy);
         self.outcome(report)
     }
 
-    fn outcome(&mut self, report: RunReport) -> Outcome {
+    fn outcome(&self, report: RunReport) -> Outcome {
         let dram = self.dram_cycles();
         Outcome {
             policy: report.policy.clone(),
@@ -207,7 +286,7 @@ impl Harness {
 }
 
 /// Result of a policies × ratios sweep over one workload.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SweepResult {
     /// Swept tier ratios.
     pub ratios: Vec<TierRatio>,
@@ -221,25 +300,60 @@ pub struct SweepResult {
     pub cxl: f64,
 }
 
-/// Runs every `(policy, ratio)` combination for the harness's workload.
-pub fn ratio_sweep(h: &mut Harness, policies: &[&str], ratios: &[TierRatio]) -> SweepResult {
+/// Runs every `(policy, ratio)` combination for the harness's
+/// workload, fanning the independent cells over
+/// [`jobs_from_env`](crate::exec::jobs_from_env) worker threads.
+///
+/// The result is bit-identical to the serial sweep (`PACT_JOBS=1`) for
+/// any worker count: cells share only immutable state and are merged
+/// in `(policy, ratio)` index order. Unknown policy names are skipped
+/// with a warning instead of aborting the sweep.
+pub fn ratio_sweep(h: &Harness, policies: &[&str], ratios: &[TierRatio]) -> SweepResult {
+    ratio_sweep_jobs(h, policies, ratios, crate::exec::jobs_from_env())
+}
+
+/// [`ratio_sweep`] with an explicit worker count (`jobs = 1` is the
+/// serial path).
+pub fn ratio_sweep_jobs(
+    h: &Harness,
+    policies: &[&str],
+    ratios: &[TierRatio],
+    jobs: usize,
+) -> SweepResult {
+    let kept: Vec<&str> = policies
+        .iter()
+        .copied()
+        .filter(|&p| {
+            let ok = is_runnable_policy(p);
+            if !ok {
+                eprintln!("warning: skipping unknown policy '{p}'");
+            }
+            ok
+        })
+        .collect();
+    // Warm every shared artifact serially so worker threads only read:
+    // the DRAM baseline (via cxl_slowdown) and, if swept, the Soar
+    // profile. OnceLock would serialize a race anyway; warming avoids
+    // even that.
     let cxl = h.cxl_slowdown();
-    let mut slowdown = Vec::new();
-    let mut promotions = Vec::new();
-    for &p in policies {
-        let mut srow = Vec::new();
-        let mut prow = Vec::new();
-        for &r in ratios {
-            let out = h.run_policy(p, r);
-            srow.push(out.slowdown);
-            prow.push(out.promotions);
-        }
-        slowdown.push(srow);
-        promotions.push(prow);
+    if kept.contains(&"soar") {
+        h.soar();
+    }
+    let cells = kept.len() * ratios.len();
+    let outcomes = crate::exec::run_indexed(cells, jobs, |i| {
+        let p = kept[i / ratios.len()];
+        let r = ratios[i % ratios.len()];
+        h.run_policy(p, r)
+    });
+    let mut slowdown = Vec::with_capacity(kept.len());
+    let mut promotions = Vec::with_capacity(kept.len());
+    for row in outcomes.chunks(ratios.len()) {
+        slowdown.push(row.iter().map(|o| o.slowdown).collect());
+        promotions.push(row.iter().map(|o| o.promotions).collect());
     }
     SweepResult {
         ratios: ratios.to_vec(),
-        policies: policies.iter().map(|s| s.to_string()).collect(),
+        policies: kept.iter().map(|s| s.to_string()).collect(),
         slowdown,
         promotions,
         cxl,
@@ -299,29 +413,49 @@ mod tests {
             if name == "soar" {
                 continue;
             }
-            assert_eq!(make_policy(name).name(), name);
+            assert_eq!(make_policy(name).expect("known").name(), name);
         }
-        assert_eq!(make_policy("pact-freq").name(), "pact-freq");
+        assert_eq!(make_policy("pact-freq").expect("known").name(), "pact-freq");
     }
 
     #[test]
-    #[should_panic(expected = "unknown policy")]
-    fn unknown_policy_panics() {
-        make_policy("bogus");
+    fn unknown_policy_is_an_error_not_a_panic() {
+        assert_eq!(
+            make_policy("bogus").err(),
+            Some(PolicyError::Unknown("bogus".into()))
+        );
+        assert_eq!(make_policy("soar").err(), Some(PolicyError::NeedsProfile));
+        assert!(is_runnable_policy("soar"));
+        assert!(is_runnable_policy("pact"));
+        assert!(!is_runnable_policy("bogus"));
+        let msg = PolicyError::Unknown("bogus".into()).to_string();
+        assert!(msg.contains("unknown policy"), "{msg}");
+    }
+
+    #[test]
+    fn try_run_policy_reports_unknown_names() {
+        let h = Harness::new(build("gups", Scale::Smoke, 9));
+        let err = h.try_run_policy("bogus", TierRatio::new(1, 1)).unwrap_err();
+        assert_eq!(err, PolicyError::Unknown("bogus".into()));
     }
 
     #[test]
     fn harness_normalizes_against_dram() {
-        let mut h = Harness::new(build("silo", Scale::Smoke, 1));
+        let h = Harness::new(build("silo", Scale::Smoke, 1));
         let out = h.run_policy("notier", TierRatio::new(1, 1));
         assert!(out.slowdown > -0.01, "slowdown {}", out.slowdown);
         let cxl = h.cxl_slowdown();
-        assert!(cxl >= out.slowdown - 0.05, "cxl {} vs 1:1 {}", cxl, out.slowdown);
+        assert!(
+            cxl >= out.slowdown - 0.05,
+            "cxl {} vs 1:1 {}",
+            cxl,
+            out.slowdown
+        );
     }
 
     #[test]
     fn harness_runs_soar_via_profile() {
-        let mut h = Harness::new(build("silo", Scale::Smoke, 1));
+        let h = Harness::new(build("silo", Scale::Smoke, 1));
         let out = h.run_policy("soar", TierRatio::new(1, 1));
         assert_eq!(out.policy, "soar");
         assert_eq!(out.promotions, 0);
@@ -329,7 +463,7 @@ mod tests {
 
     #[test]
     fn harness_runs_pact() {
-        let mut h = Harness::new(build("silo", Scale::Smoke, 1));
+        let h = Harness::new(build("silo", Scale::Smoke, 1));
         let out = h.run_policy("pact", TierRatio::new(1, 2));
         assert_eq!(out.policy, "pact");
         assert!(out.slowdown.is_finite());
@@ -337,9 +471,9 @@ mod tests {
 
     #[test]
     fn sweep_renders_consistent_tables() {
-        let mut h = Harness::new(build("gups", Scale::Smoke, 2));
+        let h = Harness::new(build("gups", Scale::Smoke, 2));
         let ratios = [TierRatio::new(2, 1), TierRatio::new(1, 2)];
-        let sweep = ratio_sweep(&mut h, &["pact", "notier"], &ratios);
+        let sweep = ratio_sweep_jobs(&h, &["pact", "notier"], &ratios, 1);
         assert_eq!(sweep.policies, vec!["pact", "notier"]);
         assert_eq!(sweep.slowdown.len(), 2);
         assert_eq!(sweep.slowdown[0].len(), 2);
@@ -353,11 +487,30 @@ mod tests {
     }
 
     #[test]
+    fn sweep_skips_unknown_policies() {
+        let h = Harness::new(build("gups", Scale::Smoke, 2));
+        let ratios = [TierRatio::new(1, 1)];
+        let sweep = ratio_sweep_jobs(&h, &["notier", "made-up"], &ratios, 1);
+        assert_eq!(sweep.policies, vec!["notier"]);
+        assert_eq!(sweep.slowdown.len(), 1);
+    }
+
+    #[test]
     fn dram_cycles_is_cached_and_stable() {
-        let mut h = Harness::new(build("gups", Scale::Smoke, 3));
+        let h = Harness::new(build("gups", Scale::Smoke, 3));
         let a = h.dram_cycles();
         let b = h.dram_cycles();
         assert_eq!(a, b);
         assert!(a > 0);
+    }
+
+    #[test]
+    fn shared_workload_harnesses_agree() {
+        let h1 = Harness::new(build("gups", Scale::Smoke, 4));
+        let h2 = Harness::from_arc(h1.workload_arc());
+        assert_eq!(h1.dram_cycles(), h2.dram_cycles());
+        let a = h1.run_policy("pact", TierRatio::new(1, 2));
+        let b = h2.run_policy("pact", TierRatio::new(1, 2));
+        assert_eq!(a.report.total_cycles, b.report.total_cycles);
     }
 }

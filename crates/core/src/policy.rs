@@ -102,13 +102,13 @@ impl PactPolicy {
         let mlp = delta.tor_mlp(Tier::Slow);
         let stalls = estimate_tier_stalls(self.k, delta.llc_misses[Tier::Slow.index()], mlp);
         let updated = match self.cfg.attribution {
-            Attribution::Proportional => {
-                self.store
-                    .attribute_period(stalls, self.cfg.alpha, |e| e.period_samples as f64)
-            }
-            Attribution::LatencyWeighted => self
+            Attribution::Proportional => self
                 .store
-                .attribute_period(stalls, self.cfg.alpha, |e| e.period_latency_sum as f64),
+                .attribute_period(stalls, self.cfg.alpha, |e| e.period_samples as f64),
+            Attribution::LatencyWeighted => {
+                self.store
+                    .attribute_period(stalls, self.cfg.alpha, |e| e.period_latency_sum as f64)
+            }
         };
         self.store.cool(self.cfg.cooling, self.cfg.cooling_distance);
 
@@ -171,8 +171,7 @@ impl PactPolicy {
         // tier's units turn over per period (the paper's "stable and
         // bounded supply of promotion candidates").
         let fast_units = (ctx.fast_capacity() / span).max(1);
-        let per_period_cap = (fast_units as usize / 8)
-            .clamp(4, self.cfg.max_promotions_per_period);
+        let per_period_cap = (fast_units as usize / 8).clamp(4, self.cfg.max_promotions_per_period);
         candidates.truncate(per_period_cap);
 
         // Algorithm 2: eager demotion to guarantee promotion headroom.

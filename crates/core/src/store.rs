@@ -1,17 +1,18 @@
 //! The PAC store: per-page criticality bookkeeping (§4.3.6).
 //!
-//! An in-memory hash table keyed by page, holding each tracked page's
-//! accumulated PAC plus the small metadata PACT needs (window-local
-//! sample counts, last-capture stamps for cooling). The paper reports
-//! 25 bytes per tracked 4 KiB page; this entry is the same order.
-
-use std::collections::HashMap;
+//! Storage is a dense table indexed by page number rather than a hash
+//! map: `record_sample` sits on the simulator's per-sample hot path, and
+//! an array index beats hashing by an order of magnitude while workload
+//! footprints keep page numbers small and contiguous. A separate
+//! insertion-order registry preserves deterministic iteration. The paper
+//! reports 25 bytes per tracked 4 KiB page; this entry is the same
+//! order.
 
 use pact_tiersim::PageId;
 
 use crate::config::Cooling;
 
-/// Per-page tracking entry (compact: ~32 bytes plus hash overhead).
+/// Per-page tracking entry (compact: ~32 bytes).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct PageEntry {
     /// Accumulated Per-page Access Criticality, in stall cycles.
@@ -30,8 +31,14 @@ pub struct PageEntry {
 /// The PAC tracking store.
 #[derive(Debug, Clone, Default)]
 pub struct PacStore {
-    pages: HashMap<PageId, PageEntry>,
-    /// Pages touched in the open period (keys into `pages`).
+    /// Dense entry table indexed by page number; untracked slots hold
+    /// default entries and are skipped via `tracked`.
+    entries: Vec<PageEntry>,
+    /// Whether the page at each index is tracked.
+    tracked: Vec<bool>,
+    /// Tracked pages in first-touch order (deterministic iteration).
+    ids: Vec<PageId>,
+    /// Pages touched in the open period (keys into `entries`).
     active: Vec<PageId>,
     /// Samples observed in the open period (`A_t`).
     period_total: u64,
@@ -45,7 +52,32 @@ impl PacStore {
         Self::default()
     }
 
+    #[inline]
+    fn slot(&mut self, page: PageId) -> &mut PageEntry {
+        let idx = page.0 as usize;
+        if idx >= self.entries.len() {
+            self.entries.resize(idx + 1, PageEntry::default());
+            self.tracked.resize(idx + 1, false);
+        }
+        if !self.tracked[idx] {
+            self.tracked[idx] = true;
+            self.ids.push(page);
+        }
+        &mut self.entries[idx]
+    }
+
+    #[inline]
+    fn get(&self, page: PageId) -> Option<&PageEntry> {
+        let idx = page.0 as usize;
+        if *self.tracked.get(idx)? {
+            Some(&self.entries[idx])
+        } else {
+            None
+        }
+    }
+
     /// Records one PEBS sample of `page` with the sampled load latency.
+    #[inline]
     pub fn record_sample(&mut self, page: PageId, latency: u32) {
         self.record_counted(page, 1, latency as u64);
     }
@@ -59,13 +91,14 @@ impl PacStore {
         }
         self.global_samples += count as u64;
         self.period_total += count as u64;
-        let entry = self.pages.entry(page).or_default();
-        if entry.period_samples == 0 {
-            self.active.push(page);
-        }
+        let entry = self.slot(page);
+        let newly_active = entry.period_samples == 0;
         entry.period_samples += count;
         entry.period_latency_sum += latency_sum;
         entry.total_samples += count as u64;
+        if newly_active {
+            self.active.push(page);
+        }
     }
 
     /// Total samples in the open period (`A_t` of Algorithm 1).
@@ -80,25 +113,26 @@ impl PacStore {
 
     /// Number of distinct tracked pages (`N_page` of Algorithm 3).
     pub fn tracked_pages(&self) -> usize {
-        self.pages.len()
+        self.ids.len()
     }
 
     /// Current PAC of `page` (0 if untracked).
     pub fn pac(&self, page: PageId) -> f64 {
-        self.pages.get(&page).map_or(0.0, |e| e.pac)
+        self.get(page).map_or(0.0, |e| e.pac)
     }
 
     /// Entry lookup for diagnostics.
     pub fn entry(&self, page: PageId) -> Option<&PageEntry> {
-        self.pages.get(&page)
+        self.get(page)
     }
 
     /// Overwrites a tracked page's PAC (used by the policy to decay the
     /// criticality of pages the kernel LRU demoted as inactive). No-op
     /// for untracked pages.
     pub fn set_pac(&mut self, page: PageId, pac: f64) {
-        if let Some(e) = self.pages.get_mut(&page) {
-            e.pac = pac;
+        let idx = page.0 as usize;
+        if self.tracked.get(idx).copied().unwrap_or(false) {
+            self.entries[idx].pac = pac;
         }
     }
 
@@ -122,12 +156,12 @@ impl PacStore {
         let total_weight: f64 = self
             .active
             .iter()
-            .map(|p| weights(&self.pages[p]))
+            .map(|p| weights(&self.entries[p.0 as usize]))
             .sum();
         let mut updated = Vec::with_capacity(self.active.len());
         let global = self.global_samples;
         for page in self.active.drain(..) {
-            let entry = self.pages.get_mut(&page).expect("active page is tracked");
+            let entry = &mut self.entries[page.0 as usize];
             let share = if total_weight > 0.0 {
                 stalls * weights(entry) / total_weight
             } else {
@@ -152,7 +186,8 @@ impl PacStore {
         }
         let global = self.global_samples;
         let mut cooled = 0;
-        for entry in self.pages.values_mut() {
+        for page in &self.ids {
+            let entry = &mut self.entries[page.0 as usize];
             if global.saturating_sub(entry.last_capture) > distance && entry.pac != 0.0 {
                 entry.pac = match mode {
                     Cooling::Halve => entry.pac / 2.0,
@@ -166,9 +201,10 @@ impl PacStore {
         cooled
     }
 
-    /// Iterates over all tracked pages and their entries.
+    /// Iterates over all tracked pages and their entries in first-touch
+    /// order (deterministic, unlike the hash-map layout this replaced).
     pub fn iter(&self) -> impl Iterator<Item = (&PageId, &PageEntry)> {
-        self.pages.iter()
+        self.ids.iter().map(|p| (p, &self.entries[p.0 as usize]))
     }
 
     /// Approximate bytes of tracking state per page (the paper claims
@@ -292,5 +328,28 @@ mod tests {
     fn entry_size_is_compact() {
         // The paper claims ~25 bytes of metadata per tracked page.
         assert!(PacStore::bytes_per_page() <= 40);
+    }
+
+    #[test]
+    fn iteration_is_first_touch_ordered() {
+        let mut s = PacStore::new();
+        for p in [9u64, 2, 500, 2, 9, 41] {
+            s.record_sample(PageId(p), 100);
+        }
+        let order: Vec<u64> = s.iter().map(|(p, _)| p.0).collect();
+        assert_eq!(order, vec![9, 2, 500, 41]);
+        assert_eq!(s.tracked_pages(), 4);
+    }
+
+    #[test]
+    fn sparse_high_page_ids_work() {
+        let mut s = PacStore::new();
+        s.record_sample(PageId(1_000_000), 400);
+        assert_eq!(s.tracked_pages(), 1);
+        assert_eq!(s.pac(PageId(999_999)), 0.0);
+        assert!(s.entry(PageId(2_000_000)).is_none());
+        s.set_pac(PageId(1_000_000), 7.0);
+        s.set_pac(PageId(3_000_000), 7.0); // untracked: no-op
+        assert_eq!(s.pac(PageId(1_000_000)), 7.0);
     }
 }

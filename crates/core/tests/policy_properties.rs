@@ -2,7 +2,9 @@
 //! configuration must run safely, deterministically, and within the
 //! machine's accounting invariants.
 
-use pact_core::{Attribution, BinningMode, Cooling, PactConfig, PactPolicy, RankBy, SamplingSource};
+use pact_core::{
+    Attribution, BinningMode, Cooling, PactConfig, PactPolicy, RankBy, SamplingSource,
+};
 use pact_tiersim::{Access, Machine, MachineConfig, TraceWorkload, PAGE_BYTES};
 use proptest::prelude::*;
 
@@ -15,7 +17,9 @@ fn workload() -> TraceWorkload {
         if x.is_multiple_of(5) {
             trace.push(Access::store(page * PAGE_BYTES));
         } else if x.is_multiple_of(3) {
-            trace.push(Access::dependent_load(page * PAGE_BYTES + (x >> 40) % 64 * 64));
+            trace.push(Access::dependent_load(
+                page * PAGE_BYTES + (x >> 40) % 64 * 64,
+            ));
         } else {
             trace.push(Access::load(page * PAGE_BYTES + (x >> 32) % 64 * 64));
         }
@@ -35,13 +39,17 @@ fn config_strategy() -> impl Strategy<Value = PactConfig> {
             Just(Attribution::Proportional),
             Just(Attribution::LatencyWeighted)
         ],
-        prop_oneof![Just(Cooling::None), Just(Cooling::Halve), Just(Cooling::Reset)],
+        prop_oneof![
+            Just(Cooling::None),
+            Just(Cooling::Halve),
+            Just(Cooling::Reset)
+        ],
         prop_oneof![Just(SamplingSource::Pebs), Just(SamplingSource::Chmu)],
-        1u32..8,            // period_windows
-        0.0f64..=1.0,       // alpha
-        0u64..64,           // eager demotion margin m
-        2usize..400,        // reservoir
-        2.0f64..500.0,      // t_scale
+        1u32..8,       // period_windows
+        0.0f64..=1.0,  // alpha
+        0u64..64,      // eager demotion margin m
+        2usize..400,   // reservoir
+        2.0f64..500.0, // t_scale
     )
         .prop_map(
             |(rank_by, binning, attribution, cooling, sampling, period, alpha, m, res, ts)| {

@@ -68,7 +68,10 @@ impl Histogram {
     ///
     /// Panics if `width` is not positive/finite or `bins` is zero.
     pub fn new(origin: f64, width: f64, bins: usize) -> Self {
-        assert!(width > 0.0 && width.is_finite(), "bin width must be positive");
+        assert!(
+            width > 0.0 && width.is_finite(),
+            "bin width must be positive"
+        );
         assert!(bins > 0, "histogram needs at least one bin");
         Self {
             origin,

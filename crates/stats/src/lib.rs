@@ -44,5 +44,5 @@ pub use pearson::pearson;
 pub use quantile::Quantiles;
 pub use rank::{gini, spearman, top_k_overlap};
 pub use reservoir::Reservoir;
-pub use rng::SplitMix64;
+pub use rng::{SplitMix64, Uniform, UniformRange};
 pub use summary::Summary;

@@ -1,8 +1,6 @@
 //! Reservoir sampling (Vitter's Algorithm R).
 
-use rand::{Rng, RngExt};
-
-use crate::Quantiles;
+use crate::{Quantiles, SplitMix64};
 
 /// A fixed-capacity uniform sample over a stream of unknown length.
 ///
@@ -19,10 +17,9 @@ use crate::Quantiles;
 /// # Example
 ///
 /// ```
-/// use pact_stats::Reservoir;
-/// use rand::{rngs::StdRng, SeedableRng};
+/// use pact_stats::{Reservoir, SplitMix64};
 ///
-/// let mut rng = StdRng::seed_from_u64(42);
+/// let mut rng = SplitMix64::seed_from_u64(42);
 /// let mut res = Reservoir::new(100);
 /// for v in 0..10_000 {
 ///     res.offer(v as f64, &mut rng);
@@ -58,7 +55,7 @@ impl Reservoir {
     ///
     /// Returns `true` if the value was stored (always true while filling;
     /// probability `capacity / seen` afterwards).
-    pub fn offer<R: Rng + ?Sized>(&mut self, value: f64, rng: &mut R) -> bool {
+    pub fn offer(&mut self, value: f64, rng: &mut SplitMix64) -> bool {
         self.seen += 1;
         if self.samples.len() < self.capacity {
             self.samples.push(value);
@@ -117,12 +114,10 @@ impl Reservoir {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn fills_to_capacity_then_stays() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SplitMix64::seed_from_u64(1);
         let mut r = Reservoir::new(10);
         for i in 0..5 {
             assert!(r.offer(i as f64, &mut rng));
@@ -139,7 +134,7 @@ mod tests {
     fn uniformity_over_stream() {
         // Offer 0..10_000 and check that the retained sample is spread across
         // the whole range rather than biased to the head or tail.
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = SplitMix64::seed_from_u64(7);
         let mut r = Reservoir::new(200);
         for i in 0..10_000u64 {
             r.offer(i as f64, &mut rng);
@@ -158,7 +153,7 @@ mod tests {
 
     #[test]
     fn reset_clears_state() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = SplitMix64::seed_from_u64(3);
         let mut r = Reservoir::new(4);
         for i in 0..100 {
             r.offer(i as f64, &mut rng);
@@ -171,7 +166,7 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let run = || {
-            let mut rng = StdRng::seed_from_u64(99);
+            let mut rng = SplitMix64::seed_from_u64(99);
             let mut r = Reservoir::new(16);
             for i in 0..500 {
                 r.offer((i * 3 % 97) as f64, &mut rng);

@@ -1,9 +1,8 @@
 //! Property-based tests for the statistics primitives.
 
+use pact_stats::SplitMix64;
 use pact_stats::{freedman_diaconis_width, pearson, Ecdf, Histogram, Quantiles, Reservoir};
 use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 proptest! {
     /// Pearson r is always within [-1, 1] (modulo float slack).
@@ -48,7 +47,7 @@ proptest! {
     /// A reservoir never exceeds capacity and counts every offer.
     #[test]
     fn reservoir_capacity_invariant(cap in 1usize..64, n in 0u64..2000, seed in any::<u64>()) {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::seed_from_u64(seed);
         let mut r = Reservoir::new(cap);
         for i in 0..n {
             r.offer(i as f64, &mut rng);

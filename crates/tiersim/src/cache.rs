@@ -28,7 +28,10 @@ impl Llc {
     /// mask indexing) or zero.
     pub fn new(cfg: LlcConfig) -> Self {
         let sets = cfg.sets();
-        assert!(sets.is_power_of_two(), "LLC set count must be a power of two");
+        assert!(
+            sets.is_power_of_two(),
+            "LLC set count must be a power of two"
+        );
         Self {
             tags: vec![INVALID; sets * cfg.ways],
             ways: cfg.ways,
@@ -312,7 +315,10 @@ mod tests {
         // Same-line re-access emits nothing but keeps the stream alive:
         // the next sequential line still prefetches.
         assert!(d.observe(12).is_empty());
-        assert!(!d.observe(13).is_empty(), "stream state survived the re-access");
+        assert!(
+            !d.observe(13).is_empty(),
+            "stream state survived the re-access"
+        );
     }
 
     #[test]

@@ -12,16 +12,32 @@
 //! the access stream with bounded overestimation error (at most the
 //! minimum counter value).
 
-use std::collections::HashMap;
-
 use crate::types::PageId;
 
+/// One occupied counter slot.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    page: PageId,
+    count: u64,
+    /// Overestimation inherited when the page adopted an evicted counter.
+    err: u64,
+}
+
 /// A Space-Saving heavy-hitter counter table.
+///
+/// Layout: the slots form a binary min-heap ordered by `(count, page)`,
+/// with a dense page-indexed position table for O(1) membership checks.
+/// `observe` is called on every slow-tier demand access, so both the
+/// hit path (index + sift) and the eviction path (root replacement) are
+/// O(log k) instead of the O(k) min-scan a flat map needs. Ordering
+/// ties on the page id, so victim selection — and therefore the whole
+/// table — is deterministic.
 #[derive(Debug, Clone)]
 pub struct SpaceSaving {
     capacity: usize,
-    /// page -> (count, overestimation when adopted)
-    counters: HashMap<PageId, (u64, u64)>,
+    heap: Vec<Slot>,
+    /// page id -> heap index + 1; 0 means untracked. Grown on demand.
+    pos: Vec<u32>,
     total: u64,
 }
 
@@ -35,41 +51,97 @@ impl SpaceSaving {
         assert!(capacity > 0, "need at least one counter");
         Self {
             capacity,
-            counters: HashMap::with_capacity(capacity + 1),
+            heap: Vec::with_capacity(capacity),
+            pos: Vec::new(),
             total: 0,
         }
+    }
+
+    #[inline]
+    fn less(a: &Slot, b: &Slot) -> bool {
+        (a.count, a.page.0) < (b.count, b.page.0)
+    }
+
+    #[inline]
+    fn set_pos(&mut self, page: PageId, heap_idx: usize) {
+        let idx = page.0 as usize;
+        if idx >= self.pos.len() {
+            self.pos.resize(idx + 1, 0);
+        }
+        self.pos[idx] = heap_idx as u32 + 1;
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if Self::less(&self.heap[i], &self.heap[parent]) {
+                self.heap.swap(i, parent);
+                self.set_pos(self.heap[i].page, i);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+        self.set_pos(self.heap[i].page, i);
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut smallest = i;
+            if l < self.heap.len() && Self::less(&self.heap[l], &self.heap[smallest]) {
+                smallest = l;
+            }
+            if r < self.heap.len() && Self::less(&self.heap[r], &self.heap[smallest]) {
+                smallest = r;
+            }
+            if smallest == i {
+                break;
+            }
+            self.heap.swap(i, smallest);
+            self.set_pos(self.heap[i].page, i);
+            i = smallest;
+        }
+        self.set_pos(self.heap[i].page, i);
     }
 
     /// Observes one access to `page`.
     pub fn observe(&mut self, page: PageId) {
         self.total += 1;
-        if let Some((c, _)) = self.counters.get_mut(&page) {
-            *c += 1;
+        let tracked = self.pos.get(page.0 as usize).copied().unwrap_or(0);
+        if tracked != 0 {
+            let i = tracked as usize - 1;
+            self.heap[i].count += 1;
+            self.sift_down(i);
             return;
         }
-        if self.counters.len() < self.capacity {
-            self.counters.insert(page, (1, 0));
+        if self.heap.len() < self.capacity {
+            let i = self.heap.len();
+            self.heap.push(Slot {
+                page,
+                count: 1,
+                err: 0,
+            });
+            self.sift_up(i);
             return;
         }
-        // Evict the minimum counter; the newcomer inherits its count
-        // (the classic Space-Saving overestimation bound).
-        let (&victim, &(min_count, _)) = self
-            .counters
-            .iter()
-            .min_by_key(|&(_, &(c, _))| c)
-            .expect("table is non-empty at capacity");
-        self.counters.remove(&victim);
-        self.counters.insert(page, (min_count + 1, min_count));
+        // Evict the minimum counter (the heap root); the newcomer
+        // inherits its count (the classic Space-Saving bound).
+        let victim = self.heap[0];
+        self.pos[victim.page.0 as usize] = 0;
+        self.heap[0] = Slot {
+            page,
+            count: victim.count + 1,
+            err: victim.count,
+        };
+        self.sift_down(0);
     }
 
     /// The tracked hot list, hottest first: `(page, count, error_bound)`
     /// where the true count lies in `[count - error_bound, count]`.
     pub fn hot_list(&self) -> Vec<(PageId, u64, u64)> {
-        let mut v: Vec<(PageId, u64, u64)> = self
-            .counters
-            .iter()
-            .map(|(&p, &(c, e))| (p, c, e))
-            .collect();
+        let mut v: Vec<(PageId, u64, u64)> =
+            self.heap.iter().map(|s| (s.page, s.count, s.err)).collect();
         v.sort_by_key(|&(p, c, _)| (std::cmp::Reverse(c), p.0));
         v
     }
@@ -81,17 +153,20 @@ impl SpaceSaving {
 
     /// Number of occupied counters.
     pub fn len(&self) -> usize {
-        self.counters.len()
+        self.heap.len()
     }
 
     /// Whether no accesses have been observed.
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty()
+        self.heap.is_empty()
     }
 
     /// Clears all counters (the host read and reset the unit).
     pub fn reset(&mut self) {
-        self.counters.clear();
+        for slot in &self.heap {
+            self.pos[slot.page.0 as usize] = 0;
+        }
+        self.heap.clear();
         self.total = 0;
     }
 }
@@ -175,7 +250,10 @@ mod tests {
         }
         let hot = ss.hot_list();
         let top2: Vec<PageId> = hot.iter().take(2).map(|&(p, _, _)| p).collect();
-        assert!(top2.contains(&PageId(1)) && top2.contains(&PageId(2)), "{top2:?}");
+        assert!(
+            top2.contains(&PageId(1)) && top2.contains(&PageId(2)),
+            "{top2:?}"
+        );
         // Space-Saving overestimates but the bound is reported.
         let (_, count, err) = hot[0];
         assert!(count >= 16_000 && count - err <= 17_000);

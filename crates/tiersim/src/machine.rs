@@ -5,8 +5,7 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use pact_stats::SplitMix64;
 
 use crate::cache::{line_of, Llc, StrideDetector};
 use crate::chmu::Chmu;
@@ -136,7 +135,11 @@ impl Machine {
             fast_tier_pages: self.cfg.fast_tier_pages,
             total_pages,
             thp: self.cfg.thp,
-            unit_span: if self.cfg.thp { self.cfg.thp_unit_pages } else { 1 },
+            unit_span: if self.cfg.thp {
+                self.cfg.thp_unit_pages
+            } else {
+                1
+            },
             window_cycles: self.cfg.window_cycles,
             latency_cycles: [
                 self.cfg.latency_cycles(Tier::Fast),
@@ -215,7 +218,7 @@ struct Sim<'a, 'w> {
     llc: Llc,
     chmu: Option<Chmu>,
     pebs: PebsSampler,
-    rng: StdRng,
+    rng: SplitMix64,
     counters: PmuCounters,
     latency: [u64; 2],
     channels: [Channel; 2],
@@ -228,6 +231,10 @@ struct Sim<'a, 'w> {
     window_promos: u64,
     window_demos: u64,
     window_telemetry: Vec<(&'static str, f64)>,
+    // Reusable policy-callback sinks: cleared and lent to PolicyCtx on
+    // every sample/window so the hot path never allocates.
+    order_buf: Vec<MigrationOrder>,
+    telemetry_buf: Vec<(&'static str, f64)>,
     // Migration state.
     order_queue: VecDeque<MigrationOrder>,
     promotions: u64,
@@ -323,7 +330,7 @@ impl<'a, 'w> Sim<'a, 'w> {
             llc: Llc::new(cfg.llc),
             chmu: (cfg.chmu_counters > 0).then(|| Chmu::new(cfg.chmu_counters)),
             pebs: PebsSampler::new(pebs_cfg),
-            rng: StdRng::seed_from_u64(cfg.seed),
+            rng: SplitMix64::seed_from_u64(cfg.seed),
             counters: PmuCounters::default(),
             latency: [
                 cfg.latency_cycles(Tier::Fast),
@@ -341,6 +348,8 @@ impl<'a, 'w> Sim<'a, 'w> {
             window_promos: 0,
             window_demos: 0,
             window_telemetry: Vec::new(),
+            order_buf: Vec::new(),
+            telemetry_buf: Vec::new(),
             order_queue: VecDeque::new(),
             promotions: 0,
             demotions: 0,
@@ -348,9 +357,7 @@ impl<'a, 'w> Sim<'a, 'w> {
             dropped_orders: 0,
             hint_scan_per_window: 0,
             foreground_threads,
-            page_stalls: cfg
-                .track_page_stalls
-                .then(std::collections::HashMap::new),
+            page_stalls: cfg.track_page_stalls.then(std::collections::HashMap::new),
             cfg,
         }
     }
@@ -514,8 +521,7 @@ impl<'a, 'w> Sim<'a, 'w> {
                 }
                 let now = t.now;
                 let delay = self.channels[tidx].book(now, 1);
-                let handoff =
-                    now + delay as u64 + self.channels[tidx].transfer_cycles() as u64 + 1;
+                let handoff = now + delay as u64 + self.channels[tidx].transfer_cycles() as u64 + 1;
                 self.threads[ti].write_buffer.push(Reverse(handoff));
                 self.counters.bytes[tidx] += LINE_BYTES;
             }
@@ -629,24 +635,29 @@ impl<'a, 'w> Sim<'a, 'w> {
 
     /// Routes a sample event to the policy and applies resulting orders.
     fn deliver_sample(&mut self, ti: usize, ev: SampleEvent) {
+        let mut orders = std::mem::take(&mut self.order_buf);
+        let mut telemetry = std::mem::take(&mut self.telemetry_buf);
         let mut ctx = PolicyCtx::new(
             &mut self.mem,
             self.chmu.as_mut(),
+            &mut orders,
+            &mut telemetry,
             &mut self.hint_scan_per_window,
             self.promotions,
             self.demotions,
             self.window_idx,
         );
         self.policy.on_sample(&ev, &mut ctx);
-        let (orders, telemetry) = ctx.into_parts();
-        self.window_telemetry.extend(telemetry);
-        for order in orders {
+        self.window_telemetry.append(&mut telemetry);
+        for order in orders.drain(..) {
             if order.sync {
                 self.execute_order(order, Some(ti));
             } else {
                 self.enqueue_order(order);
             }
         }
+        self.order_buf = orders;
+        self.telemetry_buf = telemetry;
     }
 
     fn enqueue_order(&mut self, order: MigrationOrder) {
@@ -704,9 +715,13 @@ impl<'a, 'w> Sim<'a, 'w> {
     /// run the migration daemon, refresh hint-fault poison.
     fn fire_window(&mut self) {
         let delta = self.counters.delta_since(&self.last_snapshot);
+        let mut orders = std::mem::take(&mut self.order_buf);
+        let mut telemetry = std::mem::take(&mut self.telemetry_buf);
         let mut ctx = PolicyCtx::new(
             &mut self.mem,
             self.chmu.as_mut(),
+            &mut orders,
+            &mut telemetry,
             &mut self.hint_scan_per_window,
             self.promotions,
             self.demotions,
@@ -719,11 +734,12 @@ impl<'a, 'w> Sim<'a, 'w> {
             cumulative: &self.counters,
         };
         self.policy.on_window(&win, &mut ctx);
-        let (orders, telemetry) = ctx.into_parts();
-        self.window_telemetry.extend(telemetry);
-        for order in orders {
+        self.window_telemetry.append(&mut telemetry);
+        for order in orders.drain(..) {
             self.enqueue_order(order);
         }
+        self.order_buf = orders;
+        self.telemetry_buf = telemetry;
 
         // Background daemon: migrate within its per-window page budget.
         let mut budget = self.cfg.migration.daemon_pages_per_window;
@@ -782,10 +798,14 @@ mod tests {
         let mut v = Vec::with_capacity(count as usize);
         let mut x = 12345u64;
         for _ in 0..count {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let page = x % pages;
             let line = (x >> 32) % (PAGE_BYTES / LINE_BYTES);
-            v.push(Access::dependent_load(page * PAGE_BYTES + line * LINE_BYTES));
+            v.push(Access::dependent_load(
+                page * PAGE_BYTES + line * LINE_BYTES,
+            ));
         }
         v
     }
@@ -823,7 +843,9 @@ mod tests {
         let mut x = 7u64;
         for _ in 0..30_000 {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-            v.push(Access::load((x % 4000) * PAGE_BYTES + ((x >> 40) % 64) * LINE_BYTES));
+            v.push(Access::load(
+                (x % 4000) * PAGE_BYTES + ((x >> 40) % 64) * LINE_BYTES,
+            ));
         }
         let wl = TraceWorkload::new("rand-indep", 1 << 24, v);
         let mut cfg = small_cfg(0);

@@ -59,7 +59,10 @@ impl Memory {
     ///
     /// Panics if `unit_span` is not a power of two.
     pub fn new(total_pages: u64, fast_capacity: u64, unit_span: u64) -> Self {
-        assert!(unit_span.is_power_of_two(), "unit span must be a power of two");
+        assert!(
+            unit_span.is_power_of_two(),
+            "unit span must be a power of two"
+        );
         Self {
             meta: vec![PageMeta::EMPTY; total_pages as usize],
             fast_capacity,
@@ -424,7 +427,7 @@ mod tests {
         assert_eq!(s1, vec![PageId(0), PageId(1)]);
         let s2 = mem.scan_slow_units(2);
         assert_eq!(s2[0], PageId(2)); // cursor continues
-        // Promote one; it should disappear from future scans.
+                                      // Promote one; it should disappear from future scans.
         let mut mem2 = Memory::new(10, 5, 1);
         for i in 0..3 {
             mem2.ensure_mapped(PageId(i));

@@ -66,12 +66,16 @@ pub struct WindowStats<'a> {
 
 /// Capability handle through which a policy inspects memory state and
 /// requests actions. Borrowed mutably for the duration of one callback.
+///
+/// The order/telemetry sinks are borrowed from the machine rather than
+/// owned, so the per-sample hot path reuses two long-lived buffers
+/// instead of allocating fresh vectors on every delivered sample.
 #[derive(Debug)]
 pub struct PolicyCtx<'a> {
     mem: &'a mut Memory,
     chmu: Option<&'a mut Chmu>,
-    orders: Vec<MigrationOrder>,
-    telemetry: Vec<(&'static str, f64)>,
+    orders: &'a mut Vec<MigrationOrder>,
+    telemetry: &'a mut Vec<(&'static str, f64)>,
     hint_scan_per_window: &'a mut u64,
     promotions: u64,
     demotions: u64,
@@ -79,9 +83,12 @@ pub struct PolicyCtx<'a> {
 }
 
 impl<'a> PolicyCtx<'a> {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         mem: &'a mut Memory,
         chmu: Option<&'a mut Chmu>,
+        orders: &'a mut Vec<MigrationOrder>,
+        telemetry: &'a mut Vec<(&'static str, f64)>,
         hint_scan_per_window: &'a mut u64,
         promotions: u64,
         demotions: u64,
@@ -90,17 +97,13 @@ impl<'a> PolicyCtx<'a> {
         Self {
             mem,
             chmu,
-            orders: Vec::new(),
-            telemetry: Vec::new(),
+            orders,
+            telemetry,
             hint_scan_per_window,
             promotions,
             demotions,
             window,
         }
-    }
-
-    pub(crate) fn into_parts(self) -> (Vec<MigrationOrder>, Vec<(&'static str, f64)>) {
-        (self.orders, self.telemetry)
     }
 
     /// Queues a background promotion of the unit containing `page`.
@@ -293,7 +296,9 @@ mod tests {
         let mut mem = Memory::new(16, 4, 1);
         mem.ensure_mapped(PageId(0));
         let mut scan = 0u64;
-        let mut ctx = PolicyCtx::new(&mut mem, None, &mut scan, 3, 5, 7);
+        let mut orders = Vec::new();
+        let mut telem = Vec::new();
+        let mut ctx = PolicyCtx::new(&mut mem, None, &mut orders, &mut telem, &mut scan, 3, 5, 7);
         assert_eq!(ctx.promotions(), 3);
         assert_eq!(ctx.demotions(), 5);
         assert_eq!(ctx.window_index(), 7);
@@ -302,9 +307,15 @@ mod tests {
         ctx.demote(PageId(0));
         ctx.set_hint_scan_rate(64);
         ctx.telemetry("bin_width", 1.5);
-        let (orders, telem) = ctx.into_parts();
         assert_eq!(orders.len(), 3);
-        assert_eq!(orders[0], MigrationOrder { page: PageId(1), to: Tier::Fast, sync: false });
+        assert_eq!(
+            orders[0],
+            MigrationOrder {
+                page: PageId(1),
+                to: Tier::Fast,
+                sync: false
+            }
+        );
         assert!(orders[1].sync);
         assert_eq!(orders[2].to, Tier::Slow);
         assert_eq!(telem, vec![("bin_width", 1.5)]);
@@ -316,7 +327,9 @@ mod tests {
         let mut mem = Memory::new(16, 4, 1);
         mem.ensure_mapped(PageId(9));
         let mut scan = 0u64;
-        let ctx = PolicyCtx::new(&mut mem, None, &mut scan, 0, 0, 0);
+        let mut orders = Vec::new();
+        let mut telem = Vec::new();
+        let ctx = PolicyCtx::new(&mut mem, None, &mut orders, &mut telem, &mut scan, 0, 0, 0);
         assert_eq!(ctx.fast_capacity(), 4);
         assert_eq!(ctx.fast_used(), 1);
         assert_eq!(ctx.fast_free(), 3);
@@ -331,7 +344,9 @@ mod tests {
         assert_eq!(p.name(), "notier");
         let mut mem = Memory::new(4, 4, 1);
         let mut scan = 0u64;
-        let mut ctx = PolicyCtx::new(&mut mem, None, &mut scan, 0, 0, 0);
+        let mut orders = Vec::new();
+        let mut telem = Vec::new();
+        let mut ctx = PolicyCtx::new(&mut mem, None, &mut orders, &mut telem, &mut scan, 0, 0, 0);
         let win = WindowStats {
             index: 0,
             end_cycles: 0,
@@ -339,7 +354,6 @@ mod tests {
             cumulative: &PmuCounters::default(),
         };
         p.on_window(&win, &mut ctx);
-        let (orders, _) = ctx.into_parts();
         assert!(orders.is_empty());
     }
 }

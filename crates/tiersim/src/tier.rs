@@ -167,7 +167,7 @@ mod tests {
     fn carry_propagates_across_window_advance() {
         let mut ch = Channel::new(4.0);
         ch.book(0, 3_200); // 100 epochs of work booked at t=0
-        // One window later the backlog must still be large.
+                           // One window later the backlog must still be large.
         let t = EPOCHS as u64 * EPOCH_CYCLES;
         assert!(ch.backlog_cycles(t) > 1_000.0);
     }

@@ -167,8 +167,7 @@ mod tests {
         assert_eq!(wl.name(), "unit");
         assert_eq!(wl.footprint_bytes(), 1 << 40);
         let mut replay = wl.streams();
-        let got: Vec<Access> =
-            std::iter::from_fn(|| replay[0].next_access()).collect();
+        let got: Vec<Access> = std::iter::from_fn(|| replay[0].next_access()).collect();
         assert_eq!(got, sample_accesses());
     }
 

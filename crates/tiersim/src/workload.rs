@@ -47,7 +47,12 @@ impl Region {
 /// `streams` must return a *fresh* set of thread streams each call so the
 /// same workload can be executed multiple times (DRAM-only baseline run,
 /// policy run, Soar profiling run) with identical access sequences.
-pub trait Workload {
+///
+/// Workloads are `Send + Sync`: construction (graph generation, store
+/// population) happens once, after which the immutable artifact is shared
+/// across concurrent sweep runs via `Arc` instead of being rebuilt per
+/// (policy, ratio) cell.
+pub trait Workload: Send + Sync {
     /// Workload name used in reports (e.g. `"bc-kron"`).
     fn name(&self) -> String;
 

@@ -1,9 +1,8 @@
 //! Shared workload-construction helpers: address-space layout, Zipf
 //! sampling, and a buffered stream adapter for incremental generators.
 
+use pact_stats::SplitMix64;
 use pact_tiersim::{Access, AccessStream, Region, PAGE_BYTES};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 
 /// Allocates named, page-aligned regions in a workload's virtual address
 /// space and produces the matching [`Region`] list for object-granular
@@ -89,7 +88,7 @@ impl Zipf {
     }
 
     /// Draws one rank; rank 0 is the most popular item.
-    pub fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+    pub fn sample(&self, rng: &mut SplitMix64) -> u64 {
         let u: f64 = rng.random();
         let uz = u * self.zetan;
         if uz < 1.0 {
@@ -247,8 +246,8 @@ pub fn scramble(rank: u64, n: u64) -> u64 {
 
 /// Deterministic per-(seed, stream) RNG used across workloads so every
 /// run of a workload emits the identical access sequence.
-pub fn stream_rng(seed: u64, stream: u64) -> StdRng {
-    StdRng::seed_from_u64(seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+pub fn stream_rng(seed: u64, stream: u64) -> SplitMix64 {
+    SplitMix64::seed_from_u64(seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
 #[cfg(test)]

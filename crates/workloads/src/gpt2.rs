@@ -56,7 +56,10 @@ impl Gpt2 {
         tokens: u32,
         threads: usize,
     ) -> Self {
-        assert!(layers > 0 && tokens > 0 && threads > 0, "need layers, tokens, threads");
+        assert!(
+            layers > 0 && tokens > 0 && threads > 0,
+            "need layers, tokens, threads"
+        );
         assert!(weight_bytes_per_layer >= LINE_BYTES);
         let context = tokens + 256; // prompt prefix
         let kv_bytes_per_token_layer = 2 * 1024; // K+V rows, scaled
@@ -169,8 +172,7 @@ impl Generator for Gpt2Gen<'_> {
             }
             if self.thread == 0 {
                 // Append this token's K/V rows.
-                let row =
-                    wl.kv_base + (past * wl.layers as u64 + self.layer as u64) * stride;
+                let row = wl.kv_base + (past * wl.layers as u64 + self.layer as u64) * stride;
                 out.push_back(Access::store(row));
                 out.push_back(Access::store(row + stride / 2));
             }
@@ -242,7 +244,12 @@ mod tests {
     fn kv_cache_grows_with_tokens() {
         let w = Gpt2::new(2, 64 * 1024, 16);
         let t = drain(&w);
-        let kv = w.regions().iter().find(|r| r.name == "kv_cache").unwrap().clone();
+        let kv = w
+            .regions()
+            .iter()
+            .find(|r| r.name == "kv_cache")
+            .unwrap()
+            .clone();
         let stores: Vec<u64> = t
             .iter()
             .filter(|a| a.kind == AccessKind::Store && kv.contains(a.vaddr))

@@ -144,7 +144,10 @@ mod tests {
         let g = Csr::from_edges(&kronecker(8, 4, 1), false);
         let mut total = 0;
         for v in 0..g.num_vertices() {
-            assert_eq!(g.offset(v) + g.degree(v), g.offset(v) + g.neighbors(v).len() as u64);
+            assert_eq!(
+                g.offset(v) + g.degree(v),
+                g.offset(v) + g.neighbors(v).len() as u64
+            );
             total += g.degree(v);
         }
         assert_eq!(total, g.num_edges());

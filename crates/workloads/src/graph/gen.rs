@@ -7,8 +7,7 @@
 //! heavy-tailed degree distribution that makes the real Twitter graph
 //! interesting for tiering (hub pages with serialized access).
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use pact_stats::SplitMix64;
 
 use crate::common::Zipf;
 
@@ -29,7 +28,7 @@ pub fn kronecker(scale: u32, edge_factor: u32, seed: u64) -> EdgeList {
     assert!(scale > 0 && scale < 31, "scale out of range");
     let n = 1u32 << scale;
     let m = n as u64 * edge_factor as u64;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut edges = Vec::with_capacity(m as usize);
     const A: f64 = 0.57;
     const B: f64 = 0.19;
@@ -60,7 +59,7 @@ pub fn kronecker(scale: u32, edge_factor: u32, seed: u64) -> EdgeList {
 /// drawn uniformly from `0..n` (the GAPBS `-urand` input).
 pub fn uniform(n: u32, m: u64, seed: u64) -> EdgeList {
     assert!(n > 1, "need at least two vertices");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let edges = (0..m)
         .map(|_| (rng.random_range(0..n), rng.random_range(0..n)))
         .collect();
@@ -72,7 +71,7 @@ pub fn uniform(n: u32, m: u64, seed: u64) -> EdgeList {
 /// degree distribution of social graphs like Twitter.
 pub fn power_law(n: u32, m: u64, theta: f64, seed: u64) -> EdgeList {
     assert!(n > 1, "need at least two vertices");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let zipf = Zipf::new(n as u64, theta);
     let edges = (0..m)
         .map(|_| {

@@ -231,8 +231,9 @@ impl Workload for GraphWorkload {
                 threads,
             } => (0..threads)
                 .map(|t| {
-                    Box::new(BufferedStream::new(PrGen::new(self, t, threads, iterations)))
-                        as Box<dyn AccessStream + '_>
+                    Box::new(BufferedStream::new(PrGen::new(
+                        self, t, threads, iterations,
+                    ))) as Box<dyn AccessStream + '_>
                 })
                 .collect(),
             Kernel::TriangleCount { threads, budget } => (0..threads)
@@ -758,7 +759,12 @@ mod tests {
             },
             1,
         );
-        let depth = wl.regions().iter().find(|r| r.name == "depth").unwrap().clone();
+        let depth = wl
+            .regions()
+            .iter()
+            .find(|r| r.name == "depth")
+            .unwrap()
+            .clone();
         let traces = drain_all(&wl);
         for t in &traces {
             assert!(

@@ -4,9 +4,8 @@
 
 use std::collections::VecDeque;
 
+use pact_stats::SplitMix64;
 use pact_tiersim::{Access, AccessStream, Region, Workload, LINE_BYTES};
-use rand::rngs::StdRng;
-use rand::RngExt;
 
 use crate::common::{stream_rng, BufferedStream, Generator, InitPhase, LayoutBuilder};
 
@@ -123,7 +122,7 @@ struct GupsGen {
     cursor: u64,
     in_phase: u64,
     random_phase: bool,
-    rng: StdRng,
+    rng: SplitMix64,
 }
 
 impl Generator for GupsGen {

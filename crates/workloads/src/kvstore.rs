@@ -8,11 +8,12 @@
 
 use std::collections::VecDeque;
 
+use pact_stats::SplitMix64;
 use pact_tiersim::{Access, AccessStream, Region, Workload, LINE_BYTES};
-use rand::rngs::StdRng;
-use rand::RngExt;
 
-use crate::common::{scramble, stream_rng, BufferedStream, Generator, InitPhase, LayoutBuilder, Zipf};
+use crate::common::{
+    scramble, stream_rng, BufferedStream, Generator, InitPhase, LayoutBuilder, Zipf,
+};
 
 /// YCSB operation mix.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -63,7 +64,14 @@ impl KvStore {
     /// # Panics
     ///
     /// Panics on an empty keyspace or zero threads.
-    pub fn new(keys: u64, value_bytes: u64, ops: u64, threads: usize, mix: YcsbMix, seed: u64) -> Self {
+    pub fn new(
+        keys: u64,
+        value_bytes: u64,
+        ops: u64,
+        threads: usize,
+        mix: YcsbMix,
+        seed: u64,
+    ) -> Self {
         assert!(keys > 1, "need a keyspace");
         assert!(threads > 0);
         let buckets = (keys / 2).next_power_of_two();
@@ -151,7 +159,7 @@ struct KvGen<'w> {
     wl: &'w KvStore,
     zipf: Zipf,
     remaining: u64,
-    rng: StdRng,
+    rng: SplitMix64,
 }
 
 fn mix64(mut x: u64) -> u64 {
@@ -236,8 +244,15 @@ mod tests {
         use std::collections::HashSet;
         let w = KvStore::redis_ycsb_c(100_000, 20_000, 3);
         let t = drain_one(&w);
-        let values = w.regions().iter().find(|r| r.name == "values").unwrap().clone();
-        let hot_slots: HashSet<u64> = (0..1_000).map(|r| crate::common::scramble(r, 100_000)).collect();
+        let values = w
+            .regions()
+            .iter()
+            .find(|r| r.name == "values")
+            .unwrap()
+            .clone();
+        let hot_slots: HashSet<u64> = (0..1_000)
+            .map(|r| crate::common::scramble(r, 100_000))
+            .collect();
         let mut hot = 0usize;
         let mut total = 0usize;
         let mut max_slot = 0u64;
@@ -261,7 +276,12 @@ mod tests {
     fn chain_walk_is_dependent() {
         let w = KvStore::redis_ycsb_c(1_000, 500, 2);
         let t = drain_one(&w);
-        let entries = w.regions().iter().find(|r| r.name == "ht_entries").unwrap().clone();
+        let entries = w
+            .regions()
+            .iter()
+            .find(|r| r.name == "ht_entries")
+            .unwrap()
+            .clone();
         assert!(t
             .iter()
             .filter(|a| entries.contains(a.vaddr))

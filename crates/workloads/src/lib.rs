@@ -36,8 +36,8 @@
 #![warn(missing_docs)]
 
 mod common;
-pub mod graph;
 mod gpt2;
+pub mod graph;
 mod gups;
 mod kvstore;
 mod masim;

@@ -4,9 +4,8 @@
 
 use std::collections::VecDeque;
 
+use pact_stats::SplitMix64;
 use pact_tiersim::{Access, AccessStream, Region, Workload, LINE_BYTES};
-use rand::rngs::StdRng;
-use rand::RngExt;
 
 use crate::common::{stream_rng, BufferedStream, Generator, LayoutBuilder};
 
@@ -154,7 +153,7 @@ struct MasimGen {
     lines: u64,
     cursor: u64,
     emitted: u64,
-    rng: StdRng,
+    rng: SplitMix64,
 }
 
 impl Generator for MasimGen {

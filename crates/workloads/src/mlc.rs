@@ -102,9 +102,7 @@ impl Generator for MlcGen {
         }
         let batch = self.remaining.min(64);
         for _ in 0..batch {
-            out.push_back(
-                Access::load(self.base + self.cursor * LINE_BYTES).with_work(self.work),
-            );
+            out.push_back(Access::load(self.base + self.cursor * LINE_BYTES).with_work(self.work));
             self.cursor = (self.cursor + 1) % self.lines;
         }
         self.remaining -= batch;

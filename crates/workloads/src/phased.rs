@@ -10,9 +10,8 @@
 
 use std::collections::VecDeque;
 
+use pact_stats::SplitMix64;
 use pact_tiersim::{Access, AccessStream, Region, Workload, LINE_BYTES};
-use rand::rngs::StdRng;
-use rand::RngExt;
 
 use crate::common::{stream_rng, BufferedStream, Generator, LayoutBuilder};
 
@@ -128,7 +127,12 @@ impl Phased {
 
     /// The Figure 3 trace: alternating streaming and chasing phases, so
     /// MLP is stable within phases and shifts across them.
-    pub fn mlp_phases(buffer_bytes: u64, loads_per_phase: u64, phase_pairs: u32, seed: u64) -> Phased {
+    pub fn mlp_phases(
+        buffer_bytes: u64,
+        loads_per_phase: u64,
+        phase_pairs: u32,
+        seed: u64,
+    ) -> Phased {
         Phased::new(
             "mlp-phases",
             buffer_bytes,
@@ -194,7 +198,7 @@ struct PhasedGen {
     phase_idx: usize,
     emitted_in_phase: u64,
     cursor: u64,
-    rng: StdRng,
+    rng: SplitMix64,
 }
 
 impl Generator for PhasedGen {

@@ -8,10 +8,12 @@
 
 use std::collections::VecDeque;
 
+use pact_stats::SplitMix64;
 use pact_tiersim::{Access, AccessStream, Region, Workload, LINE_BYTES};
-use rand::rngs::StdRng;
 
-use crate::common::{scramble, stream_rng, BufferedStream, Generator, InitPhase, LayoutBuilder, Zipf};
+use crate::common::{
+    scramble, stream_rng, BufferedStream, Generator, InitPhase, LayoutBuilder, Zipf,
+};
 
 /// Bytes per B+-tree node (one line-sized header plus keys; we model a
 /// 256-byte node = 4 lines, of which the search touches ~2).
@@ -140,7 +142,7 @@ struct SiloGen<'w> {
     wl: &'w Silo,
     zipf: Zipf,
     remaining: u64,
-    rng: StdRng,
+    rng: SplitMix64,
 }
 
 impl SiloGen<'_> {
@@ -247,7 +249,12 @@ mod tests {
     fn root_is_reused_across_txns() {
         let w = Silo::new(50_000, 128, 100, 1, 3);
         let t = drain_one(&w);
-        let root = w.regions().iter().find(|r| r.name == "btree_l0").unwrap().clone();
+        let root = w
+            .regions()
+            .iter()
+            .find(|r| r.name == "btree_l0")
+            .unwrap()
+            .clone();
         let hits = t.iter().filter(|a| root.contains(a.vaddr)).count();
         // Every probe touches the root twice: 100 txns x 10 ops x 2.
         assert_eq!(hits, 100 * 10 * 2);

@@ -10,9 +10,8 @@
 
 use std::collections::VecDeque;
 
+use pact_stats::SplitMix64;
 use pact_tiersim::{Access, AccessStream, Region, Workload, LINE_BYTES};
-use rand::rngs::StdRng;
-use rand::RngExt;
 
 use crate::common::{stream_rng, BufferedStream, Generator, InitPhase, LayoutBuilder};
 
@@ -163,7 +162,11 @@ impl Workload for Deepsjeng {
 
     /// Transposition-table allocation.
     fn prologue(&self) -> Option<Box<dyn AccessStream + '_>> {
-        Some(InitPhase::new().zero(self.tt_base, self.tt_bytes).into_stream())
+        Some(
+            InitPhase::new()
+                .zero(self.tt_base, self.tt_bytes)
+                .into_stream(),
+        )
     }
 
     fn streams(&self) -> Vec<Box<dyn AccessStream + '_>> {
@@ -185,7 +188,7 @@ struct DeepsjengGen<'w> {
     wl: &'w Deepsjeng,
     remaining: u64,
     depth: u64,
-    rng: StdRng,
+    rng: SplitMix64,
 }
 
 impl Generator for DeepsjengGen<'_> {
@@ -292,7 +295,7 @@ impl Workload for Xz {
 struct XzGen<'w> {
     wl: &'w Xz,
     cursor: u64,
-    rng: StdRng,
+    rng: SplitMix64,
 }
 
 impl Generator for XzGen<'_> {
@@ -311,9 +314,7 @@ impl Generator for XzGen<'_> {
         let window_lines = wl.window_bytes / LINE_BYTES;
         for _ in 0..walks {
             let pos = self.rng.random_range(0..window_lines);
-            out.push_back(
-                Access::dependent_load(wl.window_base + pos * LINE_BYTES).with_work(12),
-            );
+            out.push_back(Access::dependent_load(wl.window_base + pos * LINE_BYTES).with_work(12));
         }
         // Append the line to the history window (store).
         let wpos = self.cursor % window_lines;
@@ -361,8 +362,7 @@ mod tests {
     fn deepsjeng_is_compute_heavy() {
         let w = Deepsjeng::new(1 << 20, 1_000, 2, 1);
         let t = drain(w.streams(), w.footprint_bytes());
-        let avg_work: f64 =
-            t.iter().map(|a| a.work as f64).sum::<f64>() / t.len() as f64;
+        let avg_work: f64 = t.iter().map(|a| a.work as f64).sum::<f64>() / t.len() as f64;
         assert!(avg_work > 20.0, "avg work {avg_work}");
     }
 

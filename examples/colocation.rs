@@ -46,9 +46,7 @@ fn main() {
     );
     for policy in policies.iter_mut() {
         let r = machine.run_colocated(&[&seq, &rnd], policy.as_mut());
-        let s = |name| {
-            (cycles_of(&r, name) as f64 / cycles_of(&base, name) as f64 - 1.0) * 100.0
-        };
+        let s = |name| (cycles_of(&r, name) as f64 / cycles_of(&base, name) as f64 - 1.0) * 100.0;
         println!(
             "{:10} {:>13.1}% {:>13.1}% {:>10}",
             r.policy,

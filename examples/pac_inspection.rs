@@ -38,7 +38,10 @@ fn main() {
 
     // Distribution of accumulated PAC across pages.
     let pacs: Vec<f64> = pact.store().iter().map(|(_, e)| e.pac).collect();
-    println!("\nPAC distribution across pages: {}", Summary::from_values(&pacs));
+    println!(
+        "\nPAC distribution across pages: {}",
+        Summary::from_values(&pacs)
+    );
 
     // Top pages by PAC vs top pages by frequency: how much do the
     // rankings agree?

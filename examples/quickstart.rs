@@ -62,7 +62,6 @@ fn main() {
         "\nPACT recovered {:.0}% of the tiering penalty by promoting the\n\
          pointer-chased (high-PAC) pages and leaving the streamed pages\n\
          — equally hot, but latency-tolerant — on the slow tier.",
-        (1.0 - slowdown(with_pact.total_cycles) / slowdown(no_tier.total_cycles).max(1e-9))
-            * 100.0
+        (1.0 - slowdown(with_pact.total_cycles) / slowdown(no_tier.total_cycles).max(1e-9)) * 100.0
     );
 }

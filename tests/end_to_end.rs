@@ -10,7 +10,7 @@ use pact_workloads::suite::{build, Scale, SUITE};
 #[test]
 fn suite_runs_under_pact_and_notier() {
     for name in SUITE {
-        let mut h = Harness::new(build(name, Scale::Smoke, 7));
+        let h = Harness::new(build(name, Scale::Smoke, 7));
         for policy in ["pact", "notier"] {
             let out = h.run_policy(policy, TierRatio::new(1, 1));
             let r = &out.report;
@@ -33,7 +33,7 @@ fn suite_runs_under_pact_and_notier() {
 /// a representative workload and respects conservation invariants.
 #[test]
 fn all_policies_run_on_silo() {
-    let mut h = Harness::new(build("silo", Scale::Smoke, 3));
+    let h = Harness::new(build("silo", Scale::Smoke, 3));
     for policy in ALL_POLICIES {
         let out = h.run_policy(policy, TierRatio::new(1, 2));
         let r = &out.report;
@@ -61,7 +61,7 @@ fn runs_are_deterministic_end_to_end() {
                 wl.footprint_bytes() / PAGE_BYTES / 2,
             ))
             .unwrap();
-            let mut p = make_policy(policy);
+            let mut p = make_policy(policy).expect("known policy");
             let r = machine.run(wl.as_ref(), p.as_mut());
             (r.total_cycles, r.promotions, r.counters)
         };
@@ -74,7 +74,7 @@ fn runs_are_deterministic_end_to_end() {
 #[test]
 fn dram_is_a_lower_bound() {
     for name in ["bc-kron", "redis", "gups"] {
-        let mut h = Harness::new(build(name, Scale::Smoke, 5));
+        let h = Harness::new(build(name, Scale::Smoke, 5));
         for ratio in [TierRatio::new(4, 1), TierRatio::new(1, 4)] {
             for policy in ["pact", "colloid", "notier"] {
                 let out = h.run_policy(policy, ratio);
@@ -97,7 +97,7 @@ fn thp_migrates_whole_units() {
     cfg.thp = true;
     let span = cfg.thp_unit_pages;
     let machine = Machine::new(cfg).unwrap();
-    let mut pact = make_policy("pact");
+    let mut pact = make_policy("pact").expect("known policy");
     let r = machine.run(wl.as_ref(), pact.as_mut());
     assert_eq!(
         r.promotions % span,
@@ -114,7 +114,7 @@ fn colocation_accounting_is_per_process() {
     let a = build("gups", Scale::Smoke, 1);
     let b = build("silo", Scale::Smoke, 2);
     let machine = Machine::new(MachineConfig::skylake_cxl(2048)).unwrap();
-    let mut pact = make_policy("pact");
+    let mut pact = make_policy("pact").expect("known policy");
     let r = machine.run_colocated(&[a.as_ref(), b.as_ref()], pact.as_mut());
     assert_eq!(r.per_process.len(), 2);
     let total: u64 = r.per_process.iter().map(|p| p.accesses).sum();

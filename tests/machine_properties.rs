@@ -11,11 +11,7 @@ use proptest::prelude::*;
 /// independent, sequential runs and random jumps.
 fn trace_strategy(pages: u64, len: usize) -> impl Strategy<Value = Vec<Access>> {
     prop::collection::vec(
-        (
-            0..pages * PAGE_BYTES / LINE_BYTES,
-            0u8..4,
-            0u16..16,
-        ),
+        (0..pages * PAGE_BYTES / LINE_BYTES, 0u8..4, 0u16..16),
         1..len,
     )
     .prop_map(move |raw| {

@@ -114,7 +114,7 @@ fn tpp_is_the_pathological_baseline() {
 /// lose to ranking by frequency on a criticality-divergent workload.
 #[test]
 fn pac_ranking_at_least_matches_frequency_ranking() {
-    let mut h = Harness::new(build("bc-kron", Scale::Smoke, 13));
+    let h = Harness::new(build("bc-kron", Scale::Smoke, 13));
     let pac = h.run_policy("pact", TierRatio::new(1, 2));
     let freq = h.run_policy("pact-freq", TierRatio::new(1, 2));
     assert!(
@@ -129,7 +129,7 @@ fn pac_ranking_at_least_matches_frequency_ranking() {
 /// with any fast tier does at least as well.
 #[test]
 fn cxl_only_is_the_ceiling() {
-    let mut h = Harness::new(build("bc-kron", Scale::Smoke, 17));
+    let h = Harness::new(build("bc-kron", Scale::Smoke, 17));
     let cxl = h.cxl_slowdown();
     for policy in ["pact", "notier", "memtis"] {
         let out = h.run_policy(policy, TierRatio::new(1, 1));

@@ -1,0 +1,161 @@
+//! A minimal, dependency-free stand-in for the subset of the
+//! `criterion` API this workspace's micro-benchmarks use, so the bench
+//! targets build and run with no network access.
+//!
+//! Measurement model: each benchmark is warmed briefly, then timed over
+//! enough iterations to fill a small measurement window; the mean
+//! time/iteration is printed. There are no statistical reports — the
+//! numbers are indicative, meant for spotting order-of-magnitude
+//! regressions in CI logs.
+
+use std::time::{Duration, Instant};
+
+/// Per-measurement time budget. Deliberately small: `cargo test` also
+/// executes `harness = false` bench binaries, so the whole suite must
+/// stay fast.
+const MEASURE_WINDOW: Duration = Duration::from_millis(20);
+
+/// How a batched benchmark amortizes its setup (size hints are
+/// accepted for API compatibility and do not change measurement here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Medium per-iteration input.
+    MediumInput,
+    /// Large per-iteration input.
+    LargeInput,
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Self {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    /// Times `routine` repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up + rate estimate.
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(20));
+        let batch = (MEASURE_WINDOW.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..batch {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters_done = batch;
+    }
+
+    /// Times `routine` over fresh inputs from `setup`, excluding setup
+    /// time from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        std::hint::black_box(routine(input));
+        let once = start.elapsed().max(Duration::from_nanos(20));
+        let batch = (MEASURE_WINDOW.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+        let mut inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+        let start = Instant::now();
+        for input in inputs.drain(..) {
+            std::hint::black_box(routine(input));
+        }
+        self.elapsed = start.elapsed();
+        self.iters_done = batch;
+    }
+}
+
+fn report(name: &str, b: &Bencher) {
+    if b.iters_done == 0 {
+        println!("{name:<44} (no measurement)");
+        return;
+    }
+    let per = b.elapsed.as_nanos() as f64 / b.iters_done as f64;
+    if per >= 1_000_000.0 {
+        println!("{name:<44} {:>12.3} ms/iter", per / 1e6);
+    } else if per >= 1_000.0 {
+        println!("{name:<44} {:>12.3} µs/iter", per / 1e3);
+    } else {
+        println!("{name:<44} {:>12.1} ns/iter", per);
+    }
+}
+
+/// Benchmark registry/driver, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(name, &b);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named group; settings are accepted for API compatibility.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; sampling here is time-boxed instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(&format!("{}/{name}", self.name), &b);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function calling each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
