@@ -33,4 +33,17 @@ cargo test --workspace -q
 echo "==> sweep perf probe (records BENCH_sweep.json)"
 cargo run --release -p pact-bench --bin probe_sweep
 
+echo "==> obs smoke: traced run validates and is seed-reproducible"
+obs_dir="target/ci-obs"
+rm -rf "$obs_dir"
+mkdir -p "$obs_dir"
+cargo run --release -p pact-bench --bin tierctl -- trace \
+    --workload gups --policy pact --seed 7 --validate \
+    --out "$obs_dir/a.json"
+cargo run --release -p pact-bench --bin tierctl -- trace \
+    --workload gups --policy pact --seed 7 --validate \
+    --out "$obs_dir/b.json"
+cmp "$obs_dir/a.json" "$obs_dir/b.json"
+echo "    chrome traces byte-identical across identically-seeded runs"
+
 echo "CI OK"

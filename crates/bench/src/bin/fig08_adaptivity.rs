@@ -47,6 +47,28 @@ fn main() {
         first_quarter / total * 100.0
     ));
 
+    // Queue pressure over time: per-window rejected promotions and
+    // dropped daemon orders localize when migration demand outran the
+    // fast tier or the daemon queue (flat zero lines are the good case).
+    let failed: Vec<f64> = pact
+        .report
+        .windows
+        .iter()
+        .map(|w| w.failed_promotions as f64)
+        .collect();
+    let dropped: Vec<f64> = pact
+        .report
+        .windows
+        .iter()
+        .map(|w| w.dropped_orders as f64)
+        .collect();
+    out.push_str(&format!("failed/window  {}\n", sparkline(&failed, 72)));
+    out.push_str(&format!(
+        "queue pressure: {} failed promotions, {} dropped orders across the run\n",
+        pact_bench::count(failed.iter().sum::<f64>() as u64),
+        pact_bench::count(dropped.iter().sum::<f64>() as u64),
+    ));
+
     out.push_str(&banner("Figure 8b: adaptive bin width over time"));
     out.push_str(&format!("bin width      {}\n", sparkline(&widths, 72)));
     let mut t = Table::new(vec!["window", "bin width"]);

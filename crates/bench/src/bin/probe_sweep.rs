@@ -10,7 +10,7 @@
 
 use std::time::Instant;
 
-use pact_bench::{ratio_sweep_jobs, Harness, SweepResult, TierRatio};
+use pact_bench::{ratio_sweep_jobs, Harness, JsonWriter, SweepResult, TierRatio};
 use pact_workloads::suite::{build, Scale};
 
 const POLICIES: [&str; 5] = ["pact", "colloid", "memtis", "tpp", "notier"];
@@ -66,26 +66,31 @@ fn main() {
          (speedup {speedup:.2}x), identical: {identical}"
     );
 
-    let json = format!(
-        "{{\n  \"workload\": \"bc-kron\",\n  \"scale\": \"smoke\",\n  \
-         \"policies\": {},\n  \"ratios\": {},\n  \"cells\": {},\n  \
-         \"host_parallelism\": {},\n  \"sim_cycles\": {},\n  \
-         \"serial\": {{ \"jobs\": 1, \"wall_seconds\": {:.4}, \"sim_cycles_per_sec\": {:.3e} }},\n  \
-         \"parallel\": {{ \"jobs\": {}, \"wall_seconds\": {:.4}, \"sim_cycles_per_sec\": {:.3e} }},\n  \
-         \"speedup\": {:.3},\n  \"bit_identical\": {}\n}}\n",
-        POLICIES.len(),
-        ratios.len(),
-        POLICIES.len() * ratios.len(),
-        pact_bench::exec::default_jobs(),
-        cycles,
-        serial_secs,
-        cycles as f64 / serial_secs,
-        jobs,
-        parallel_secs,
-        cycles as f64 / parallel_secs,
-        speedup,
-        identical,
-    );
+    let timing = |j: &mut JsonWriter, njobs: u64, secs: f64| {
+        j.begin_object();
+        j.field_u64("jobs", njobs);
+        j.field_f64("wall_seconds", secs);
+        j.field_f64("sim_cycles_per_sec", cycles as f64 / secs);
+        j.end_object();
+    };
+    let mut j = JsonWriter::new();
+    j.begin_object();
+    j.field_str("workload", "bc-kron");
+    j.field_str("scale", "smoke");
+    j.field_u64("policies", POLICIES.len() as u64);
+    j.field_u64("ratios", ratios.len() as u64);
+    j.field_u64("cells", (POLICIES.len() * ratios.len()) as u64);
+    j.field_u64("host_parallelism", pact_bench::exec::default_jobs() as u64);
+    j.field_u64("sim_cycles", cycles);
+    j.key("serial");
+    timing(&mut j, 1, serial_secs);
+    j.key("parallel");
+    timing(&mut j, jobs as u64, parallel_secs);
+    j.field_f64("speedup", speedup);
+    j.field_bool("bit_identical", identical);
+    j.end_object();
+    let mut json = j.finish();
+    json.push('\n');
     match std::fs::write("BENCH_sweep.json", &json) {
         Ok(()) => println!("[saved BENCH_sweep.json]"),
         Err(e) => eprintln!("warning: could not write BENCH_sweep.json: {e}"),

@@ -4,11 +4,19 @@
 //! ```text
 //! cargo run --release -p pact-bench --bin tierctl -- \
 //!     --workload bc-kron --policy pact --ratio 1:2 [--thp] [--scale smoke]
+//! tierctl trace --workload gups --policy pact --out run.json   # event trace
 //! tierctl --list                # show workloads and policies
 //! ```
+//!
+//! The `trace` subcommand runs one cell with the structured event
+//! tracer enabled and exports it as Chrome-trace JSON (open in
+//! Perfetto / `chrome://tracing`) or JSONL; `--validate` parses the
+//! output before writing, so CI can gate on well-formedness without
+//! external tools.
 
 use pact_bench::{count, experiment_machine, pct, Harness, TierRatio, ALL_POLICIES};
-use pact_tiersim::Tier;
+use pact_obs::{validate, DEFAULT_RING_CAPACITY};
+use pact_tiersim::{export_trace, Tier, TraceFormat, Tracer};
 use pact_workloads::suite::{build, Scale, SUITE};
 
 struct Args {
@@ -20,6 +28,11 @@ struct Args {
     seed: u64,
     windows: bool,
     trace_out: Option<String>,
+    // `trace` subcommand state.
+    trace_cmd: bool,
+    out: Option<String>,
+    format: TraceFormat,
+    validate: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -32,8 +45,19 @@ fn parse_args() -> Result<Args, String> {
         seed: 42,
         windows: false,
         trace_out: None,
+        trace_cmd: false,
+        out: None,
+        format: TraceFormat::Chrome,
+        validate: false,
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = std::env::args().skip(1).peekable();
+    if it.peek().map(String::as_str) == Some("trace") {
+        it.next();
+        args.trace_cmd = true;
+        // The trace subcommand defaults to smoke scale: event traces
+        // are for inspecting behaviour, not paper-scale timing.
+        args.scale = Scale::Smoke;
+    }
     while let Some(a) = it.next() {
         match a.as_str() {
             "--workload" | "-w" => args.workload = it.next().ok_or("--workload needs a value")?,
@@ -57,6 +81,12 @@ fn parse_args() -> Result<Args, String> {
             "--seed" => args.seed = it.next().and_then(|v| v.parse().ok()).ok_or("bad seed")?,
             "--windows" => args.windows = true,
             "--trace-out" => args.trace_out = Some(it.next().ok_or("--trace-out needs a path")?),
+            "--out" | "-o" => args.out = Some(it.next().ok_or("--out needs a path")?),
+            "--format" | "-f" => {
+                let v = it.next().ok_or("--format needs chrome|jsonl")?;
+                args.format = TraceFormat::parse(&v).ok_or(format!("unknown format '{v}'"))?;
+            }
+            "--validate" => args.validate = true,
             "--list" => {
                 println!("workloads: {}", SUITE.join(", "));
                 println!("           masim, gups (motivation)");
@@ -67,7 +97,10 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 return Err("usage: tierctl [--workload W] [--policy P] [--ratio F:S] \
                      [--thp] [--scale smoke|paper] [--seed N] [--windows] \
-                     [--trace-out FILE] [--list]"
+                     [--trace-out FILE] [--list]\n       \
+                     tierctl trace [--workload W] [--policy P] [--ratio F:S] [--thp] \
+                     [--scale smoke|paper] [--seed N] [--out FILE] \
+                     [--format chrome|jsonl] [--validate]"
                     .into())
             }
             other => return Err(format!("unknown flag '{other}'")),
@@ -76,11 +109,67 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
+/// The `trace` subcommand: one traced run, exported (and optionally
+/// validated) to `--out`.
+fn run_trace(args: &Args) {
+    let mut cfg = experiment_machine(0);
+    cfg.thp = args.thp;
+    cfg.seed = args.seed;
+    let h = Harness::new(build(&args.workload, args.scale, args.seed)).with_machine(cfg);
+    let fast_pages = args.ratio.fast_pages(h.workload().footprint_bytes());
+    let mut tracer = Tracer::ring(DEFAULT_RING_CAPACITY);
+    let out = h
+        .try_run_policy_with_fast_pages_traced(&args.policy, fast_pages, &mut tracer)
+        .unwrap_or_else(|e| {
+            eprintln!("{e}; known policies: {}", ALL_POLICIES.join(", "));
+            std::process::exit(2);
+        });
+    let label = format!("{}/{}/{}", args.workload, args.policy, args.ratio);
+    let body = export_trace(&out.report, &tracer, &label, args.format);
+    if args.validate {
+        match args.format {
+            TraceFormat::Chrome => {
+                validate(&body).unwrap_or_else(|e| panic!("invalid chrome trace: {e}"))
+            }
+            TraceFormat::Jsonl => {
+                for (i, line) in body.lines().enumerate() {
+                    validate(line).unwrap_or_else(|e| panic!("invalid jsonl line {}: {e}", i + 1));
+                }
+            }
+        }
+    }
+    let path = args
+        .out
+        .clone()
+        .unwrap_or_else(|| format!("trace.{}", args.format.extension()));
+    std::fs::write(&path, &body).unwrap_or_else(|e| {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "traced {label}: {} events ({} overwritten), {} windows, {} cycles",
+        tracer.len(),
+        tracer.overwritten(),
+        out.report.windows.len(),
+        out.report.total_cycles
+    );
+    println!(
+        "wrote {path} ({} bytes, {} format{})",
+        body.len(),
+        args.format,
+        if args.validate { ", validated" } else { "" }
+    );
+}
+
 fn main() {
     let args = parse_args().unwrap_or_else(|msg| {
         eprintln!("{msg}");
         std::process::exit(2);
     });
+    if args.trace_cmd {
+        run_trace(&args);
+        return;
+    }
     if let Some(path) = &args.trace_out {
         let wl = build(&args.workload, args.scale, args.seed);
         let file = std::io::BufWriter::new(std::fs::File::create(path).expect("create trace file"));

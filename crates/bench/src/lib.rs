@@ -26,8 +26,8 @@ mod runner;
 
 pub use cli::{parse_options, Options};
 pub use exec::{jobs_from_env, run_indexed};
-pub use report::{banner, cdf_lines, count, pct, save_results, sparkline, Table};
+pub use report::{banner, cdf_lines, count, pct, save_results, sparkline, JsonWriter, Table};
 pub use runner::{
-    experiment_machine, is_runnable_policy, make_policy, ratio_sweep, ratio_sweep_jobs, Harness,
-    Outcome, PolicyError, SweepResult, TierRatio, ALL_POLICIES,
+    experiment_machine, is_runnable_policy, make_policy, ratio_sweep, ratio_sweep_jobs,
+    ratio_sweep_traced, Harness, Outcome, PolicyError, SweepResult, TierRatio, ALL_POLICIES,
 };

@@ -6,7 +6,11 @@ use std::sync::{Arc, OnceLock};
 
 use pact_baselines::{soar_profile, Alto, Colloid, Memtis, Nbt, NoTier, Nomad, Soar, Tpp};
 use pact_core::{PactConfig, PactPolicy, RankBy};
-use pact_tiersim::{Machine, MachineConfig, RunReport, TieringPolicy, Workload, PAGE_BYTES};
+use pact_obs::DEFAULT_RING_CAPACITY;
+use pact_tiersim::{
+    export_trace, Machine, MachineConfig, RunReport, TieringPolicy, TraceConfig, Tracer, Workload,
+    PAGE_BYTES,
+};
 
 /// A fast:slow tier-capacity ratio relative to the workload footprint
 /// (the paper's x-axis: 8:1 … 1:8).
@@ -254,15 +258,44 @@ impl Harness {
         policy_name: &str,
         fast_pages: u64,
     ) -> Result<Outcome, PolicyError> {
+        let mut tracer = Tracer::disabled();
+        self.try_run_policy_with_fast_pages_traced(policy_name, fast_pages, &mut tracer)
+    }
+
+    /// [`try_run_policy_with_fast_pages`](Self::try_run_policy_with_fast_pages)
+    /// with a structured event trace recorded into `tracer`. Tracing
+    /// does not perturb the run: the outcome is identical either way.
+    pub fn try_run_policy_with_fast_pages_traced(
+        &self,
+        policy_name: &str,
+        fast_pages: u64,
+        tracer: &mut Tracer,
+    ) -> Result<Outcome, PolicyError> {
         let machine = self.machine(fast_pages);
         let report = if policy_name == "soar" {
             let mut soar = Soar::from_profile(self.soar(), fast_pages);
-            machine.run(self.workload.as_ref(), &mut soar)
+            machine.run_traced(self.workload.as_ref(), &mut soar, tracer)
         } else {
             let mut policy = make_policy(policy_name)?;
-            machine.run(self.workload.as_ref(), policy.as_mut())
+            machine.run_traced(self.workload.as_ref(), policy.as_mut(), tracer)
         };
         Ok(self.outcome(report))
+    }
+
+    /// [`run_policy`](Self::run_policy) with event tracing.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown policy name.
+    pub fn run_policy_traced(
+        &self,
+        policy_name: &str,
+        ratio: TierRatio,
+        tracer: &mut Tracer,
+    ) -> Outcome {
+        let fast_pages = ratio.fast_pages(self.workload.footprint_bytes());
+        self.try_run_policy_with_fast_pages_traced(policy_name, fast_pages, tracer)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Runs a caller-constructed policy (for custom configurations,
@@ -308,6 +341,9 @@ pub struct SweepResult {
 /// any worker count: cells share only immutable state and are merged
 /// in `(policy, ratio)` index order. Unknown policy names are skipped
 /// with a warning instead of aborting the sweep.
+///
+/// When `PACT_TRACE` names a directory, each cell additionally writes
+/// a trace file there (see [`ratio_sweep_traced`]).
 pub fn ratio_sweep(h: &Harness, policies: &[&str], ratios: &[TierRatio]) -> SweepResult {
     ratio_sweep_jobs(h, policies, ratios, crate::exec::jobs_from_env())
 }
@@ -319,6 +355,38 @@ pub fn ratio_sweep_jobs(
     policies: &[&str],
     ratios: &[TierRatio],
     jobs: usize,
+) -> SweepResult {
+    let trace = TraceConfig::from_env();
+    ratio_sweep_traced(h, policies, ratios, jobs, trace.as_ref())
+}
+
+/// Replaces path-hostile characters in a workload/policy name so it can
+/// serve as a trace-file stem.
+fn file_stem(s: &str) -> String {
+    s.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '.' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// [`ratio_sweep_jobs`] with an explicit trace destination. When
+/// `trace` is set, its path is treated as a directory and every cell
+/// writes one trace file named `<workload>_<policy>_<F>-<S>.<ext>`.
+///
+/// File names and contents derive only from the cell's identity —
+/// never from worker scheduling — so the files are byte-identical for
+/// any `jobs` count; the CI observability gate pins this.
+pub fn ratio_sweep_traced(
+    h: &Harness,
+    policies: &[&str],
+    ratios: &[TierRatio],
+    jobs: usize,
+    trace: Option<&TraceConfig>,
 ) -> SweepResult {
     let kept: Vec<&str> = policies
         .iter()
@@ -339,11 +407,37 @@ pub fn ratio_sweep_jobs(
     if kept.contains(&"soar") {
         h.soar();
     }
+    if let Some(cfg) = trace {
+        if let Err(e) = std::fs::create_dir_all(&cfg.path) {
+            eprintln!(
+                "warning: cannot create trace directory {}: {e}",
+                cfg.path.display()
+            );
+        }
+    }
+    let wl_stem = file_stem(&h.workload().name());
     let cells = kept.len() * ratios.len();
     let outcomes = crate::exec::run_indexed(cells, jobs, |i| {
         let p = kept[i / ratios.len()];
         let r = ratios[i % ratios.len()];
-        h.run_policy(p, r)
+        let Some(cfg) = trace else {
+            return h.run_policy(p, r);
+        };
+        let mut tracer = Tracer::ring(DEFAULT_RING_CAPACITY);
+        let out = h.run_policy_traced(p, r, &mut tracer);
+        let label = format!("{}/{}/{}", h.workload().name(), p, r);
+        let body = export_trace(&out.report, &tracer, &label, cfg.format);
+        let file = cfg.path.join(format!(
+            "{wl_stem}_{}_{}-{}.{}",
+            file_stem(p),
+            r.fast,
+            r.slow,
+            cfg.format.extension()
+        ));
+        if let Err(e) = std::fs::write(&file, body) {
+            eprintln!("warning: cannot write trace {}: {e}", file.display());
+        }
+        out
     });
     let mut slowdown = Vec::with_capacity(kept.len());
     let mut promotions = Vec::with_capacity(kept.len());

@@ -211,6 +211,20 @@ impl PactPolicy {
         ctx.telemetry("tracked_pages", self.store.tracked_pages() as f64);
         ctx.telemetry("slow_mlp", mlp);
         ctx.telemetry("est_slow_stalls", stalls);
+
+        // Mirror the decision series into the machine's metrics
+        // registry so traced runs carry them per window (registration
+        // is idempotent; this runs once per period, off the hot path).
+        let bin_width = self.bins.width();
+        let tracked = self.store.tracked_pages() as f64;
+        let ordered = candidates.len() as u64;
+        let m = ctx.metrics();
+        let c = m.counter("pact/promotions_ordered");
+        m.inc(c, ordered);
+        let g = m.gauge("pact/bin_width");
+        m.set(g, bin_width);
+        let t = m.gauge("pact/tracked_pages");
+        m.set(t, tracked);
     }
 
     fn store_decay_unit(&mut self, head: PageId, span: u64) {

@@ -1,0 +1,266 @@
+//! Per-window metrics registry: named counters, gauges, and histograms
+//! that substrate components register once and update cheaply.
+//!
+//! Registration happens at machine construction (a linear name lookup,
+//! off the hot path); updates go through a dense [`MetricId`] index —
+//! one bounds-checked array access, no hashing, no allocation. The
+//! registry is snapshotted at every sampling-window boundary into the
+//! window record: counters report their delta over the window, gauges
+//! their current value, histograms the mean of values observed during
+//! the window (and then reset). Snapshot order is registration order,
+//! so reports are deterministic.
+
+use pact_stats::Histogram;
+
+/// Dense handle to a registered metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricId(usize);
+
+/// What a metric measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonic count; snapshots report the per-window delta.
+    Counter,
+    /// Point-in-time value; snapshots report the latest set value.
+    Gauge,
+    /// Distribution of observed values; snapshots report the window
+    /// mean and reset the distribution.
+    Histogram,
+}
+
+#[derive(Debug, Clone)]
+enum Value {
+    Counter { total: u64, last_snapshot: u64 },
+    Gauge(f64),
+    Histogram { hist: Histogram, sum: f64, n: u64 },
+}
+
+#[derive(Debug, Clone)]
+struct Metric {
+    name: &'static str,
+    value: Value,
+}
+
+/// The registry of named metrics for one machine run.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    metrics: Vec<Metric>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn register(&mut self, name: &'static str, value: Value) -> MetricId {
+        if let Some(i) = self.metrics.iter().position(|m| m.name == name) {
+            return MetricId(i);
+        }
+        self.metrics.push(Metric { name, value });
+        MetricId(self.metrics.len() - 1)
+    }
+
+    /// Registers (or finds) a counter named `name`.
+    pub fn counter(&mut self, name: &'static str) -> MetricId {
+        self.register(
+            name,
+            Value::Counter {
+                total: 0,
+                last_snapshot: 0,
+            },
+        )
+    }
+
+    /// Registers (or finds) a gauge named `name`.
+    pub fn gauge(&mut self, name: &'static str) -> MetricId {
+        self.register(name, Value::Gauge(0.0))
+    }
+
+    /// Registers (or finds) a fixed-width histogram named `name` over
+    /// `[origin, origin + width · bins)` (see [`pact_stats::Histogram`]).
+    pub fn histogram(
+        &mut self,
+        name: &'static str,
+        origin: f64,
+        width: f64,
+        bins: usize,
+    ) -> MetricId {
+        self.register(
+            name,
+            Value::Histogram {
+                hist: Histogram::new(origin, width, bins),
+                sum: 0.0,
+                n: 0,
+            },
+        )
+    }
+
+    /// Adds `by` to a counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not refer to a counter.
+    #[inline]
+    pub fn inc(&mut self, id: MetricId, by: u64) {
+        match &mut self.metrics[id.0].value {
+            Value::Counter { total, .. } => *total += by,
+            _ => panic!("metric is not a counter"),
+        }
+    }
+
+    /// Sets a gauge to `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not refer to a gauge.
+    #[inline]
+    pub fn set(&mut self, id: MetricId, v: f64) {
+        match &mut self.metrics[id.0].value {
+            Value::Gauge(g) => *g = v,
+            _ => panic!("metric is not a gauge"),
+        }
+    }
+
+    /// Records `v` into a histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not refer to a histogram.
+    #[inline]
+    pub fn observe(&mut self, id: MetricId, v: f64) {
+        match &mut self.metrics[id.0].value {
+            Value::Histogram { hist, sum, n } => {
+                hist.add(v);
+                *sum += v;
+                *n += 1;
+            }
+            _ => panic!("metric is not a histogram"),
+        }
+    }
+
+    /// Current cumulative value of a counter.
+    pub fn counter_total(&self, id: MetricId) -> u64 {
+        match &self.metrics[id.0].value {
+            Value::Counter { total, .. } => *total,
+            _ => panic!("metric is not a counter"),
+        }
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// Whether the registry has no metrics.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Kind of a registered metric.
+    pub fn kind(&self, id: MetricId) -> MetricKind {
+        match &self.metrics[id.0].value {
+            Value::Counter { .. } => MetricKind::Counter,
+            Value::Gauge(_) => MetricKind::Gauge,
+            Value::Histogram { .. } => MetricKind::Histogram,
+        }
+    }
+
+    /// Closes the current window: returns one `(name, value)` per
+    /// metric in registration order (counter delta, gauge value,
+    /// histogram window mean) and resets per-window state.
+    pub fn snapshot_window(&mut self) -> Vec<(&'static str, f64)> {
+        let mut out = Vec::with_capacity(self.metrics.len());
+        for m in &mut self.metrics {
+            let v = match &mut m.value {
+                Value::Counter {
+                    total,
+                    last_snapshot,
+                } => {
+                    let delta = *total - *last_snapshot;
+                    *last_snapshot = *total;
+                    delta as f64
+                }
+                Value::Gauge(g) => *g,
+                Value::Histogram { hist, sum, n } => {
+                    let mean = if *n == 0 { 0.0 } else { *sum / *n as f64 };
+                    hist.reset();
+                    *sum = 0.0;
+                    *n = 0;
+                    mean
+                }
+            };
+            out.push((m.name, v));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_snapshot_deltas() {
+        let mut r = MetricsRegistry::new();
+        let c = r.counter("daemon/executed");
+        r.inc(c, 3);
+        r.inc(c, 2);
+        assert_eq!(r.counter_total(c), 5);
+        assert_eq!(r.snapshot_window(), vec![("daemon/executed", 5.0)]);
+        r.inc(c, 1);
+        assert_eq!(r.snapshot_window(), vec![("daemon/executed", 1.0)]);
+        // Quiet window: delta is zero, total is preserved.
+        assert_eq!(r.snapshot_window(), vec![("daemon/executed", 0.0)]);
+        assert_eq!(r.counter_total(c), 6);
+    }
+
+    #[test]
+    fn gauges_report_latest_value() {
+        let mut r = MetricsRegistry::new();
+        let g = r.gauge("queue/len");
+        r.set(g, 10.0);
+        r.set(g, 4.0);
+        assert_eq!(r.snapshot_window(), vec![("queue/len", 4.0)]);
+        // Gauges persist across windows.
+        assert_eq!(r.snapshot_window(), vec![("queue/len", 4.0)]);
+    }
+
+    #[test]
+    fn histograms_report_window_mean_and_reset() {
+        let mut r = MetricsRegistry::new();
+        let h = r.histogram("pebs/latency", 0.0, 100.0, 16);
+        r.observe(h, 200.0);
+        r.observe(h, 400.0);
+        assert_eq!(r.snapshot_window(), vec![("pebs/latency", 300.0)]);
+        // Reset: an empty window reports 0.
+        assert_eq!(r.snapshot_window(), vec![("pebs/latency", 0.0)]);
+        assert_eq!(r.kind(h), MetricKind::Histogram);
+    }
+
+    #[test]
+    fn registration_is_idempotent_and_ordered() {
+        let mut r = MetricsRegistry::new();
+        let a = r.counter("a");
+        let b = r.gauge("b");
+        let a2 = r.counter("a");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(r.len(), 2);
+        r.inc(a, 1);
+        r.set(b, 9.0);
+        let snap = r.snapshot_window();
+        assert_eq!(snap[0].0, "a");
+        assert_eq!(snap[1].0, "b");
+        assert_eq!(r.kind(a), MetricKind::Counter);
+        assert_eq!(r.kind(b), MetricKind::Gauge);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn kind_mismatch_panics() {
+        let mut r = MetricsRegistry::new();
+        let c = r.counter("c");
+        r.set(c, 1.0);
+    }
+}

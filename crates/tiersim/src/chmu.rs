@@ -209,6 +209,11 @@ impl Chmu {
         self.table.total()
     }
 
+    /// Number of pages currently tracked by the counter table.
+    pub fn tracked(&self) -> usize {
+        self.table.len()
+    }
+
     /// Host reset after reading.
     pub fn reset(&mut self) {
         self.table.reset();

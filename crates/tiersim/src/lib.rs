@@ -53,6 +53,7 @@ mod chmu;
 mod config;
 mod machine;
 mod mem;
+mod observe;
 mod pmu;
 mod policy;
 mod tier;
@@ -68,6 +69,10 @@ pub use config::{
 };
 pub use machine::{Machine, ProcessReport, RunReport, WindowRecord};
 pub use mem::Memory;
+pub use observe::export_trace;
+pub use pact_obs::{
+    EventKind, MetricId, MetricKind, MetricsRegistry, TraceConfig, TraceEvent, TraceFormat, Tracer,
+};
 pub use pmu::{PebsSampler, PmuCounters, SampleEvent};
 pub use policy::{FirstTouch, MachineInfo, MigrationOrder, PolicyCtx, TieringPolicy, WindowStats};
 pub use tier::Channel;

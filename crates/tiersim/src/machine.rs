@@ -5,6 +5,7 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
+use pact_obs::{EventKind, MetricId, MetricsRegistry, Tracer};
 use pact_stats::SplitMix64;
 
 use crate::cache::{line_of, Llc, StrideDetector};
@@ -29,11 +30,21 @@ pub struct WindowRecord {
     pub promotions: u64,
     /// Base pages demoted during this window.
     pub demotions: u64,
+    /// Promotion orders rejected during this window for lack of
+    /// fast-tier space (localises migration-queue pressure in time).
+    pub failed_promotions: u64,
+    /// Migration orders dropped during this window on daemon-queue
+    /// overflow.
+    pub dropped_orders: u64,
     /// Counter deltas over the window.
     pub delta: PmuCounters,
     /// Named values the policy reported via
     /// [`PolicyCtx::telemetry`](crate::policy::PolicyCtx::telemetry).
     pub telemetry: Vec<(&'static str, f64)>,
+    /// Per-window snapshot of the machine's metrics registry (counter
+    /// deltas, gauge values, histogram window means), in registration
+    /// order.
+    pub metrics: Vec<(&'static str, f64)>,
 }
 
 /// Completion summary of one simulated process.
@@ -156,6 +167,18 @@ impl Machine {
         self.run_colocated(&[workload], policy)
     }
 
+    /// [`run`](Self::run) with a structured event trace recorded into
+    /// `tracer` (see [`pact_obs::Tracer`]). The trace does not perturb
+    /// the simulation: the report is identical to an untraced run.
+    pub fn run_traced(
+        &self,
+        workload: &dyn Workload,
+        policy: &mut dyn TieringPolicy,
+        tracer: &mut Tracer,
+    ) -> RunReport {
+        self.run_colocated_traced(&[workload], policy, tracer)
+    }
+
     /// Runs several colocated workloads (separate address spaces, shared
     /// LLC, channels, and fast tier) under one `policy`.
     ///
@@ -168,8 +191,19 @@ impl Machine {
         workloads: &[&dyn Workload],
         policy: &mut dyn TieringPolicy,
     ) -> RunReport {
+        let mut tracer = Tracer::disabled();
+        self.run_colocated_traced(workloads, policy, &mut tracer)
+    }
+
+    /// [`run_colocated`](Self::run_colocated) with event tracing.
+    pub fn run_colocated_traced(
+        &self,
+        workloads: &[&dyn Workload],
+        policy: &mut dyn TieringPolicy,
+        tracer: &mut Tracer,
+    ) -> RunReport {
         assert!(!workloads.is_empty(), "need at least one workload");
-        Sim::new(&self.cfg, workloads, policy).run()
+        Sim::new(&self.cfg, workloads, policy, tracer).run()
     }
 }
 
@@ -241,19 +275,41 @@ struct Sim<'a, 'w> {
     demotions: u64,
     failed_promotions: u64,
     dropped_orders: u64,
+    window_failed: u64,
+    window_dropped: u64,
     hint_scan_per_window: u64,
     foreground_threads: usize,
     page_stalls: Option<std::collections::HashMap<PageId, u64>>,
+    // Observability: structured event sink, metrics registry, and the
+    // dense metric handles the substrate updates each window.
+    tracer: &'a mut Tracer,
+    registry: MetricsRegistry,
+    m_daemon_pages: MetricId,
+    m_queue_len: MetricId,
+    m_fast_used: MetricId,
+    m_chan_backlog: [MetricId; 2],
+    m_chan_lines: [MetricId; 2],
+    m_chmu: Option<(MetricId, MetricId)>,
+    m_pebs_latency: MetricId,
+    chan_lines_seen: [u64; 2],
+    /// Start cycle of an ongoing channel-saturation episode, per tier.
+    saturated_since: [Option<u64>; 2],
 }
 
 /// Maximum pending async migration orders before new ones are dropped.
 const ORDER_QUEUE_CAP: usize = 1 << 16;
+
+/// Channel backlog (in cycles of channel time, sampled at window
+/// boundaries) beyond which the channel counts as saturated for
+/// episode tracing.
+const SATURATION_BACKLOG_CYCLES: f64 = 1_000.0;
 
 impl<'a, 'w> Sim<'a, 'w> {
     fn new(
         cfg: &'a MachineConfig,
         workloads: &[&'w dyn Workload],
         policy: &'a mut dyn TieringPolicy,
+        tracer: &'a mut Tracer,
     ) -> Self {
         let mut threads = Vec::new();
         let mut procs = Vec::new();
@@ -322,6 +378,23 @@ impl<'a, 'w> Sim<'a, 'w> {
         if let Some(scope) = policy.pebs_scope() {
             pebs_cfg.scope = scope;
         }
+        // Register the substrate's metrics up front: updates on the run
+        // path go through dense ids and never allocate.
+        let mut registry = MetricsRegistry::new();
+        let m_daemon_pages = registry.counter("daemon/migrated_pages");
+        let m_queue_len = registry.gauge("daemon/queue_len");
+        let m_fast_used = registry.gauge("mem/fast_used");
+        let m_chan_backlog = [
+            registry.gauge("channel/fast/backlog_cycles"),
+            registry.gauge("channel/slow/backlog_cycles"),
+        ];
+        let m_chan_lines = [
+            registry.counter("channel/fast/lines"),
+            registry.counter("channel/slow/lines"),
+        ];
+        let m_chmu = (cfg.chmu_counters > 0)
+            .then(|| (registry.gauge("chmu/tracked"), registry.gauge("chmu/total")));
+        let m_pebs_latency = registry.histogram("pebs/latency_cycles", 0.0, 64.0, 32);
         Sim {
             policy,
             threads,
@@ -355,9 +428,22 @@ impl<'a, 'w> Sim<'a, 'w> {
             demotions: 0,
             failed_promotions: 0,
             dropped_orders: 0,
+            window_failed: 0,
+            window_dropped: 0,
             hint_scan_per_window: 0,
             foreground_threads,
             page_stalls: cfg.track_page_stalls.then(std::collections::HashMap::new),
+            tracer,
+            registry,
+            m_daemon_pages,
+            m_queue_len,
+            m_fast_used,
+            m_chan_backlog,
+            m_chan_lines,
+            m_chmu,
+            m_pebs_latency,
+            chan_lines_seen: [0; 2],
+            saturated_since: [None; 2],
             cfg,
         }
     }
@@ -535,6 +621,7 @@ impl<'a, 'w> Sim<'a, 'w> {
                 let latency = self.execute_load_miss(ti, a.dep, tier, page);
                 if self.pebs.observe(tier) {
                     self.counters.pebs_samples += 1;
+                    self.registry.observe(self.m_pebs_latency, latency as f64);
                     self.threads[ti].now += self.pebs.overhead_cycles() as u64;
                     self.deliver_sample(
                         ti,
@@ -643,6 +730,7 @@ impl<'a, 'w> Sim<'a, 'w> {
             &mut orders,
             &mut telemetry,
             &mut self.hint_scan_per_window,
+            &mut self.registry,
             self.promotions,
             self.demotions,
             self.window_idx,
@@ -650,19 +738,36 @@ impl<'a, 'w> Sim<'a, 'w> {
         self.policy.on_sample(&ev, &mut ctx);
         self.window_telemetry.append(&mut telemetry);
         for order in orders.drain(..) {
+            let now = self.threads[ti].now;
+            self.tracer.emit(
+                now,
+                EventKind::OrderIssued {
+                    page: order.page.0,
+                    to: order.to.index() as u8,
+                    sync: order.sync,
+                },
+            );
             if order.sync {
                 self.execute_order(order, Some(ti));
             } else {
-                self.enqueue_order(order);
+                self.enqueue_order(order, now);
             }
         }
         self.order_buf = orders;
         self.telemetry_buf = telemetry;
     }
 
-    fn enqueue_order(&mut self, order: MigrationOrder) {
+    fn enqueue_order(&mut self, order: MigrationOrder, cycle: u64) {
         if self.order_queue.len() >= ORDER_QUEUE_CAP {
             self.dropped_orders += 1;
+            self.window_dropped += 1;
+            self.tracer.emit(
+                cycle,
+                EventKind::OrderDropped {
+                    page: order.page.0,
+                    to: order.to.index() as u8,
+                },
+            );
         } else {
             self.order_queue.push_back(order);
         }
@@ -671,21 +776,35 @@ impl<'a, 'w> Sim<'a, 'w> {
     /// Executes one migration order. `sync_thread` pays the kernel cost
     /// when the order is synchronous.
     fn execute_order(&mut self, order: MigrationOrder, sync_thread: Option<usize>) {
+        // The copy reads one tier and writes the other; the channel
+        // time starts no earlier than the daemon's (or faulting
+        // thread's) clock. Events are stamped with the same anchor.
+        let anchor = match sync_thread {
+            Some(ti) => self.threads[ti].now,
+            None => self.next_edge.saturating_sub(self.cfg.window_cycles),
+        };
         match self.mem.move_unit(order.page, order.to) {
             None => {
                 if order.to == Tier::Fast {
                     self.failed_promotions += 1;
+                    self.window_failed += 1;
+                    self.tracer
+                        .emit(anchor, EventKind::PromotionRejected { page: order.page.0 });
                 }
             }
             Some(moved) => {
                 let lines = moved * (PAGE_BYTES / LINE_BYTES);
-                // The copy reads one tier and writes the other; the
-                // channel time starts no earlier than the daemon's (or
-                // faulting thread's) clock.
-                let anchor = match sync_thread {
-                    Some(ti) => self.threads[ti].now,
-                    None => self.next_edge.saturating_sub(self.cfg.window_cycles),
-                };
+                if sync_thread.is_none() {
+                    self.registry.inc(self.m_daemon_pages, moved);
+                }
+                self.tracer.emit(
+                    anchor,
+                    EventKind::OrderCompleted {
+                        page: order.page.0,
+                        to: order.to.index() as u8,
+                        moved,
+                    },
+                );
                 for tidx in 0..2 {
                     self.channels[tidx].book(anchor, lines);
                     self.counters.bytes[tidx] += moved * PAGE_BYTES;
@@ -723,6 +842,7 @@ impl<'a, 'w> Sim<'a, 'w> {
             &mut orders,
             &mut telemetry,
             &mut self.hint_scan_per_window,
+            &mut self.registry,
             self.promotions,
             self.demotions,
             self.window_idx,
@@ -735,8 +855,17 @@ impl<'a, 'w> Sim<'a, 'w> {
         };
         self.policy.on_window(&win, &mut ctx);
         self.window_telemetry.append(&mut telemetry);
+        let edge = self.next_edge;
         for order in orders.drain(..) {
-            self.enqueue_order(order);
+            self.tracer.emit(
+                edge,
+                EventKind::OrderIssued {
+                    page: order.page.0,
+                    to: order.to.index() as u8,
+                    sync: order.sync,
+                },
+            );
+            self.enqueue_order(order, edge);
         }
         self.order_buf = orders;
         self.telemetry_buf = telemetry;
@@ -760,16 +889,86 @@ impl<'a, 'w> Sim<'a, 'w> {
             }
         }
 
+        // Observability: refresh gauges, track channel-saturation
+        // episodes, and snapshot the registry for this window.
+        self.registry
+            .set(self.m_queue_len, self.order_queue.len() as f64);
+        self.registry
+            .set(self.m_fast_used, self.mem.fast_used() as f64);
+        for tidx in 0..2 {
+            let backlog = self.channels[tidx].backlog_cycles(edge);
+            self.registry.set(self.m_chan_backlog[tidx], backlog);
+            let booked = self.channels[tidx].lines_booked();
+            self.registry
+                .inc(self.m_chan_lines[tidx], booked - self.chan_lines_seen[tidx]);
+            self.chan_lines_seen[tidx] = booked;
+            match self.saturated_since[tidx] {
+                None if backlog >= SATURATION_BACKLOG_CYCLES => {
+                    self.saturated_since[tidx] = Some(edge);
+                    self.tracer.emit(
+                        edge,
+                        EventKind::ChannelSaturated {
+                            tier: tidx as u8,
+                            backlog_cycles: backlog as u64,
+                        },
+                    );
+                }
+                Some(start) if backlog < SATURATION_BACKLOG_CYCLES => {
+                    self.saturated_since[tidx] = None;
+                    self.tracer.emit(
+                        edge,
+                        EventKind::ChannelRecovered {
+                            tier: tidx as u8,
+                            episode_cycles: edge - start,
+                        },
+                    );
+                }
+                _ => {}
+            }
+        }
+        if let (Some((m_tracked, m_total)), Some(chmu)) = (self.m_chmu, self.chmu.as_ref()) {
+            self.registry.set(m_tracked, chmu.tracked() as f64);
+            self.registry.set(m_total, chmu.total() as f64);
+        }
+        if delta.pebs_samples > 0 || delta.hint_faults > 0 {
+            self.tracer.emit(
+                edge,
+                EventKind::SampleBatch {
+                    pebs: delta.pebs_samples,
+                    hint_faults: delta.hint_faults,
+                },
+            );
+        }
+        for &(key, value) in &self.window_telemetry {
+            self.tracer
+                .emit(edge, EventKind::PolicyTelemetry { key, value });
+        }
+        self.tracer.emit(
+            edge,
+            EventKind::WindowBoundary {
+                index: self.window_idx,
+                promotions: self.window_promos,
+                demotions: self.window_demos,
+                failed_promotions: self.window_failed,
+                dropped_orders: self.window_dropped,
+            },
+        );
+
         self.windows.push(WindowRecord {
             index: self.window_idx,
             end_cycles: self.next_edge,
             promotions: self.window_promos,
             demotions: self.window_demos,
+            failed_promotions: self.window_failed,
+            dropped_orders: self.window_dropped,
             delta,
             telemetry: std::mem::take(&mut self.window_telemetry),
+            metrics: self.registry.snapshot_window(),
         });
         self.window_promos = 0;
         self.window_demos = 0;
+        self.window_failed = 0;
+        self.window_dropped = 0;
         self.last_snapshot = self.counters;
         self.window_idx += 1;
         self.next_edge += self.cfg.window_cycles;

@@ -9,6 +9,8 @@
 //! migration daemon CPU budget, channel bandwidth for page copies, TLB
 //! shootdowns — so policies compete on decisions, not accounting tricks.
 
+use pact_obs::MetricsRegistry;
+
 use crate::chmu::Chmu;
 use crate::mem::Memory;
 use crate::pmu::{PmuCounters, SampleEvent};
@@ -77,6 +79,7 @@ pub struct PolicyCtx<'a> {
     orders: &'a mut Vec<MigrationOrder>,
     telemetry: &'a mut Vec<(&'static str, f64)>,
     hint_scan_per_window: &'a mut u64,
+    metrics: &'a mut MetricsRegistry,
     promotions: u64,
     demotions: u64,
     window: u64,
@@ -90,6 +93,7 @@ impl<'a> PolicyCtx<'a> {
         orders: &'a mut Vec<MigrationOrder>,
         telemetry: &'a mut Vec<(&'static str, f64)>,
         hint_scan_per_window: &'a mut u64,
+        metrics: &'a mut MetricsRegistry,
         promotions: u64,
         demotions: u64,
         window: u64,
@@ -100,6 +104,7 @@ impl<'a> PolicyCtx<'a> {
             orders,
             telemetry,
             hint_scan_per_window,
+            metrics,
             promotions,
             demotions,
             window,
@@ -216,6 +221,14 @@ impl<'a> PolicyCtx<'a> {
         self.telemetry.push((key, value));
     }
 
+    /// The machine's metrics registry: policies may register their own
+    /// counters/gauges/histograms here (ideally once, in the first
+    /// callback) and update them each window; the registry is
+    /// snapshotted into every [`WindowRecord`](crate::WindowRecord).
+    pub fn metrics(&mut self) -> &mut MetricsRegistry {
+        self.metrics
+    }
+
     /// Whether the machine has a CXL Hotness Monitoring Unit.
     pub fn has_chmu(&self) -> bool {
         self.chmu.is_some()
@@ -298,7 +311,18 @@ mod tests {
         let mut scan = 0u64;
         let mut orders = Vec::new();
         let mut telem = Vec::new();
-        let mut ctx = PolicyCtx::new(&mut mem, None, &mut orders, &mut telem, &mut scan, 3, 5, 7);
+        let mut reg = MetricsRegistry::new();
+        let mut ctx = PolicyCtx::new(
+            &mut mem,
+            None,
+            &mut orders,
+            &mut telem,
+            &mut scan,
+            &mut reg,
+            3,
+            5,
+            7,
+        );
         assert_eq!(ctx.promotions(), 3);
         assert_eq!(ctx.demotions(), 5);
         assert_eq!(ctx.window_index(), 7);
@@ -307,6 +331,8 @@ mod tests {
         ctx.demote(PageId(0));
         ctx.set_hint_scan_rate(64);
         ctx.telemetry("bin_width", 1.5);
+        let c = ctx.metrics().counter("policy/decisions");
+        ctx.metrics().inc(c, 2);
         assert_eq!(orders.len(), 3);
         assert_eq!(
             orders[0],
@@ -320,6 +346,7 @@ mod tests {
         assert_eq!(orders[2].to, Tier::Slow);
         assert_eq!(telem, vec![("bin_width", 1.5)]);
         assert_eq!(scan, 64);
+        assert_eq!(reg.counter_total(c), 2);
     }
 
     #[test]
@@ -329,7 +356,18 @@ mod tests {
         let mut scan = 0u64;
         let mut orders = Vec::new();
         let mut telem = Vec::new();
-        let ctx = PolicyCtx::new(&mut mem, None, &mut orders, &mut telem, &mut scan, 0, 0, 0);
+        let mut reg = MetricsRegistry::new();
+        let ctx = PolicyCtx::new(
+            &mut mem,
+            None,
+            &mut orders,
+            &mut telem,
+            &mut scan,
+            &mut reg,
+            0,
+            0,
+            0,
+        );
         assert_eq!(ctx.fast_capacity(), 4);
         assert_eq!(ctx.fast_used(), 1);
         assert_eq!(ctx.fast_free(), 3);
@@ -346,7 +384,18 @@ mod tests {
         let mut scan = 0u64;
         let mut orders = Vec::new();
         let mut telem = Vec::new();
-        let mut ctx = PolicyCtx::new(&mut mem, None, &mut orders, &mut telem, &mut scan, 0, 0, 0);
+        let mut reg = MetricsRegistry::new();
+        let mut ctx = PolicyCtx::new(
+            &mut mem,
+            None,
+            &mut orders,
+            &mut telem,
+            &mut scan,
+            &mut reg,
+            0,
+            0,
+            0,
+        );
         let win = WindowStats {
             index: 0,
             end_cycles: 0,

@@ -29,6 +29,8 @@ pub struct Channel {
     base: u64,
     /// Unserved backlog (lines) carried out of expired epochs.
     carry: f64,
+    /// Lifetime count of lines booked (for per-window traffic metrics).
+    booked: u64,
 }
 
 impl Channel {
@@ -49,6 +51,7 @@ impl Channel {
             lines: [0.0; EPOCHS],
             base: 0,
             carry: 0.0,
+            booked: 0,
         }
     }
 
@@ -79,6 +82,7 @@ impl Channel {
     /// Books `n` line transfers at cycle `t`; returns the queue delay in
     /// cycles the *last* of them experiences.
     pub fn book(&mut self, t: u64, n: u64) -> f64 {
+        self.booked += n;
         let epoch = t / EPOCH_CYCLES;
         self.advance_to(epoch);
         let e = epoch.max(self.base); // very old arrivals clamp to base
@@ -90,6 +94,11 @@ impl Channel {
             backlog = (backlog + self.lines[(j % EPOCHS as u64) as usize] - self.cap).max(0.0);
         }
         ((backlog - 1.0).max(0.0)) * self.transfer
+    }
+
+    /// Lifetime count of line transfers booked on this channel.
+    pub fn lines_booked(&self) -> u64 {
+        self.booked
     }
 
     /// Current backlog at cycle `t`, in cycles of channel time (used by
@@ -180,6 +189,15 @@ mod tests {
         // does not panic or corrupt state.
         let d = ch.book(10, 1);
         assert!(d >= 0.0);
+    }
+
+    #[test]
+    fn lines_booked_counts_lifetime_traffic() {
+        let mut ch = Channel::new(4.0);
+        assert_eq!(ch.lines_booked(), 0);
+        ch.book(0, 10);
+        ch.book(10_000, 3);
+        assert_eq!(ch.lines_booked(), 13);
     }
 
     #[test]

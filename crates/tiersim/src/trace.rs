@@ -130,15 +130,20 @@ pub fn read_trace<R: Read>(mut r: R) -> io::Result<TraceWorkload> {
         let vaddr = u64::from_le_bytes(rec[0..8].try_into().expect("8 bytes"));
         let flags = u16::from_le_bytes(rec[8..10].try_into().expect("2 bytes"));
         let work = u16::from_le_bytes(rec[10..12].try_into().expect("2 bytes"));
-        let mut a = if flags & FLAG_STORE != 0 {
-            Access::store(vaddr)
-        } else if flags & FLAG_DEP != 0 {
-            Access::dependent_load(vaddr)
+        // Decode the flags independently: a store may also carry the
+        // dependent bit (address computed from a prior load), and the
+        // constructor shortcuts would silently drop it.
+        let kind = if flags & FLAG_STORE != 0 {
+            AccessKind::Store
         } else {
-            Access::load(vaddr)
+            AccessKind::Load
         };
-        a.work = work;
-        trace.push(a);
+        trace.push(Access {
+            vaddr,
+            kind,
+            dep: flags & FLAG_DEP != 0,
+            work,
+        });
     }
     Ok(TraceWorkload::new(name, footprint, trace))
 }
