@@ -46,4 +46,20 @@ cargo run --release -p pact-bench --bin tierctl -- trace \
 cmp "$obs_dir/a.json" "$obs_dir/b.json"
 echo "    chrome traces byte-identical across identically-seeded runs"
 
+echo "==> fault smoke: injected run completes, validates, reports failures"
+fault_spec='drop=0.2,fail=0.6,retries=1,stall=slow:20000:0.5,seed=7'
+PACT_FAULTS="$fault_spec" cargo run --release -p pact-bench --bin tierctl -- trace \
+    --workload gups --policy pact --ratio 1:2 --seed 7 --validate \
+    --out "$obs_dir/fault_a.json" | tee "$obs_dir/fault_a.out"
+PACT_FAULTS="$fault_spec" cargo run --release -p pact-bench --bin tierctl -- trace \
+    --workload gups --policy pact --ratio 1:2 --seed 7 --validate \
+    --out "$obs_dir/fault_b.json" > /dev/null
+cmp "$obs_dir/fault_a.json" "$obs_dir/fault_b.json"
+grep -q 'failed_promotions=0 dropped_orders=0' "$obs_dir/fault_a.out" && {
+    echo "    FAIL: injected faults produced no failed/dropped orders"
+    exit 1
+}
+grep -q 'failed_promotions=' "$obs_dir/fault_a.out"
+echo "    fault-injected traces byte-identical, nonzero failure totals"
+
 echo "CI OK"

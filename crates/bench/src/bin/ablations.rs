@@ -35,7 +35,7 @@ fn main() {
                 eager_demotion_margin: m,
                 ..PactConfig::default()
             };
-            let mut p = PactPolicy::new(cfg).unwrap();
+            let mut p = PactPolicy::new(cfg).unwrap_or_else(|e| pact_bench::exit_invalid_config(e));
             let o = h.run_custom(&mut p, fast);
             t.row(vec![
                 m.to_string(),
@@ -59,7 +59,7 @@ fn main() {
                 reservoir: size,
                 ..PactConfig::default()
             };
-            let mut p = PactPolicy::new(cfg).unwrap();
+            let mut p = PactPolicy::new(cfg).unwrap_or_else(|e| pact_bench::exit_invalid_config(e));
             let o = h.run_custom(&mut p, fast);
             t.row(vec![size.to_string(), pct(o.slowdown), count(o.promotions)]);
         }
@@ -77,7 +77,7 @@ fn main() {
                 t_scale: ts,
                 ..PactConfig::default()
             };
-            let mut p = PactPolicy::new(cfg).unwrap();
+            let mut p = PactPolicy::new(cfg).unwrap_or_else(|e| pact_bench::exit_invalid_config(e));
             let o = h.run_custom(&mut p, fast);
             t.row(vec![
                 format!("{ts:.0}"),
@@ -106,7 +106,8 @@ fn main() {
                     attribution,
                     ..PactConfig::default()
                 };
-                let mut p = PactPolicy::new(cfg).unwrap();
+                let mut p =
+                    PactPolicy::new(cfg).unwrap_or_else(|e| pact_bench::exit_invalid_config(e));
                 cells.push(pct(h.run_custom(&mut p, fast).slowdown));
             }
             t.row(cells);
@@ -133,7 +134,8 @@ fn main() {
                 sampling,
                 ..PactConfig::default()
             };
-            let mut p = PactPolicy::new(pcfg).unwrap();
+            let mut p =
+                PactPolicy::new(pcfg).unwrap_or_else(|e| pact_bench::exit_invalid_config(e));
             let o = h.run_custom(&mut p, fast);
             t.row(vec![
                 label.to_string(),
@@ -156,7 +158,7 @@ fn main() {
             cfg.mshrs = mshrs;
             cfg.prefetch.enabled = false;
             let wl = pact_workloads::Phased::sweep_variant(0, 8 << 20, 200_000, opts.seed);
-            let machine = Machine::new(cfg).unwrap();
+            let machine = Machine::new(cfg).unwrap_or_else(|e| pact_bench::exit_invalid_config(e));
             let r = machine.run(&wl, &mut FirstTouch::new());
             let mlp = r.counters.tor_mlp(Tier::Slow);
             let spm = r.counters.llc_stalls[1] as f64 / r.counters.llc_misses[1].max(1) as f64;

@@ -39,13 +39,15 @@ fn main() {
             let mut cfg = pact_bench::experiment_machine(0);
             cfg.pebs.rate = 25;
             cfg.track_page_stalls = true;
-            let machine = Machine::new(cfg).unwrap();
+            let machine = Machine::new(cfg).unwrap_or_else(|e| pact_bench::exit_invalid_config(e));
             let mut pact = PactPolicy::new(PactConfig {
                 attribution,
                 ..PactConfig::default()
             })
-            .unwrap();
+            .unwrap_or_else(|e| pact_bench::exit_invalid_config(e));
             let report = machine.run(wl.as_ref(), &mut pact);
+            // Invariant: track_page_stalls was set above, so the report
+            // carries the oracle's per-page stall map.
             let truth = report.page_stalls.as_ref().expect("oracle enabled");
 
             // Align: pages the sampler tracked, with both scores.

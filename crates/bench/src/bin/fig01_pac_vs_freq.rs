@@ -24,8 +24,10 @@ fn main() {
         // dense PEBS sampling so per-page statistics are well resolved.
         let mut cfg = pact_bench::experiment_machine(0);
         cfg.pebs.rate = 20;
-        let machine = Machine::new(cfg.clone()).unwrap();
-        let mut pact = PactPolicy::new(PactConfig::default()).unwrap();
+        let machine =
+            Machine::new(cfg.clone()).unwrap_or_else(|e| pact_bench::exit_invalid_config(e));
+        let mut pact = PactPolicy::new(PactConfig::default())
+            .unwrap_or_else(|e| pact_bench::exit_invalid_config(e));
         let report = machine.run(wl.as_ref(), &mut pact);
 
         // Per-page (frequency, PAC-per-access) from the PAC store.
@@ -74,6 +76,7 @@ fn main() {
             let slice = &pages[lo..hi];
             let pacs: Vec<f64> = slice.iter().map(|&(_, p)| p).collect();
             let s = Summary::from_values(&pacs);
+            // Invariant: hi >= lo + 1 above, so the slice is non-empty.
             let f_lo = slice.first().unwrap().0;
             let f_hi = slice.last().unwrap().0;
             t.row(vec![

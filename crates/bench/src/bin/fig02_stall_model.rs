@@ -47,7 +47,7 @@ fn main() {
                 Tier::Slow => MachineConfig::skylake_cxl(0),
             };
             cfg.tiers[tier.index()] = tier_cfg;
-            let machine = Machine::new(cfg).unwrap();
+            let machine = Machine::new(cfg).unwrap_or_else(|e| pact_bench::exit_invalid_config(e));
             let r = machine.run(&wl, &mut FirstTouch::new());
             let c = &r.counters;
             let m = c.llc_misses[tier.index()] as f64;
@@ -58,6 +58,8 @@ fn main() {
         }
         let r_raw = pearson(&misses, &stalls).unwrap_or(f64::NAN);
         let r_model = pearson(&predictor, &stalls).unwrap_or(f64::NAN);
+        // Invariant: 96 variants were pushed above, so the fit has
+        // more than the two points linear_fit requires.
         let fit = linear_fit(&predictor, &stalls).unwrap();
         let unloaded = tier_cfg.latency_cycles(2.2);
         summary.row(vec![

@@ -23,7 +23,7 @@ fn main() {
     };
     let wl = Phased::mlp_phases(buffer, loads, pairs, opts.seed);
     let cfg = MachineConfig::skylake_cxl(0); // everything on the slow tier
-    let machine = Machine::new(cfg).unwrap();
+    let machine = Machine::new(cfg).unwrap_or_else(|e| pact_bench::exit_invalid_config(e));
     let report = machine.run(&wl, &mut FirstTouch::new());
 
     let mut tor = Vec::new();

@@ -29,6 +29,8 @@ fn main() {
     out.push_str(&banner("Figure 5: promotions under THP (base pages)"));
     out.push_str(&sweep.render_promotions());
 
+    // Invariant: the sweep above runs ALL_POLICIES, so every looked-up
+    // name is present.
     let idx = |name: &str| sweep.policies.iter().position(|p| p == name).unwrap();
     let (pact, memtis) = (idx("pact"), idx("memtis"));
     let gaps: Vec<f64> = (0..sweep.ratios.len())

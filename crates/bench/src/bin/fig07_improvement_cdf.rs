@@ -47,11 +47,14 @@ fn main() {
                 max * 100.0
             ));
         }
+        // Invariant: improvements are ratios of positive cycle counts,
+        // never NaN, so the total order exists.
         pooled.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let avg = pooled.iter().sum::<f64>() / pooled.len() as f64;
         out.push_str(&format!(
             "pooled: avg {:+.1}%  max {:+.1}%  (paper: ~10% avg, 57-61% peak)\n",
             avg * 100.0,
+            // Invariant: pooled holds one entry per swept ratio.
             pooled.last().unwrap() * 100.0
         ));
         out.push_str(&format!(

@@ -19,6 +19,7 @@ fn pac_vs_freq(h: &Harness, ratio: TierRatio) -> (pact_bench::Outcome, pact_benc
         h.run_policy(["pact", "pact-freq"][i], ratio)
     })
     .into_iter();
+    // Invariant: run_indexed(2, ..) always yields exactly two results.
     (outs.next().unwrap(), outs.next().unwrap())
 }
 

@@ -55,7 +55,8 @@ fn main() {
                 period_windows: period,
                 ..PactConfig::default()
             };
-            let mut policy = PactPolicy::new(cfg).unwrap();
+            let mut policy =
+                PactPolicy::new(cfg).unwrap_or_else(|e| pact_bench::exit_invalid_config(e));
             let fast = ratio.fast_pages(h.workload().footprint_bytes());
             let o = h.run_custom(&mut policy, fast);
             t.row(vec![
@@ -87,7 +88,8 @@ fn main() {
                     cooling,
                     ..PactConfig::default()
                 };
-                let mut policy = PactPolicy::new(cfg).unwrap();
+                let mut policy =
+                    PactPolicy::new(cfg).unwrap_or_else(|e| pact_bench::exit_invalid_config(e));
                 let fast = ratio.fast_pages(h.workload().footprint_bytes());
                 let o = h.run_custom(&mut policy, fast);
                 cells.push(pact_bench::pct(o.slowdown));

@@ -34,8 +34,10 @@ fn run_level(
     // DRAM-only reference under identical contention.
     let mut dram_cfg = pact_bench::experiment_machine(u64::MAX / PAGE_BYTES);
     dram_cfg.thp = thp;
-    let dram = Machine::new(dram_cfg).unwrap();
+    let dram = Machine::new(dram_cfg).unwrap_or_else(|e| pact_bench::exit_invalid_config(e));
     let base = dram.run_colocated(&[bc.as_ref(), &mlc], &mut pact_tiersim::FirstTouch::new());
+    // Invariant: the colocated run reports one entry per workload, and
+    // bc-kron was passed in above.
     let base_cycles = base
         .per_process
         .iter()
@@ -45,7 +47,7 @@ fn run_level(
 
     let mut cfg = pact_bench::experiment_machine(fast);
     cfg.thp = thp;
-    let machine = Machine::new(cfg).unwrap();
+    let machine = Machine::new(cfg).unwrap_or_else(|e| pact_bench::exit_invalid_config(e));
     let mut policy = make_policy(policy_name).expect("fig11 sweeps known policies");
     let r = machine.run_colocated(&[bc.as_ref(), &mlc], policy.as_mut());
     let cycles = r

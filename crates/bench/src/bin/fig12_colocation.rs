@@ -37,6 +37,8 @@ fn build_pair(opts: &pact_bench::Options) -> (Masim, Masim) {
 }
 
 fn proc_cycles(r: &RunReport, name: &str) -> u64 {
+    // Invariant: every caller passes the name of a colocated workload,
+    // and run_colocated reports one entry per workload.
     r.per_process
         .iter()
         .find(|p| p.name == name)
@@ -51,7 +53,8 @@ fn main() {
     let fast = total_pages / 2; // fast tier holds half the footprint
 
     // Solo DRAM baselines for per-process normalization.
-    let dram = Machine::new(pact_bench::experiment_machine(u64::MAX / PAGE_BYTES)).unwrap();
+    let dram = Machine::new(pact_bench::experiment_machine(u64::MAX / PAGE_BYTES))
+        .unwrap_or_else(|e| pact_bench::exit_invalid_config(e));
     let base = dram.run_colocated(&[&seq, &rnd], &mut pact_tiersim::FirstTouch::new());
     let base_seq = proc_cycles(&base, "masim-seq");
     let base_rnd = proc_cycles(&base, "masim-rnd");
@@ -69,7 +72,8 @@ fn main() {
     ]);
     let mut rows: Vec<(String, f64, f64, f64, u64)> = Vec::new();
     for name in ["pact", "colloid", "notier"] {
-        let machine = Machine::new(pact_bench::experiment_machine(fast)).unwrap();
+        let machine = Machine::new(pact_bench::experiment_machine(fast))
+            .unwrap_or_else(|e| pact_bench::exit_invalid_config(e));
         let mut policy = make_policy(name).expect("fig12 sweeps known policies");
         let r = machine.run_colocated(&[&seq, &rnd], policy.as_mut());
         let s_seq = proc_cycles(&r, "masim-seq") as f64 / base_seq as f64 - 1.0;
@@ -88,6 +92,7 @@ fn main() {
     }
     out.push_str(&t.render());
 
+    // Invariant: both names are in the loop above, so both rows exist.
     let pact = rows.iter().find(|r| r.0 == "pact").unwrap();
     let colloid = rows.iter().find(|r| r.0 == "colloid").unwrap();
     let rel = |p: f64, c: f64| ((1.0 + c) - (1.0 + p)) / (1.0 + p) * 100.0;

@@ -34,6 +34,8 @@ fn metrics(name: &'static str, out: &pact_bench::Outcome) -> Row {
             span / w.delta.accesses as f64
         })
         .collect();
+    // Invariant: each entry is span / accesses with accesses > 500,
+    // never NaN, so the total order exists.
     per_window.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let p99 = per_window
         .get(per_window.len().saturating_sub(1) * 99 / 100)
@@ -66,7 +68,8 @@ fn main() {
             binning: mode,
             ..PactConfig::default()
         };
-        let mut policy = PactPolicy::new(cfg).unwrap();
+        let mut policy =
+            PactPolicy::new(cfg).unwrap_or_else(|e| pact_bench::exit_invalid_config(e));
         rows.push(metrics(name, &h.run_custom(&mut policy, fast)));
     }
 
@@ -95,6 +98,8 @@ fn main() {
         ]);
     }
     out.push_str(&t.render());
+    // Invariant: rows was filled by the fixed list above; "pact+both"
+    // is last.
     let both = rows.last().unwrap();
     out.push_str(&format!(
         "\n+Both vs Colloid: throughput {:+.1}%, mean latency {:+.1}% \

@@ -127,15 +127,19 @@ fn run_trace(args: &Args) {
     let label = format!("{}/{}/{}", args.workload, args.policy, args.ratio);
     let body = export_trace(&out.report, &tracer, &label, args.format);
     if args.validate {
-        match args.format {
-            TraceFormat::Chrome => {
-                validate(&body).unwrap_or_else(|e| panic!("invalid chrome trace: {e}"))
-            }
-            TraceFormat::Jsonl => {
-                for (i, line) in body.lines().enumerate() {
-                    validate(line).unwrap_or_else(|e| panic!("invalid jsonl line {}: {e}", i + 1));
-                }
-            }
+        let bad = match args.format {
+            TraceFormat::Chrome => validate(&body)
+                .err()
+                .map(|e| format!("invalid chrome trace: {e}")),
+            TraceFormat::Jsonl => body.lines().enumerate().find_map(|(i, line)| {
+                validate(line)
+                    .err()
+                    .map(|e| format!("invalid jsonl line {}: {e}", i + 1))
+            }),
+        };
+        if let Some(msg) = bad {
+            eprintln!("{msg}");
+            std::process::exit(1);
         }
     }
     let path = args
@@ -153,6 +157,11 @@ fn run_trace(args: &Args) {
         out.report.windows.len(),
         out.report.total_cycles
     );
+    // Greppable one-liner for the CI fault-injection smoke test.
+    println!(
+        "migration health: failed_promotions={} dropped_orders={}",
+        out.report.failed_promotions, out.report.dropped_orders
+    );
     println!(
         "wrote {path} ({} bytes, {} format{})",
         body.len(),
@@ -162,6 +171,8 @@ fn run_trace(args: &Args) {
 }
 
 fn main() {
+    // Reject a malformed PACT_FAULTS spec before any work happens.
+    pact_bench::validate_fault_env();
     let args = parse_args().unwrap_or_else(|msg| {
         eprintln!("{msg}");
         std::process::exit(2);
@@ -172,8 +183,15 @@ fn main() {
     }
     if let Some(path) = &args.trace_out {
         let wl = build(&args.workload, args.scale, args.seed);
-        let file = std::io::BufWriter::new(std::fs::File::create(path).expect("create trace file"));
-        let n = pact_tiersim::write_workload_trace(file, wl.as_ref()).expect("write trace");
+        let file = std::fs::File::create(path).unwrap_or_else(|e| {
+            eprintln!("cannot create {path}: {e}");
+            std::process::exit(1);
+        });
+        let n = pact_tiersim::write_workload_trace(std::io::BufWriter::new(file), wl.as_ref())
+            .unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            });
         println!("wrote {n} accesses of '{}' to {path}", args.workload);
         return;
     }

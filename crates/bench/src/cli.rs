@@ -1,5 +1,6 @@
 //! Minimal command-line parsing shared by the figure binaries.
 
+use pact_tiersim::FaultPlan;
 use pact_workloads::suite::Scale;
 
 /// Common options of every experiment binary.
@@ -22,13 +23,39 @@ impl Default for Options {
 
 /// Parses `std::env::args`, exiting with usage help on error.
 ///
+/// Also validates the `PACT_FAULTS` fault-injection spec so a typo in
+/// the environment is a hard startup error rather than a warning lost
+/// in sweep output.
+///
 /// Recognized flags: `--scale smoke|paper`, `--seed <u64>`, `--help`.
 pub fn parse_options() -> Options {
+    validate_fault_env();
     parse_from(std::env::args().skip(1)).unwrap_or_else(|msg| {
         eprintln!("{msg}");
         eprintln!("usage: <bin> [--scale smoke|paper] [--seed N]");
         std::process::exit(2);
     })
+}
+
+/// Exits with status 2 if `PACT_FAULTS` is set but unparseable, so
+/// every experiment binary rejects a bad fault spec before doing any
+/// work. A valid spec is left for the harness to apply per run.
+pub fn validate_fault_env() {
+    if let Err(e) = FaultPlan::from_env() {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
+}
+
+/// Reports a configuration error and exits with status 2.
+///
+/// Figure binaries construct machines and policies from hard-coded
+/// experiment configs; when construction does fail (e.g. a bad edit to
+/// an experiment constant), this turns the failure into a one-line
+/// structured message instead of a panic backtrace.
+pub fn exit_invalid_config(e: impl std::fmt::Display) -> ! {
+    eprintln!("error: invalid configuration: {e}");
+    std::process::exit(2);
 }
 
 fn parse_from(args: impl Iterator<Item = String>) -> Result<Options, String> {

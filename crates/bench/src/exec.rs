@@ -108,8 +108,28 @@ where
     });
     slots
         .into_iter()
+        // Invariant: the atomic counter hands out each index in 0..n
+        // exactly once and every worker joined cleanly above, so each
+        // slot was written; an empty slot is executor corruption.
         .map(|s| s.expect("every job index was claimed and completed"))
         .collect()
+}
+
+/// [`run_indexed`] for fallible jobs: returns the first `Err` in job
+/// (not completion) order, or all results in job order.
+///
+/// All jobs still run to completion — a failure does not cancel
+/// in-flight work — so a retried invocation observes the same
+/// deterministic schedule. The deterministic error choice matters for
+/// reproducibility: which cell *reports* the failure never depends on
+/// thread timing.
+pub fn try_run_indexed<T, E, F>(n: usize, jobs: usize, f: F) -> Result<Vec<T>, E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(usize) -> Result<T, E> + Sync,
+{
+    run_indexed(n, jobs, f).into_iter().collect()
 }
 
 /// Raw-pointer wrapper so the slot base address can cross the thread
@@ -166,6 +186,17 @@ mod tests {
             })
         });
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn try_run_indexed_returns_first_error_by_index() {
+        let f = |i: usize| if i % 3 == 2 { Err(i) } else { Ok(i * 2) };
+        // Jobs 2, 5, 8, 11 fail; index order pins the reported error
+        // to 2 regardless of worker scheduling.
+        assert_eq!(try_run_indexed(12, 4, f), Err(2));
+        assert_eq!(try_run_indexed(12, 1, f), Err(2));
+        let ok = |i: usize| Ok::<usize, ()>(i + 1);
+        assert_eq!(try_run_indexed(4, 2, ok), Ok(vec![1, 2, 3, 4]));
     }
 
     #[test]

@@ -24,8 +24,8 @@ pub mod exec;
 mod report;
 mod runner;
 
-pub use cli::{parse_options, Options};
-pub use exec::{jobs_from_env, run_indexed};
+pub use cli::{exit_invalid_config, parse_options, validate_fault_env, Options};
+pub use exec::{jobs_from_env, run_indexed, try_run_indexed};
 pub use report::{banner, cdf_lines, count, pct, save_results, sparkline, JsonWriter, Table};
 pub use runner::{
     experiment_machine, is_runnable_policy, make_policy, ratio_sweep, ratio_sweep_jobs,

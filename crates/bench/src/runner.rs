@@ -8,8 +8,8 @@ use pact_baselines::{soar_profile, Alto, Colloid, Memtis, Nbt, NoTier, Nomad, So
 use pact_core::{PactConfig, PactPolicy, RankBy};
 use pact_obs::DEFAULT_RING_CAPACITY;
 use pact_tiersim::{
-    export_trace, Machine, MachineConfig, RunReport, TieringPolicy, TraceConfig, Tracer, Workload,
-    PAGE_BYTES,
+    export_trace, ConfigError, FaultPlan, Machine, MachineConfig, RunReport, TieringPolicy,
+    TraceConfig, Tracer, Workload, FAULTS_ENV, PAGE_BYTES,
 };
 
 /// A fast:slow tier-capacity ratio relative to the workload footprint
@@ -64,6 +64,25 @@ pub fn experiment_machine(fast_pages: u64) -> MachineConfig {
     MachineConfig::skylake_cxl(fast_pages)
 }
 
+/// The process-wide fault plan from `PACT_FAULTS`, parsed once.
+///
+/// Sweep cells run on worker threads; parsing the environment once up
+/// front guarantees every cell sees the same plan even if the
+/// environment is mutated mid-run. An invalid spec warns once and is
+/// ignored here — binaries validate it eagerly at startup (see
+/// [`crate::parse_options`]) so interactive users get a hard error.
+fn env_fault_plan() -> Option<&'static FaultPlan> {
+    static PLAN: OnceLock<Option<FaultPlan>> = OnceLock::new();
+    PLAN.get_or_init(|| match FaultPlan::from_env() {
+        Ok(plan) => plan,
+        Err(e) => {
+            eprintln!("warning: ignoring {FAULTS_ENV}: {e}");
+            None
+        }
+    })
+    .as_ref()
+}
+
 /// Outcome of one policy run, normalized against the DRAM baseline.
 #[derive(Debug, Clone)]
 pub struct Outcome {
@@ -110,12 +129,16 @@ impl std::error::Error for PolicyError {}
 /// sweep drivers can skip bad names instead of aborting mid-sweep.
 pub fn make_policy(name: &str) -> Result<Box<dyn TieringPolicy>, PolicyError> {
     Ok(match name {
+        // Invariant: PactConfig::default() passes its own validate()
+        // (pinned by a pact-core test), so construction cannot fail.
         "pact" => Box::new(PactPolicy::new(PactConfig::default()).expect("default is valid")),
         "pact-freq" => {
             let cfg = PactConfig {
                 rank_by: RankBy::Frequency,
                 ..PactConfig::default()
             };
+            // Invariant: rank_by is not range-checked, so a default
+            // config with only rank_by changed stays valid.
             Box::new(PactPolicy::new(cfg).expect("config is valid"))
         }
         "colloid" => Box::new(Colloid::new()),
@@ -170,9 +193,22 @@ impl Harness {
 
     /// Overrides the base machine configuration (tier capacity is still
     /// set per run).
-    pub fn with_machine(mut self, cfg: MachineConfig) -> Self {
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`MachineConfig::validate`]; use
+    /// [`Harness::try_with_machine`] to surface the error instead.
+    pub fn with_machine(self, cfg: MachineConfig) -> Self {
+        self.try_with_machine(cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Overrides the base machine configuration after validating it,
+    /// reporting an invalid configuration as a structured error instead
+    /// of panicking deep inside the first run.
+    pub fn try_with_machine(mut self, cfg: MachineConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
         self.base_cfg = cfg;
-        self
+        Ok(self)
     }
 
     /// The wrapped workload.
@@ -194,6 +230,15 @@ impl Harness {
     fn machine(&self, fast_pages: u64) -> Machine {
         let mut cfg = self.base_cfg.clone();
         cfg.fast_tier_pages = fast_pages;
+        // An explicit plan on the config wins; otherwise every run in
+        // the process picks up the PACT_FAULTS environment plan (parsed
+        // once — workers must all see the same plan).
+        if cfg.fault_plan.is_none() {
+            cfg.fault_plan = env_fault_plan().cloned();
+        }
+        // Invariant: base_cfg was validated by try_with_machine (or is a
+        // preset), and fast_tier_pages/fault_plan stay within validated
+        // ranges, so construction cannot fail.
         Machine::new(cfg).expect("experiment config is valid")
     }
 
@@ -524,6 +569,23 @@ mod tests {
         assert!(!is_runnable_policy("bogus"));
         let msg = PolicyError::Unknown("bogus".into()).to_string();
         assert!(msg.contains("unknown policy"), "{msg}");
+    }
+
+    #[test]
+    fn with_machine_validates_the_config() {
+        let h = Harness::new(build("gups", Scale::Smoke, 9));
+        let mut bad = experiment_machine(0);
+        bad.window_cycles = 0;
+        let err = h.try_with_machine(bad).err().unwrap();
+        assert!(err.to_string().contains("window_cycles"), "{err}");
+        // An invalid fault plan is caught the same way.
+        let h = Harness::new(build("gups", Scale::Smoke, 9));
+        let mut bad = experiment_machine(0);
+        bad.fault_plan = Some(FaultPlan {
+            drop_order: 2.0,
+            ..FaultPlan::default()
+        });
+        assert!(h.try_with_machine(bad).is_err());
     }
 
     #[test]

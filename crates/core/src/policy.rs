@@ -47,6 +47,9 @@ pub struct PactPolicy {
     k: f64,
     windows_seen: u32,
     last_period_snapshot: PmuCounters,
+    /// Cumulative failed/dropped migration orders observed through
+    /// `PolicyCtx` as of the last period (graceful-degradation state).
+    failures_seen: u64,
 }
 
 impl PactPolicy {
@@ -65,6 +68,7 @@ impl PactPolicy {
             k: 418.0,
             windows_seen: 0,
             last_period_snapshot: PmuCounters::default(),
+            failures_seen: 0,
         })
     }
 
@@ -174,12 +178,34 @@ impl PactPolicy {
         let per_period_cap = (fast_units as usize / 8).clamp(4, self.cfg.max_promotions_per_period);
         candidates.truncate(per_period_cap);
 
+        // Graceful degradation: when the migration path sheds or fails
+        // orders under an active fault-injection plan (see
+        // `tiersim::fault`), widen the eager-demotion margin in
+        // proportion to the failures seen this period, so headroom is
+        // guaranteed *despite* an unreliable daemon and the policy
+        // still converges. The extra margin is bounded so a burst of
+        // failures cannot trigger a demotion storm. Keyed on
+        // fault_injection_active() so fault-free runs — where a few
+        // capacity-induced failures are normal — behave exactly as if
+        // this path did not exist.
+        let failure_margin = if ctx.fault_injection_active() {
+            let failures = ctx.failed_promotions() + ctx.dropped_orders();
+            let new_failures = failures.saturating_sub(self.failures_seen);
+            self.failures_seen = failures;
+            if new_failures > 0 {
+                ctx.telemetry("migration_failures", new_failures as f64);
+            }
+            new_failures.min(16) * span
+        } else {
+            0
+        };
+
         // Algorithm 2: eager demotion to guarantee promotion headroom.
         // The cold LRU supply comes first; any shortfall is met with
         // direct reclaim — criticality-first means a top-bin page may
         // displace a merely-recent one.
         let needed = candidates.len() as u64 * span;
-        let margin = self.cfg.eager_demotion_margin * span;
+        let margin = self.cfg.eager_demotion_margin * span + failure_margin;
         if ctx.fast_free() < needed + margin {
             let deficit = needed + margin - ctx.fast_free();
             let units = deficit.div_ceil(span) as usize;
@@ -257,6 +283,7 @@ impl TieringPolicy for PactPolicy {
         self.bins = AdaptiveBins::new(&self.cfg);
         self.windows_seen = 0;
         self.last_period_snapshot = PmuCounters::default();
+        self.failures_seen = 0;
     }
 
     fn on_sample(&mut self, ev: &SampleEvent, _ctx: &mut PolicyCtx) {

@@ -276,6 +276,27 @@ pub fn chrome_trace(label: &str, events: &[TraceEvent], windows: &[WindowRow<'_>
                 j.end_object();
                 j.end_object();
             }
+            EventKind::FaultInjected { kind, arg } => {
+                event_header(&mut j, "fault-injected", "I", ev.cycle, TID_MACHINE);
+                j.field_str("s", "t");
+                j.key("args");
+                j.begin_object();
+                j.field_str("kind", kind);
+                j.field_u64("arg", arg);
+                j.end_object();
+                j.end_object();
+            }
+            EventKind::OrderRetried { page, to, attempt } => {
+                event_header(&mut j, "order-retried", "I", ev.cycle, TID_MIGRATION);
+                j.field_str("s", "t");
+                j.key("args");
+                j.begin_object();
+                j.field_u64("page", page);
+                j.field_str("to", tier_name(to));
+                j.field_u64("attempt", attempt as u64);
+                j.end_object();
+                j.end_object();
+            }
         }
     }
 
@@ -372,6 +393,15 @@ pub fn jsonl(label: &str, events: &[TraceEvent], windows: &[WindowRow<'_>]) -> S
                 j.field_str("key", key);
                 j.field_f64("value", value);
             }
+            EventKind::FaultInjected { kind, arg } => {
+                j.field_str("kind", kind);
+                j.field_u64("arg", arg);
+            }
+            EventKind::OrderRetried { page, to, attempt } => {
+                j.field_u64("page", page);
+                j.field_str("to", tier_name(to));
+                j.field_u64("attempt", attempt as u64);
+            }
         }
         j.end_object();
         out.push_str(&j.finish());
@@ -439,6 +469,21 @@ mod tests {
                     value: 1.5,
                 },
             },
+            TraceEvent {
+                cycle: 60,
+                kind: EventKind::FaultInjected {
+                    kind: "channel_stall",
+                    arg: 20_000,
+                },
+            },
+            TraceEvent {
+                cycle: 70,
+                kind: EventKind::OrderRetried {
+                    page: 7,
+                    to: 0,
+                    attempt: 2,
+                },
+            },
         ]
     }
 
@@ -468,6 +513,8 @@ mod tests {
         assert!(s.contains("\"ph\":\"B\"") && s.contains("\"ph\":\"E\""));
         assert!(s.contains("queue-pressure"));
         assert!(s.contains("bin_width"));
+        assert!(s.contains("fault-injected") && s.contains("channel_stall"));
+        assert!(s.contains("order-retried"));
         assert!(s.ends_with('\n'));
     }
 
@@ -476,15 +523,17 @@ mod tests {
         let w = sample_windows();
         let s = jsonl("unit", &sample_events(), &rows(&w));
         let lines: Vec<&str> = s.lines().collect();
-        // meta + 5 events + 1 window.
-        assert_eq!(lines.len(), 7);
+        // meta + 7 events + 1 window.
+        assert_eq!(lines.len(), 9);
         for line in &lines {
             validate(line).unwrap_or_else(|e| panic!("{line}: {e}"));
         }
         assert!(lines[0].contains("\"t\":\"meta\""));
         assert!(lines[1].contains("\"type\":\"order_issued\""));
-        assert!(lines[6].contains("\"t\":\"window\""));
-        assert!(lines[6].contains("\"queue/len\":2"));
+        assert!(lines[6].contains("\"type\":\"fault_injected\""));
+        assert!(lines[7].contains("\"type\":\"order_retried\""));
+        assert!(lines[8].contains("\"t\":\"window\""));
+        assert!(lines[8].contains("\"queue/len\":2"));
     }
 
     #[test]

@@ -104,6 +104,25 @@ pub enum EventKind {
         /// Reported value.
         value: f64,
     },
+    /// The fault-injection layer fired a fault.
+    FaultInjected {
+        /// Stable fault-class name (e.g. `"order_drop"`,
+        /// `"migration_fail"`, `"channel_stall"`, `"pebs_loss"`,
+        /// `"chmu_overflow"`).
+        kind: &'static str,
+        /// Class-specific argument: the affected page for migration and
+        /// sampling faults, booked lines for channel stalls.
+        arg: u64,
+    },
+    /// A transiently failed migration order was requeued for retry.
+    OrderRetried {
+        /// Global page number of the retried unit.
+        page: u64,
+        /// Destination tier index.
+        to: TierIdx,
+        /// 1-based retry attempt.
+        attempt: u32,
+    },
 }
 
 impl EventKind {
@@ -119,6 +138,8 @@ impl EventKind {
             EventKind::ChannelRecovered { .. } => "channel_recovered",
             EventKind::SampleBatch { .. } => "sample_batch",
             EventKind::PolicyTelemetry { .. } => "policy_telemetry",
+            EventKind::FaultInjected { .. } => "fault_injected",
+            EventKind::OrderRetried { .. } => "order_retried",
         }
     }
 }

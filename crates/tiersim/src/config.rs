@@ -1,5 +1,6 @@
 //! Machine configuration and hardware presets.
 
+use crate::fault::FaultPlan;
 use crate::types::{Tier, HUGE_PAGE_SPAN, LINE_BYTES, PAGE_BYTES};
 
 /// Configuration of one memory tier: unloaded latency and peak bandwidth.
@@ -164,6 +165,9 @@ pub struct MachineConfig {
     /// Seed for all randomized machine behaviour (prefetch coverage,
     /// hint-fault scan sampling). Runs are deterministic given the seed.
     pub seed: u64,
+    /// Deterministic fault-injection plan ([`crate::fault`]); `None`
+    /// disables injection entirely (the zero-cost default).
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl MachineConfig {
@@ -213,6 +217,7 @@ impl MachineConfig {
             chmu_counters: 0,
             track_page_stalls: false,
             seed: 0x9ac7_1357,
+            fault_plan: None,
         }
     }
 
@@ -267,6 +272,9 @@ impl MachineConfig {
             return Err(ConfigError(
                 "thp_unit_pages must be a power of two no larger than 512",
             ));
+        }
+        if let Some(plan) = &self.fault_plan {
+            plan.validate().map_err(ConfigError)?;
         }
         Ok(())
     }
@@ -334,6 +342,18 @@ mod tests {
         let mut cfg = MachineConfig::default();
         cfg.pebs.rate = 0;
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn fault_plan_validation_is_wired() {
+        let mut cfg = MachineConfig::default();
+        cfg.fault_plan = Some(FaultPlan {
+            backoff_windows: 0,
+            ..FaultPlan::default()
+        });
+        assert!(cfg.validate().is_err());
+        cfg.fault_plan = Some(FaultPlan::default());
+        assert!(cfg.validate().is_ok());
     }
 
     #[test]

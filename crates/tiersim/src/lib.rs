@@ -51,6 +51,8 @@
 mod cache;
 mod chmu;
 mod config;
+mod error;
+mod fault;
 mod machine;
 mod mem;
 mod observe;
@@ -67,6 +69,8 @@ pub use config::{
     ConfigError, LlcConfig, MachineConfig, MigrationConfig, PebsConfig, PebsScope, PrefetchConfig,
     TierConfig,
 };
+pub use error::SimError;
+pub use fault::{FaultPlan, StallFault, FAULTS_ENV};
 pub use machine::{Machine, ProcessReport, RunReport, WindowRecord};
 pub use mem::Memory;
 pub use observe::export_trace;

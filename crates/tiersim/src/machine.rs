@@ -11,9 +11,13 @@ use pact_stats::SplitMix64;
 use crate::cache::{line_of, Llc, StrideDetector};
 use crate::chmu::Chmu;
 use crate::config::{ConfigError, MachineConfig};
+use crate::error::SimError;
+use crate::fault::FaultState;
 use crate::mem::Memory;
 use crate::pmu::{PebsSampler, PmuCounters, SampleEvent};
-use crate::policy::{MachineInfo, MigrationOrder, PolicyCtx, TieringPolicy, WindowStats};
+use crate::policy::{
+    CtxTotals, MachineInfo, MigrationOrder, PolicyCtx, TieringPolicy, WindowStats,
+};
 use crate::tier::Channel;
 use crate::types::{AccessKind, PageId, Tier, HUGE_PAGE_SPAN, LINE_BYTES, PAGE_BYTES};
 use crate::workload::{AccessStream, Workload};
@@ -163,13 +167,36 @@ impl Machine {
     }
 
     /// Runs a single workload under `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate workload set or an out-of-range address;
+    /// see [`try_run`](Self::try_run) for the fallible form.
     pub fn run(&self, workload: &dyn Workload, policy: &mut dyn TieringPolicy) -> RunReport {
         self.run_colocated(&[workload], policy)
+    }
+
+    /// Fallible [`run`](Self::run): degenerate workload sets and
+    /// out-of-range addresses surface as [`SimError`]s.
+    ///
+    /// # Errors
+    ///
+    /// See [`try_run_colocated`](Self::try_run_colocated).
+    pub fn try_run(
+        &self,
+        workload: &dyn Workload,
+        policy: &mut dyn TieringPolicy,
+    ) -> Result<RunReport, SimError> {
+        self.try_run_colocated(&[workload], policy)
     }
 
     /// [`run`](Self::run) with a structured event trace recorded into
     /// `tracer` (see [`pact_obs::Tracer`]). The trace does not perturb
     /// the simulation: the report is identical to an untraced run.
+    ///
+    /// # Panics
+    ///
+    /// Panics where [`run`](Self::run) does.
     pub fn run_traced(
         &self,
         workload: &dyn Workload,
@@ -179,13 +206,28 @@ impl Machine {
         self.run_colocated_traced(&[workload], policy, tracer)
     }
 
+    /// Fallible [`run_traced`](Self::run_traced).
+    ///
+    /// # Errors
+    ///
+    /// See [`try_run_colocated`](Self::try_run_colocated).
+    pub fn try_run_traced(
+        &self,
+        workload: &dyn Workload,
+        policy: &mut dyn TieringPolicy,
+        tracer: &mut Tracer,
+    ) -> Result<RunReport, SimError> {
+        self.try_run_colocated_traced(&[workload], policy, tracer)
+    }
+
     /// Runs several colocated workloads (separate address spaces, shared
     /// LLC, channels, and fast tier) under one `policy`.
     ///
     /// # Panics
     ///
     /// Panics if `workloads` is empty or a stream emits an out-of-range
-    /// address.
+    /// address ([`try_run_colocated`](Self::try_run_colocated) returns
+    /// these as errors instead).
     pub fn run_colocated(
         &self,
         workloads: &[&dyn Workload],
@@ -195,15 +237,56 @@ impl Machine {
         self.run_colocated_traced(workloads, policy, &mut tracer)
     }
 
+    /// Fallible [`run_colocated`](Self::run_colocated).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NoWorkloads`] / [`SimError::NoStreams`] /
+    /// [`SimError::NoForeground`] for degenerate workload sets, and
+    /// [`SimError::AddressOutOfRange`] when a stream emits an address
+    /// beyond its declared footprint.
+    pub fn try_run_colocated(
+        &self,
+        workloads: &[&dyn Workload],
+        policy: &mut dyn TieringPolicy,
+    ) -> Result<RunReport, SimError> {
+        let mut tracer = Tracer::disabled();
+        self.try_run_colocated_traced(workloads, policy, &mut tracer)
+    }
+
     /// [`run_colocated`](Self::run_colocated) with event tracing.
+    ///
+    /// # Panics
+    ///
+    /// Panics where [`run_colocated`](Self::run_colocated) does.
     pub fn run_colocated_traced(
         &self,
         workloads: &[&dyn Workload],
         policy: &mut dyn TieringPolicy,
         tracer: &mut Tracer,
     ) -> RunReport {
-        assert!(!workloads.is_empty(), "need at least one workload");
-        Sim::new(&self.cfg, workloads, policy, tracer).run()
+        // Legacy panicking wrapper: the panic text is the error's
+        // Display form, which existing `should_panic` tests pin.
+        self.try_run_colocated_traced(workloads, policy, tracer)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`run_colocated_traced`](Self::run_colocated_traced):
+    /// the primary entry point every other run method funnels into.
+    ///
+    /// # Errors
+    ///
+    /// See [`try_run_colocated`](Self::try_run_colocated).
+    pub fn try_run_colocated_traced(
+        &self,
+        workloads: &[&dyn Workload],
+        policy: &mut dyn TieringPolicy,
+        tracer: &mut Tracer,
+    ) -> Result<RunReport, SimError> {
+        if workloads.is_empty() {
+            return Err(SimError::NoWorkloads);
+        }
+        Sim::new(&self.cfg, workloads, policy, tracer)?.run()
     }
 }
 
@@ -294,6 +377,10 @@ struct Sim<'a, 'w> {
     chan_lines_seen: [u64; 2],
     /// Start cycle of an ongoing channel-saturation episode, per tier.
     saturated_since: [Option<u64>; 2],
+    /// Fault injection, present only when the configuration carries an
+    /// active plan; `None` keeps the hot path fault-free and the
+    /// metrics/trace output byte-identical to a pre-fault build.
+    faults: Option<FaultState>,
 }
 
 /// Maximum pending async migration orders before new ones are dropped.
@@ -310,7 +397,7 @@ impl<'a, 'w> Sim<'a, 'w> {
         workloads: &[&'w dyn Workload],
         policy: &'a mut dyn TieringPolicy,
         tracer: &'a mut Tracer,
-    ) -> Self {
+    ) -> Result<Self, SimError> {
         let mut threads = Vec::new();
         let mut procs = Vec::new();
         let mut next_base_page = 0u64;
@@ -349,15 +436,16 @@ impl<'a, 'w> Sim<'a, 'w> {
                 background: wl.is_background(),
             });
         }
-        assert!(!threads.is_empty(), "workloads produced no streams");
+        if threads.is_empty() {
+            return Err(SimError::NoStreams);
+        }
         let foreground_threads = threads
             .iter()
             .filter(|t| !workloads[t.proc].is_background())
             .count();
-        assert!(
-            foreground_threads > 0,
-            "at least one foreground workload is required"
-        );
+        if foreground_threads == 0 {
+            return Err(SimError::NoForeground);
+        }
         let unit_span = if cfg.thp { cfg.thp_unit_pages } else { 1 };
         let mem = Memory::new(next_base_page, cfg.fast_tier_pages, unit_span);
         policy.prepare(&MachineInfo {
@@ -395,7 +483,15 @@ impl<'a, 'w> Sim<'a, 'w> {
         let m_chmu = (cfg.chmu_counters > 0)
             .then(|| (registry.gauge("chmu/tracked"), registry.gauge("chmu/total")));
         let m_pebs_latency = registry.histogram("pebs/latency_cycles", 0.0, 64.0, 32);
-        Sim {
+        // Fault metrics register only when a plan can actually inject,
+        // so disabled (or inert) plans leave the per-window metric
+        // snapshot — and therefore every exported byte — unchanged.
+        let faults = cfg
+            .fault_plan
+            .as_ref()
+            .filter(|p| p.is_active())
+            .map(|p| FaultState::new(p.clone(), &mut registry));
+        Ok(Sim {
             policy,
             threads,
             procs,
@@ -444,11 +540,12 @@ impl<'a, 'w> Sim<'a, 'w> {
             m_pebs_latency,
             chan_lines_seen: [0; 2],
             saturated_since: [None; 2],
+            faults,
             cfg,
-        }
+        })
     }
 
-    fn run(mut self) -> RunReport {
+    fn run(mut self) -> Result<RunReport, SimError> {
         while self.foreground_threads > 0 {
             // Pick the runnable thread with the smallest clock (global
             // time order); workers gated behind a prologue wait for it.
@@ -471,7 +568,7 @@ impl<'a, 'w> Sim<'a, 'w> {
             while self.threads[ti].now >= self.next_edge {
                 self.fire_window();
             }
-            self.step_thread(ti);
+            self.step_thread(ti)?;
         }
         // Stop any background co-runners at the current clock.
         for t in self.threads.iter_mut().filter(|t| !t.done) {
@@ -488,7 +585,7 @@ impl<'a, 'w> Sim<'a, 'w> {
             .map(|p| p.finish)
             .max()
             .unwrap_or(0);
-        RunReport {
+        Ok(RunReport {
             policy: self.policy.name().to_string(),
             total_cycles,
             per_process: self
@@ -507,11 +604,11 @@ impl<'a, 'w> Sim<'a, 'w> {
             dropped_orders: self.dropped_orders,
             windows: self.windows,
             page_stalls: self.page_stalls,
-        }
+        })
     }
 
     /// Executes one access of thread `ti`.
-    fn step_thread(&mut self, ti: usize) {
+    fn step_thread(&mut self, ti: usize) -> Result<(), SimError> {
         let Some(a) = self.threads[ti].stream.next_access() else {
             // Wait for outstanding misses to retire, then finish.
             let t = &mut self.threads[ti];
@@ -532,19 +629,19 @@ impl<'a, 'w> Sim<'a, 'w> {
                 w.now = w.now.max(finish);
                 w.gated_by = None;
             }
-            return;
+            return Ok(());
         };
         let (proc, base_page, fp_bytes) = {
             let t = &self.threads[ti];
             (t.proc, t.base_page, t.footprint_bytes)
         };
-        assert!(
-            a.vaddr < fp_bytes,
-            "workload {} emitted vaddr {:#x} beyond footprint {:#x}",
-            self.procs[proc].name,
-            a.vaddr,
-            fp_bytes
-        );
+        if a.vaddr >= fp_bytes {
+            return Err(SimError::AddressOutOfRange {
+                workload: self.procs[proc].name.clone(),
+                vaddr: a.vaddr,
+                footprint: fp_bytes,
+            });
+        }
         self.procs[proc].accesses += 1;
         self.counters.accesses += 1;
         match a.kind {
@@ -557,7 +654,7 @@ impl<'a, 'w> Sim<'a, 'w> {
         let page = PageId(base_page + a.vaddr / PAGE_BYTES);
         let prefer = self.policy.place(page);
         let (tier, _first) = self.mem.ensure_mapped_with(page, prefer);
-        self.mem.touch(page, self.window_idx as u32);
+        self.mem.touch(page, self.window_idx);
 
         // NUMA hint fault on a scan-poisoned unit.
         if self.mem.is_poisoned(self.mem.unit_head(page)) {
@@ -584,7 +681,7 @@ impl<'a, 'w> Sim<'a, 'w> {
         if hit {
             self.counters.llc_hits += 1;
             self.threads[ti].now += self.cfg.hit_cycles as u64;
-            return;
+            return Ok(());
         }
 
         let tidx = tier.index();
@@ -620,21 +717,43 @@ impl<'a, 'w> Sim<'a, 'w> {
                 }
                 let latency = self.execute_load_miss(ti, a.dep, tier, page);
                 if self.pebs.observe(tier) {
-                    self.counters.pebs_samples += 1;
-                    self.registry.observe(self.m_pebs_latency, latency as f64);
-                    self.threads[ti].now += self.pebs.overhead_cycles() as u64;
-                    self.deliver_sample(
-                        ti,
-                        SampleEvent::Pebs {
-                            vaddr: a.vaddr,
-                            page,
-                            tier,
-                            latency,
-                        },
-                    );
+                    // Injected PEBS loss: the debug store overflowed, so
+                    // the sample vanishes entirely — no counter, no
+                    // overhead, no policy delivery.
+                    let mut lost = false;
+                    if let Some(f) = self.faults.as_mut() {
+                        if f.lose_pebs(self.window_idx) {
+                            lost = true;
+                            let (mi, ml) = (f.m_injected, f.m_pebs_lost);
+                            self.registry.inc(mi, 1);
+                            self.registry.inc(ml, 1);
+                            self.tracer.emit(
+                                self.threads[ti].now,
+                                EventKind::FaultInjected {
+                                    kind: "pebs_loss",
+                                    arg: page.0,
+                                },
+                            );
+                        }
+                    }
+                    if !lost {
+                        self.counters.pebs_samples += 1;
+                        self.registry.observe(self.m_pebs_latency, latency as f64);
+                        self.threads[ti].now += self.pebs.overhead_cycles() as u64;
+                        self.deliver_sample(
+                            ti,
+                            SampleEvent::Pebs {
+                                vaddr: a.vaddr,
+                                page,
+                                tier,
+                                latency,
+                            },
+                        );
+                    }
                 }
             }
         }
+        Ok(())
     }
 
     /// Issues a demand load miss to `page` on thread `ti`, modelling
@@ -724,6 +843,7 @@ impl<'a, 'w> Sim<'a, 'w> {
     fn deliver_sample(&mut self, ti: usize, ev: SampleEvent) {
         let mut orders = std::mem::take(&mut self.order_buf);
         let mut telemetry = std::mem::take(&mut self.telemetry_buf);
+        let totals = self.ctx_totals();
         let mut ctx = PolicyCtx::new(
             &mut self.mem,
             self.chmu.as_mut(),
@@ -731,9 +851,7 @@ impl<'a, 'w> Sim<'a, 'w> {
             &mut telemetry,
             &mut self.hint_scan_per_window,
             &mut self.registry,
-            self.promotions,
-            self.demotions,
-            self.window_idx,
+            totals,
         );
         self.policy.on_sample(&ev, &mut ctx);
         self.window_telemetry.append(&mut telemetry);
@@ -748,7 +866,7 @@ impl<'a, 'w> Sim<'a, 'w> {
                 },
             );
             if order.sync {
-                self.execute_order(order, Some(ti));
+                self.execute_order(order, Some(ti), 0);
             } else {
                 self.enqueue_order(order, now);
             }
@@ -757,7 +875,44 @@ impl<'a, 'w> Sim<'a, 'w> {
         self.telemetry_buf = telemetry;
     }
 
+    /// Cumulative totals snapshot lent to each [`PolicyCtx`].
+    fn ctx_totals(&self) -> CtxTotals {
+        CtxTotals {
+            promotions: self.promotions,
+            demotions: self.demotions,
+            failed_promotions: self.failed_promotions,
+            dropped_orders: self.dropped_orders,
+            window: self.window_idx,
+            faults_active: self.faults.is_some(),
+        }
+    }
+
     fn enqueue_order(&mut self, order: MigrationOrder, cycle: u64) {
+        // Injected admission-control drop: the order is shed before it
+        // reaches the daemon queue, exactly like a capacity drop.
+        if let Some(f) = self.faults.as_mut() {
+            if f.drop_order(self.window_idx) {
+                let mi = f.m_injected;
+                self.dropped_orders += 1;
+                self.window_dropped += 1;
+                self.registry.inc(mi, 1);
+                self.tracer.emit(
+                    cycle,
+                    EventKind::FaultInjected {
+                        kind: "order_drop",
+                        arg: order.page.0,
+                    },
+                );
+                self.tracer.emit(
+                    cycle,
+                    EventKind::OrderDropped {
+                        page: order.page.0,
+                        to: order.to.index() as u8,
+                    },
+                );
+                return;
+            }
+        }
         if self.order_queue.len() >= ORDER_QUEUE_CAP {
             self.dropped_orders += 1;
             self.window_dropped += 1;
@@ -774,8 +929,9 @@ impl<'a, 'w> Sim<'a, 'w> {
     }
 
     /// Executes one migration order. `sync_thread` pays the kernel cost
-    /// when the order is synchronous.
-    fn execute_order(&mut self, order: MigrationOrder, sync_thread: Option<usize>) {
+    /// when the order is synchronous; `attempt` counts prior transient
+    /// failures of this order (0 for fresh orders).
+    fn execute_order(&mut self, order: MigrationOrder, sync_thread: Option<usize>, attempt: u32) {
         // The copy reads one tier and writes the other; the channel
         // time starts no earlier than the daemon's (or faulting
         // thread's) clock. Events are stamped with the same anchor.
@@ -783,6 +939,56 @@ impl<'a, 'w> Sim<'a, 'w> {
             Some(ti) => self.threads[ti].now,
             None => self.next_edge.saturating_sub(self.cfg.window_cycles),
         };
+        // Injected transient failure (a lost `move_pages` race): retry
+        // later with doubling backoff, through the async daemon path
+        // even for sync orders — the faulting thread does not spin.
+        if let Some(f) = self.faults.as_mut() {
+            if f.fail_migration(self.window_idx) {
+                let (mi, mr) = (f.m_injected, f.m_retries);
+                let retry = f.schedule_retry(order, self.window_idx, attempt);
+                self.registry.inc(mi, 1);
+                self.tracer.emit(
+                    anchor,
+                    EventKind::FaultInjected {
+                        kind: "migration_fail",
+                        arg: order.page.0,
+                    },
+                );
+                match retry {
+                    Some(e) => {
+                        self.registry.inc(mr, 1);
+                        self.tracer.emit(
+                            anchor,
+                            EventKind::OrderRetried {
+                                page: order.page.0,
+                                to: order.to.index() as u8,
+                                attempt: e.attempt,
+                            },
+                        );
+                    }
+                    // Retries exhausted: account it like the equivalent
+                    // capacity failure so policies and reports see it.
+                    None if order.to == Tier::Fast => {
+                        self.failed_promotions += 1;
+                        self.window_failed += 1;
+                        self.tracer
+                            .emit(anchor, EventKind::PromotionRejected { page: order.page.0 });
+                    }
+                    None => {
+                        self.dropped_orders += 1;
+                        self.window_dropped += 1;
+                        self.tracer.emit(
+                            anchor,
+                            EventKind::OrderDropped {
+                                page: order.page.0,
+                                to: order.to.index() as u8,
+                            },
+                        );
+                    }
+                }
+                return;
+            }
+        }
         match self.mem.move_unit(order.page, order.to) {
             None => {
                 if order.to == Tier::Fast {
@@ -836,6 +1042,7 @@ impl<'a, 'w> Sim<'a, 'w> {
         let delta = self.counters.delta_since(&self.last_snapshot);
         let mut orders = std::mem::take(&mut self.order_buf);
         let mut telemetry = std::mem::take(&mut self.telemetry_buf);
+        let totals = self.ctx_totals();
         let mut ctx = PolicyCtx::new(
             &mut self.mem,
             self.chmu.as_mut(),
@@ -843,9 +1050,7 @@ impl<'a, 'w> Sim<'a, 'w> {
             &mut telemetry,
             &mut self.hint_scan_per_window,
             &mut self.registry,
-            self.promotions,
-            self.demotions,
-            self.window_idx,
+            totals,
         );
         let win = WindowStats {
             index: self.window_idx,
@@ -870,15 +1075,68 @@ impl<'a, 'w> Sim<'a, 'w> {
         self.order_buf = orders;
         self.telemetry_buf = telemetry;
 
+        // Window-edge fault injection: stall a channel, overflow the
+        // CHMU. Booked stall lines sit ahead of the daemon's copies, so
+        // they feed the same backlog/saturation tracking as real load.
+        if let Some(f) = self.faults.as_mut() {
+            if let Some((tidx, lines)) = f.stall(self.window_idx) {
+                let mi = f.m_injected;
+                self.channels[tidx].book(edge, lines);
+                self.registry.inc(mi, 1);
+                self.tracer.emit(
+                    edge,
+                    EventKind::FaultInjected {
+                        kind: "channel_stall",
+                        arg: lines,
+                    },
+                );
+            }
+        }
+        if let Some(f) = self.faults.as_mut() {
+            if f.chmu_overflow(self.window_idx) {
+                let mi = f.m_injected;
+                if let Some(chmu) = self.chmu.as_mut() {
+                    chmu.reset();
+                    self.registry.inc(mi, 1);
+                    self.tracer.emit(
+                        edge,
+                        EventKind::FaultInjected {
+                            kind: "chmu_overflow",
+                            arg: 0,
+                        },
+                    );
+                }
+            }
+        }
+
         // Background daemon: migrate within its per-window page budget.
+        // Due retries of transiently failed orders run first (they are
+        // the oldest work); leftovers beyond the budget slip one window.
         let mut budget = self.cfg.migration.daemon_pages_per_window;
         let span = self.mem.unit_span();
+        let due = self
+            .faults
+            .as_mut()
+            .map(|f| f.due_retries(self.window_idx))
+            .unwrap_or_default();
+        for (i, e) in due.iter().enumerate() {
+            if budget < span {
+                if let Some(f) = self.faults.as_mut() {
+                    for &rest in &due[i..] {
+                        f.defer(rest, self.window_idx);
+                    }
+                }
+                break;
+            }
+            budget -= span;
+            self.execute_order(e.order, None, e.attempt);
+        }
         while budget >= span {
             let Some(order) = self.order_queue.pop_front() else {
                 break;
             };
             budget -= span;
-            self.execute_order(order, None);
+            self.execute_order(order, None, 0);
         }
 
         // Poison a fresh batch of slow-tier units for hint-fault sampling.

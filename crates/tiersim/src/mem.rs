@@ -170,13 +170,19 @@ impl Memory {
     }
 
     /// Records an access to `page` during `window`: sets the reference bit
-    /// on its unit head and stamps the window.
+    /// on its unit head and stamps the window. The stamp is stored as a
+    /// saturating `u32`; past 2^32 windows every stamp pins at the
+    /// ceiling rather than wrapping and aliasing recent pages as stale.
     #[inline]
-    pub fn touch(&mut self, page: PageId, window: u32) {
+    pub fn touch(&mut self, page: PageId, window: u64) {
+        debug_assert!(
+            window <= u64::from(u32::MAX),
+            "window index {window} exceeds the u32 recency stamp; stamps saturate from here on"
+        );
         let head = self.unit_head(page);
         let m = &mut self.meta[head.0 as usize];
         m.flags |= FLAG_REF;
-        m.last_window = window;
+        m.last_window = window.min(u64::from(u32::MAX)) as u32;
     }
 
     /// Last window in which the unit containing `page` was touched.

@@ -53,6 +53,27 @@ pub struct MigrationOrder {
     pub sync: bool,
 }
 
+/// Cumulative run totals snapshotted into each [`PolicyCtx`]: how many
+/// base pages moved so far and — for graceful degradation under fault
+/// injection or queue pressure — how many orders failed or were shed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct CtxTotals {
+    /// Base pages promoted so far.
+    pub promotions: u64,
+    /// Base pages demoted so far.
+    pub demotions: u64,
+    /// Promotions rejected (no fast-tier space or injected failure).
+    pub failed_promotions: u64,
+    /// Orders dropped (daemon-queue overflow or injected drop).
+    pub dropped_orders: u64,
+    /// Index of the current sampling window.
+    pub window: u64,
+    /// Whether a fault-injection plan is active this run. Policies key
+    /// their degradation paths on this so fault-free runs stay
+    /// bit-identical to builds without the fault layer.
+    pub faults_active: bool,
+}
+
 /// Per-window counter view handed to [`TieringPolicy::on_window`].
 #[derive(Debug, Clone, Copy)]
 pub struct WindowStats<'a> {
@@ -80,9 +101,7 @@ pub struct PolicyCtx<'a> {
     telemetry: &'a mut Vec<(&'static str, f64)>,
     hint_scan_per_window: &'a mut u64,
     metrics: &'a mut MetricsRegistry,
-    promotions: u64,
-    demotions: u64,
-    window: u64,
+    totals: CtxTotals,
 }
 
 impl<'a> PolicyCtx<'a> {
@@ -94,9 +113,7 @@ impl<'a> PolicyCtx<'a> {
         telemetry: &'a mut Vec<(&'static str, f64)>,
         hint_scan_per_window: &'a mut u64,
         metrics: &'a mut MetricsRegistry,
-        promotions: u64,
-        demotions: u64,
-        window: u64,
+        totals: CtxTotals,
     ) -> Self {
         Self {
             mem,
@@ -105,9 +122,7 @@ impl<'a> PolicyCtx<'a> {
             telemetry,
             hint_scan_per_window,
             metrics,
-            promotions,
-            demotions,
-            window,
+            totals,
         }
     }
 
@@ -202,17 +217,40 @@ impl<'a> PolicyCtx<'a> {
 
     /// Cumulative promotions (base pages) executed so far in this run.
     pub fn promotions(&self) -> u64 {
-        self.promotions
+        self.totals.promotions
     }
 
     /// Cumulative demotions (base pages) executed so far in this run.
     pub fn demotions(&self) -> u64 {
-        self.demotions
+        self.totals.demotions
+    }
+
+    /// Cumulative promotions that failed so far — fast tier full, or a
+    /// transient (possibly injected) migration failure that exhausted
+    /// its retries. Policies use this to detect a struggling migration
+    /// path and degrade gracefully (e.g. widen eager-demotion headroom).
+    pub fn failed_promotions(&self) -> u64 {
+        self.totals.failed_promotions
+    }
+
+    /// Cumulative migration orders dropped so far — daemon-queue
+    /// overflow, or an injected admission-control drop.
+    pub fn dropped_orders(&self) -> u64 {
+        self.totals.dropped_orders
     }
 
     /// Index of the current sampling window.
     pub fn window_index(&self) -> u64 {
-        self.window
+        self.totals.window
+    }
+
+    /// Whether this run has an active fault-injection plan (see
+    /// [`crate::FaultPlan`]). Degradation heuristics that react to
+    /// [`failed_promotions`](Self::failed_promotions) /
+    /// [`dropped_orders`](Self::dropped_orders) should check this so
+    /// fault-free runs are unaffected by incidental capacity failures.
+    pub fn fault_injection_active(&self) -> bool {
+        self.totals.faults_active
     }
 
     /// Records a named time-series value for this window (e.g. PACT's
@@ -319,13 +357,21 @@ mod tests {
             &mut telem,
             &mut scan,
             &mut reg,
-            3,
-            5,
-            7,
+            CtxTotals {
+                promotions: 3,
+                demotions: 5,
+                failed_promotions: 2,
+                dropped_orders: 1,
+                window: 7,
+                faults_active: true,
+            },
         );
         assert_eq!(ctx.promotions(), 3);
         assert_eq!(ctx.demotions(), 5);
+        assert_eq!(ctx.failed_promotions(), 2);
+        assert_eq!(ctx.dropped_orders(), 1);
         assert_eq!(ctx.window_index(), 7);
+        assert!(ctx.fault_injection_active());
         ctx.promote(PageId(1));
         ctx.promote_sync(PageId(2));
         ctx.demote(PageId(0));
@@ -364,9 +410,7 @@ mod tests {
             &mut telem,
             &mut scan,
             &mut reg,
-            0,
-            0,
-            0,
+            CtxTotals::default(),
         );
         assert_eq!(ctx.fast_capacity(), 4);
         assert_eq!(ctx.fast_used(), 1);
@@ -392,9 +436,7 @@ mod tests {
             &mut telem,
             &mut scan,
             &mut reg,
-            0,
-            0,
-            0,
+            CtxTotals::default(),
         );
         let win = WindowStats {
             index: 0,
