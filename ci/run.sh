@@ -1,11 +1,20 @@
 #!/usr/bin/env sh
-# Offline CI gate: format, lint, build, and the tier-1 test suite.
+# Offline CI gate: format, lint, build, tests, perf-regression gate,
+# observability / fault / invariant smoke checks.
 #
 # The workspace is fully hermetic — `rand`, `proptest`, and `criterion`
 # are replaced by in-repo implementations (crates/stats/src/rng.rs and
 # vendor/) — so this script must pass with no network access:
 #
 #     CARGO_NET_OFFLINE=true ci/run.sh
+#
+# The pipeline is split into named stages; run a subset by listing them
+# in PACT_CI_STAGES (space-separated), e.g.
+#
+#     PACT_CI_STAGES="fmt clippy" ci/run.sh
+#     PACT_CI_STAGES="build check" ci/run.sh
+#
+# Stages: fmt clippy build test workspace perf obs fault check
 #
 # PACT_JOBS is pinned so sweep-shaped tests exercise the parallel
 # executor deterministically regardless of the runner's core count.
@@ -15,51 +24,107 @@ cd "$(dirname "$0")/.."
 export CARGO_NET_OFFLINE="${CARGO_NET_OFFLINE:-true}"
 export PACT_JOBS="${PACT_JOBS:-4}"
 
-echo "==> cargo fmt --check"
-cargo fmt --all --check
+STAGES="${PACT_CI_STAGES:-fmt clippy build test workspace perf obs fault check}"
+TIMING_FILE="$(mktemp)"
+trap 'rm -f "$TIMING_FILE"' EXIT
 
-echo "==> cargo clippy (deny warnings)"
-cargo clippy --workspace --all-targets -- -D warnings
+# --- stage bodies ----------------------------------------------------
 
-echo "==> cargo build --release"
-cargo build --release
-
-echo "==> tier-1: cargo test -q"
-cargo test -q
-
-echo "==> full workspace tests"
-cargo test --workspace -q
-
-echo "==> sweep perf probe (records BENCH_sweep.json)"
-cargo run --release -p pact-bench --bin probe_sweep
-
-echo "==> obs smoke: traced run validates and is seed-reproducible"
-obs_dir="target/ci-obs"
-rm -rf "$obs_dir"
-mkdir -p "$obs_dir"
-cargo run --release -p pact-bench --bin tierctl -- trace \
-    --workload gups --policy pact --seed 7 --validate \
-    --out "$obs_dir/a.json"
-cargo run --release -p pact-bench --bin tierctl -- trace \
-    --workload gups --policy pact --seed 7 --validate \
-    --out "$obs_dir/b.json"
-cmp "$obs_dir/a.json" "$obs_dir/b.json"
-echo "    chrome traces byte-identical across identically-seeded runs"
-
-echo "==> fault smoke: injected run completes, validates, reports failures"
-fault_spec='drop=0.2,fail=0.6,retries=1,stall=slow:20000:0.5,seed=7'
-PACT_FAULTS="$fault_spec" cargo run --release -p pact-bench --bin tierctl -- trace \
-    --workload gups --policy pact --ratio 1:2 --seed 7 --validate \
-    --out "$obs_dir/fault_a.json" | tee "$obs_dir/fault_a.out"
-PACT_FAULTS="$fault_spec" cargo run --release -p pact-bench --bin tierctl -- trace \
-    --workload gups --policy pact --ratio 1:2 --seed 7 --validate \
-    --out "$obs_dir/fault_b.json" > /dev/null
-cmp "$obs_dir/fault_a.json" "$obs_dir/fault_b.json"
-grep -q 'failed_promotions=0 dropped_orders=0' "$obs_dir/fault_a.out" && {
-    echo "    FAIL: injected faults produced no failed/dropped orders"
-    exit 1
+stage_fmt() {
+    cargo fmt --all --check
 }
-grep -q 'failed_promotions=' "$obs_dir/fault_a.out"
-echo "    fault-injected traces byte-identical, nonzero failure totals"
 
+stage_clippy() {
+    cargo clippy --workspace --all-targets -- -D warnings
+}
+
+stage_build() {
+    cargo build --release
+}
+
+stage_test() {
+    cargo test -q
+}
+
+stage_workspace() {
+    cargo test --workspace -q
+}
+
+# Perf-regression gate: a fresh probe sweep must stay bit-identical and
+# keep serial sim_cycles_per_sec within 20% of the committed baseline.
+# (Refresh the baseline with `cargo run --release -p pact-bench --bin
+# probe_sweep` and commit the new BENCH_sweep.json.)
+stage_perf() {
+    cargo run --release -p pact-bench --bin probe_sweep -- \
+        --check-against BENCH_sweep.json
+}
+
+stage_obs() {
+    obs_dir="target/ci-obs"
+    rm -rf "$obs_dir"
+    mkdir -p "$obs_dir"
+    cargo run --release -p pact-bench --bin tierctl -- trace \
+        --workload gups --policy pact --seed 7 --validate \
+        --out "$obs_dir/a.json"
+    cargo run --release -p pact-bench --bin tierctl -- trace \
+        --workload gups --policy pact --seed 7 --validate \
+        --out "$obs_dir/b.json"
+    cmp "$obs_dir/a.json" "$obs_dir/b.json"
+    echo "    chrome traces byte-identical across identically-seeded runs"
+}
+
+stage_fault() {
+    obs_dir="target/ci-obs"
+    mkdir -p "$obs_dir"
+    fault_spec='drop=0.2,fail=0.6,retries=1,stall=slow:20000:0.5,seed=7'
+    PACT_FAULTS="$fault_spec" cargo run --release -p pact-bench --bin tierctl -- trace \
+        --workload gups --policy pact --ratio 1:2 --seed 7 --validate \
+        --out "$obs_dir/fault_a.json" | tee "$obs_dir/fault_a.out"
+    PACT_FAULTS="$fault_spec" cargo run --release -p pact-bench --bin tierctl -- trace \
+        --workload gups --policy pact --ratio 1:2 --seed 7 --validate \
+        --out "$obs_dir/fault_b.json" > /dev/null
+    cmp "$obs_dir/fault_a.json" "$obs_dir/fault_b.json"
+    grep -q 'failed_promotions=0 dropped_orders=0' "$obs_dir/fault_a.out" && {
+        echo "    FAIL: injected faults produced no failed/dropped orders"
+        exit 1
+    }
+    grep -q 'failed_promotions=' "$obs_dir/fault_a.out"
+    echo "    fault-injected traces byte-identical, nonzero failure totals"
+}
+
+# Invariant & differential-oracle smoke: the config fuzzer with the
+# runtime checker armed, per-cell differential oracles, and the
+# sweep-level bit-identity oracle.
+stage_check() {
+    cargo run --release -p pact-bench --bin tierctl -- check \
+        --fuzz 60 --seed 1 --oracle
+    cargo run --release -p pact-bench --bin check_sweep
+}
+
+# --- driver ----------------------------------------------------------
+
+wants() {
+    case " $STAGES " in
+    *" $1 "*) return 0 ;;
+    *) return 1 ;;
+    esac
+}
+
+run_stage() {
+    if ! wants "$1"; then
+        echo "==> $1 (skipped: not in PACT_CI_STAGES)"
+        return 0
+    fi
+    echo "==> $1"
+    stage_start=$(date +%s)
+    "stage_$1"
+    printf '%-10s %4ss\n' "$1" "$(($(date +%s) - stage_start))" >> "$TIMING_FILE"
+}
+
+for stage in fmt clippy build test workspace perf obs fault check; do
+    run_stage "$stage"
+done
+
+echo "==> stage wall times"
+cat "$TIMING_FILE"
 echo "CI OK"

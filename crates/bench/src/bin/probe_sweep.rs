@@ -6,7 +6,15 @@
 //! ```text
 //! cargo run --release -p pact-bench --bin probe_sweep
 //! PACT_JOBS=8 cargo run --release -p pact-bench --bin probe_sweep
+//! cargo run --release -p pact-bench --bin probe_sweep -- --check-against BENCH_sweep.json
 //! ```
+//!
+//! With `--check-against PATH` the probe becomes the CI
+//! perf-regression gate: instead of overwriting `BENCH_sweep.json` it
+//! compares the fresh measurement against the committed baseline at
+//! `PATH` and exits 1 if parallel execution stopped being
+//! bit-identical or serial `sim_cycles_per_sec` regressed by more than
+//! 20%.
 
 use std::time::Instant;
 
@@ -26,7 +34,87 @@ fn sim_cycles(sweep: &SweepResult, dram: u64) -> u64 {
         .sum()
 }
 
+/// Maximum tolerated drop in serial `sim_cycles_per_sec` vs the
+/// committed baseline before the check-against mode fails.
+const MAX_REGRESSION: f64 = 0.20;
+
+/// Extracts the JSON number following `"<key>":` after `anchor` in a
+/// flat, known-shape document (the probe's own output format — no
+/// general JSON parsing needed offline).
+fn extract_f64(json: &str, anchor: &str, key: &str) -> Option<f64> {
+    let start = json.find(anchor)? + anchor.len();
+    let rest = &json[start..];
+    let needle = format!("\"{key}\":");
+    let vstart = rest.find(&needle)? + needle.len();
+    let tail = &rest[vstart..];
+    let vend = tail.find([',', '}']).unwrap_or(tail.len());
+    tail[..vend].trim().parse().ok()
+}
+
+fn extract_bool(json: &str, key: &str) -> Option<bool> {
+    let needle = format!("\"{key}\":");
+    let vstart = json.find(&needle)? + needle.len();
+    let tail = &json[vstart..];
+    if tail.starts_with("true") {
+        Some(true)
+    } else if tail.starts_with("false") {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+/// Compares a fresh probe against the committed baseline; returns an
+/// error line per violated gate.
+fn check_against(baseline_json: &str, fresh_identical: bool, fresh_serial_cps: f64) -> Vec<String> {
+    let mut errors = Vec::new();
+    if !fresh_identical {
+        errors.push("parallel sweep is no longer bit-identical to serial".to_string());
+    }
+    match extract_bool(baseline_json, "bit_identical") {
+        Some(true) => {}
+        Some(false) => errors.push("committed baseline recorded bit_identical=false".to_string()),
+        None => errors.push("committed baseline is missing bit_identical".to_string()),
+    }
+    match extract_f64(baseline_json, "\"serial\":", "sim_cycles_per_sec") {
+        Some(base_cps) if base_cps > 0.0 => {
+            let floor = base_cps * (1.0 - MAX_REGRESSION);
+            if fresh_serial_cps < floor {
+                errors.push(format!(
+                    "serial sim_cycles_per_sec regressed: {fresh_serial_cps:.0} < {floor:.0} \
+                     (baseline {base_cps:.0}, tolerance {:.0}%)",
+                    MAX_REGRESSION * 100.0
+                ));
+            }
+        }
+        _ => errors.push("committed baseline is missing serial sim_cycles_per_sec".to_string()),
+    }
+    errors
+}
+
+fn parse_args() -> Option<String> {
+    let mut check_path = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--check-against" => match it.next() {
+                Some(p) => check_path = Some(p),
+                None => {
+                    eprintln!("--check-against needs a baseline path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown flag '{other}'; usage: probe_sweep [--check-against PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+    check_path
+}
+
 fn main() {
+    let check_path = parse_args();
     let jobs = match std::env::var(pact_bench::exec::JOBS_ENV) {
         Ok(v) => v.trim().parse().ok().filter(|&n| n > 0).unwrap_or(4),
         Err(_) => 4,
@@ -73,6 +161,26 @@ fn main() {
         j.field_f64("sim_cycles_per_sec", cycles as f64 / secs);
         j.end_object();
     };
+    if let Some(path) = &check_path {
+        let baseline = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {path}: {e}");
+            std::process::exit(2);
+        });
+        let fresh_cps = cycles as f64 / serial_secs;
+        let errors = check_against(&baseline, identical, fresh_cps);
+        if errors.is_empty() {
+            println!(
+                "[probe_sweep] perf gate vs {path} OK: bit_identical, \
+                 serial {fresh_cps:.0} cycles/s within tolerance"
+            );
+            return;
+        }
+        for e in &errors {
+            eprintln!("[probe_sweep] perf gate FAIL: {e}");
+        }
+        std::process::exit(1);
+    }
+
     let mut j = JsonWriter::new();
     j.begin_object();
     j.field_str("workload", "bc-kron");
@@ -97,4 +205,46 @@ fn main() {
     }
     print!("{json}");
     assert!(identical, "parallel sweep diverged from serial");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASELINE: &str = r#"{"workload":"bc-kron","serial":{"jobs":1,"wall_seconds":0.25,"sim_cycles_per_sec":22750166.0},"parallel":{"jobs":4,"wall_seconds":0.2,"sim_cycles_per_sec":27000000.0},"speedup":1.2,"bit_identical":true}"#;
+
+    #[test]
+    fn extraction_reads_the_probe_format() {
+        assert_eq!(extract_bool(BASELINE, "bit_identical"), Some(true));
+        let cps = extract_f64(BASELINE, "\"serial\":", "sim_cycles_per_sec").unwrap();
+        assert!((cps - 22_750_166.0).abs() < 1.0);
+        // The anchor skips the serial block's identically-named field.
+        let pcps = extract_f64(BASELINE, "\"parallel\":", "sim_cycles_per_sec").unwrap();
+        assert!((pcps - 27_000_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance() {
+        assert!(check_against(BASELINE, true, 22_000_000.0).is_empty());
+        // Exactly at the floor still passes.
+        assert!(check_against(BASELINE, true, 22_750_166.0 * 0.8).is_empty());
+    }
+
+    #[test]
+    fn gate_fails_on_regression_or_divergence() {
+        let errs = check_against(BASELINE, true, 10_000_000.0);
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].contains("regressed"), "{}", errs[0]);
+        let errs = check_against(BASELINE, false, 22_000_000.0);
+        assert!(errs.iter().any(|e| e.contains("bit-identical")));
+    }
+
+    #[test]
+    fn gate_rejects_a_broken_baseline() {
+        let errs = check_against("{}", true, 1.0);
+        assert_eq!(errs.len(), 2);
+        let bad = BASELINE.replace("true", "false");
+        let errs = check_against(&bad, true, 22_000_000.0);
+        assert!(errs.iter().any(|e| e.contains("baseline recorded")));
+    }
 }

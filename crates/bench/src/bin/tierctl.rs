@@ -13,6 +13,17 @@
 //! Perfetto / `chrome://tracing`) or JSONL; `--validate` parses the
 //! output before writing, so CI can gate on well-formedness without
 //! external tools.
+//!
+//! The `check` subcommand is the CLI front end of `pact-check`:
+//!
+//! ```text
+//! tierctl check --fuzz 200 --seed 1      # deterministic config fuzzing
+//! tierctl check --oracle                 # differential oracles too
+//! tierctl check --case 0xdeadbeef        # replay one failing fuzz case
+//! ```
+//!
+//! Exit status: 0 all checks passed, 1 a check failed, 2 invalid
+//! usage.
 
 use pact_bench::{count, experiment_machine, pct, Harness, TierRatio, ALL_POLICIES};
 use pact_obs::{validate, DEFAULT_RING_CAPACITY};
@@ -69,6 +80,9 @@ fn parse_args() -> Result<Args, String> {
                     f.parse().map_err(|_| "bad ratio")?,
                     s.parse().map_err(|_| "bad ratio")?,
                 );
+                if args.ratio.fast == 0 && args.ratio.slow == 0 {
+                    return Err("ratio must have at least one non-zero part".into());
+                }
             }
             "--thp" => args.thp = true,
             "--scale" => {
@@ -100,13 +114,110 @@ fn parse_args() -> Result<Args, String> {
                      [--trace-out FILE] [--list]\n       \
                      tierctl trace [--workload W] [--policy P] [--ratio F:S] [--thp] \
                      [--scale smoke|paper] [--seed N] [--out FILE] \
-                     [--format chrome|jsonl] [--validate]"
+                     [--format chrome|jsonl] [--validate]\n       \
+                     tierctl check [--fuzz N] [--seed S] [--case 0xHEX] [--oracle] \
+                     [--workload W]..."
                     .into())
             }
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
     Ok(args)
+}
+
+struct CheckArgs {
+    fuzz: u32,
+    seed: u64,
+    case: Option<u64>,
+    oracle: bool,
+    workloads: Vec<String>,
+}
+
+fn parse_check_args(mut it: impl Iterator<Item = String>) -> Result<CheckArgs, String> {
+    let mut args = CheckArgs {
+        fuzz: 120,
+        seed: 1,
+        case: None,
+        oracle: false,
+        workloads: Vec::new(),
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--fuzz" => {
+                let v = it.next().ok_or("--fuzz needs a case count")?;
+                args.fuzz = v.parse().map_err(|_| format!("bad case count '{v}'"))?;
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                args.seed = v.parse().map_err(|_| format!("bad seed '{v}'"))?;
+            }
+            "--case" => {
+                let v = it.next().ok_or("--case needs a hex seed")?;
+                let hex = v.strip_prefix("0x").unwrap_or(&v);
+                args.case =
+                    Some(u64::from_str_radix(hex, 16).map_err(|_| format!("bad case seed '{v}'"))?);
+            }
+            "--oracle" => args.oracle = true,
+            "--workload" | "-w" => args
+                .workloads
+                .push(it.next().ok_or("--workload needs a value")?),
+            "--help" | "-h" => {
+                return Err("usage: tierctl check [--fuzz N] [--seed S] [--case 0xHEX] \
+                     [--oracle] [--workload W]..."
+                    .into())
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+/// The `check` subcommand: deterministic config fuzzing plus optional
+/// differential oracles. Exits 1 when any check fails.
+fn run_check(args: &CheckArgs) {
+    // Replay mode: one case from its printed seed.
+    if let Some(seed) = args.case {
+        match pact_check::run_case(seed) {
+            Ok(s) => println!(
+                "case seed={seed:#018x} ok policy={} windows={} cycles={}",
+                s.policy, s.windows, s.total_cycles
+            ),
+            Err(e) => {
+                eprintln!("case seed={seed:#018x} FAIL {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    let mut failed = false;
+    if args.oracle {
+        let defaults = ["gups".to_string(), "masim".to_string()];
+        let cells: &[String] = if args.workloads.is_empty() {
+            &defaults
+        } else {
+            &args.workloads
+        };
+        for wl in cells {
+            let ledger = pact_check::check_cell(wl, args.seed);
+            println!("differential oracles: {wl} seed={}", args.seed);
+            print!("{}", ledger.render());
+            failed |= !ledger.is_ok();
+        }
+    }
+    let ledger = pact_check::run_fuzz(&pact_check::FuzzOptions {
+        cases: args.fuzz,
+        seed: args.seed,
+    });
+    print!("{}", ledger.render());
+    println!(
+        "fuzz: {}/{} cases passed (seed {})",
+        args.fuzz as usize - ledger.failures.len(),
+        args.fuzz,
+        args.seed
+    );
+    if failed || !ledger.is_ok() {
+        std::process::exit(1);
+    }
 }
 
 /// The `trace` subcommand: one traced run, exported (and optionally
@@ -173,6 +284,16 @@ fn run_trace(args: &Args) {
 fn main() {
     // Reject a malformed PACT_FAULTS spec before any work happens.
     pact_bench::validate_fault_env();
+    let mut raw = std::env::args().skip(1).peekable();
+    if raw.peek().map(String::as_str) == Some("check") {
+        raw.next();
+        let check_args = parse_check_args(raw).unwrap_or_else(|msg| {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        });
+        run_check(&check_args);
+        return;
+    }
     let args = parse_args().unwrap_or_else(|msg| {
         eprintln!("{msg}");
         std::process::exit(2);

@@ -1,0 +1,114 @@
+//! End-to-end CLI tests for `tierctl`: exit-code conventions (0 ok,
+//! 1 check failure, 2 invalid usage) are part of the CI pipeline's
+//! contract, so they are pinned here against the real binary.
+
+use std::process::{Command, Output};
+
+fn tierctl(args: &[&str]) -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_tierctl"));
+    cmd.args(args);
+    // Isolate from the ambient environment: a PACT_FAULTS or PACT_JOBS
+    // left over from a CI stage must not leak into these assertions.
+    cmd.env_remove("PACT_FAULTS");
+    cmd.env_remove("PACT_JOBS");
+    cmd.env_remove("PACT_TRACE");
+    cmd
+}
+
+fn run(args: &[&str]) -> Output {
+    tierctl(args).output().expect("spawn tierctl")
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn unknown_flag_exits_2() {
+    let out = run(&["--definitely-not-a-flag"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr_of(&out));
+    assert!(stderr_of(&out).contains("unknown flag"));
+}
+
+#[test]
+fn malformed_fault_spec_exits_2() {
+    let out = tierctl(&["--list"])
+        .env("PACT_FAULTS", "drop=banana")
+        .output()
+        .expect("spawn tierctl");
+    assert_eq!(out.status.code(), Some(2), "{}", stderr_of(&out));
+    assert!(stderr_of(&out).contains("invalid fault spec"));
+}
+
+#[test]
+fn zero_zero_ratio_exits_2() {
+    let out = run(&["--ratio", "0:0"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr_of(&out));
+    assert!(stderr_of(&out).contains("non-zero"));
+}
+
+#[test]
+fn bad_ratio_format_exits_2() {
+    for bad in ["1-2", "a:b", "3"] {
+        let out = run(&["--ratio", bad]);
+        assert_eq!(out.status.code(), Some(2), "ratio '{bad}' was accepted");
+    }
+}
+
+#[test]
+fn unknown_policy_exits_2() {
+    let out = run(&[
+        "--policy",
+        "bogus",
+        "--workload",
+        "gups",
+        "--scale",
+        "smoke",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr_of(&out));
+    assert!(stderr_of(&out).contains("unknown policy"));
+}
+
+#[test]
+fn check_rejects_bad_usage_with_2() {
+    for args in [
+        &["check", "--fuzz", "many"][..],
+        &["check", "--case", "0xnothex"],
+        &["check", "--nope"],
+        &["check", "--seed"],
+    ] {
+        let out = run(args);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "args {args:?}: {}",
+            stderr_of(&out)
+        );
+    }
+}
+
+#[test]
+fn check_small_fuzz_is_green_and_deterministic() {
+    let a = run(&["check", "--fuzz", "3", "--seed", "1"]);
+    assert_eq!(a.status.code(), Some(0), "{}", stderr_of(&a));
+    let stdout_a = String::from_utf8_lossy(&a.stdout).into_owned();
+    assert!(stdout_a.contains("fuzz: 3/3 cases passed"), "{stdout_a}");
+    let b = run(&["check", "--fuzz", "3", "--seed", "1"]);
+    assert_eq!(stdout_a, String::from_utf8_lossy(&b.stdout));
+}
+
+#[test]
+fn check_replays_a_single_case() {
+    let out = run(&["check", "--case", "0x1"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr_of(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("ok policy="), "{stdout}");
+}
+
+#[test]
+fn list_exits_0() {
+    let out = run(&["--list"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("workloads:") && stdout.contains("pact"));
+}

@@ -1,0 +1,259 @@
+//! Differential oracles: run the same cell under observation variants
+//! that must not change the simulated outcome, and byte-compare the
+//! serialized reports.
+//!
+//! The variants exercised per cell:
+//!
+//! * **repeat** — the identical run twice (catches hidden global
+//!   state and iteration-order nondeterminism);
+//! * **trace** — event tracing on vs off (`run` vs `run_traced`);
+//! * **invariants** — the runtime invariant checker armed vs not;
+//! * **inert faults** — a fault plan whose every probability is zero.
+//!   Fault-injection state registers its own `fault/*` metrics, so the
+//!   comparison strips that namespace and demands byte-equality of
+//!   everything else.
+//!
+//! Separately, [`dominance_oracle`] pins a cross-configuration sanity
+//! law: with an identity policy, placing the whole footprint in the
+//! fast tier can never be slower than placing it all in the slow tier.
+
+use pact_core::{PactConfig, PactPolicy};
+use pact_tiersim::{
+    FaultPlan, FirstTouch, InvariantSet, Machine, MachineConfig, RunReport, SimError, Tracer,
+    Workload, PAGE_BYTES,
+};
+use pact_workloads::suite::{build, Scale};
+
+/// Outcome ledger of one differential pass: one line per oracle, in a
+/// fixed order, each either passing or carrying a failure description.
+#[derive(Debug, Clone)]
+pub struct DiffLedger {
+    /// `(oracle name, result)` in execution order.
+    pub lines: Vec<(String, Result<(), String>)>,
+}
+
+impl DiffLedger {
+    /// Number of failing oracles.
+    pub fn failures(&self) -> usize {
+        self.lines.iter().filter(|(_, r)| r.is_err()).count()
+    }
+
+    /// True when every oracle passed.
+    pub fn is_ok(&self) -> bool {
+        self.failures() == 0
+    }
+
+    /// Renders the ledger, one line per oracle.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, result) in &self.lines {
+            match result {
+                Ok(()) => out.push_str(&format!("  ok   {name}\n")),
+                Err(e) => out.push_str(&format!("  FAIL {name}: {e}\n")),
+            }
+        }
+        out
+    }
+}
+
+/// Serializes a report with the fault-injection metric namespace
+/// stripped, so runs that differ only in whether `fault/*` series were
+/// *registered* (not incremented) compare equal.
+fn fingerprint(report: &RunReport) -> String {
+    let mut r = report.clone();
+    for w in &mut r.windows {
+        w.metrics.retain(|(k, _)| !k.starts_with("fault/"));
+    }
+    r.to_json()
+}
+
+fn run_with(cfg: &MachineConfig, wl: &dyn Workload, traced: bool) -> Result<RunReport, SimError> {
+    // Invariant: the caller's config came from a validated preset with
+    // only validated-range edits, so Machine::new cannot fail.
+    let machine = Machine::new(cfg.clone()).expect("differential config is valid");
+    let mut policy = PactPolicy::new(PactConfig::default()).expect("default config is valid");
+    if traced {
+        let mut tracer = Tracer::ring(1 << 16);
+        machine.try_run_traced(wl, &mut policy, &mut tracer)
+    } else {
+        machine.try_run(wl, &mut policy)
+    }
+}
+
+/// A fault plan that can never fire: every probability is zero and no
+/// stall is configured. Arming it must not change any simulated value.
+fn inert_fault_plan(seed: u64) -> FaultPlan {
+    FaultPlan {
+        seed,
+        drop_order: 0.0,
+        fail_migration: 0.0,
+        stall: None,
+        pebs_loss: 0.0,
+        chmu_overflow: 0.0,
+        ..FaultPlan::default()
+    }
+}
+
+/// Runs the full differential pass for one `(workload, seed)` cell at
+/// smoke scale and a 1:1 tier ratio, returning the per-oracle ledger.
+///
+/// # Panics
+///
+/// Panics on an unknown workload name (see
+/// [`pact_workloads::suite::SUITE`]).
+pub fn check_cell(workload: &str, seed: u64) -> DiffLedger {
+    let wl = build(workload, Scale::Smoke, seed);
+    let total_pages = wl.footprint_bytes().div_ceil(PAGE_BYTES);
+    let mut cfg = MachineConfig::skylake_cxl((total_pages / 2).max(1));
+    cfg.seed = seed;
+
+    let mut lines = Vec::new();
+    let base = match run_with(&cfg, wl.as_ref(), false) {
+        Ok(r) => r,
+        Err(e) => {
+            lines.push(("baseline".to_string(), Err(format!("run failed: {e}"))));
+            return DiffLedger { lines };
+        }
+    };
+    let base_json = base.to_json();
+    lines.push(("baseline".to_string(), Ok(())));
+
+    let compare = |label: &str, cfg: &MachineConfig, traced: bool, filtered: bool| {
+        let result = match run_with(cfg, wl.as_ref(), traced) {
+            Ok(r) => {
+                let (got, want) = if filtered {
+                    (fingerprint(&r), fingerprint(&base))
+                } else {
+                    (r.to_json(), base_json.clone())
+                };
+                if got == want {
+                    Ok(())
+                } else {
+                    Err(diff_hint(&want, &got))
+                }
+            }
+            Err(e) => Err(format!("run failed: {e}")),
+        };
+        (label.to_string(), result)
+    };
+
+    lines.push(compare("repeat is byte-identical", &cfg, false, false));
+    lines.push(compare(
+        "tracing does not perturb the run",
+        &cfg,
+        true,
+        false,
+    ));
+
+    let mut inv_cfg = cfg.clone();
+    inv_cfg.invariants = Some(InvariantSet::all());
+    lines.push(compare(
+        "invariant checking is zero-cost and passes",
+        &inv_cfg,
+        false,
+        false,
+    ));
+
+    let mut fault_cfg = cfg.clone();
+    fault_cfg.fault_plan = Some(inert_fault_plan(seed ^ 0x5bd1_e995));
+    lines.push(compare(
+        "inert fault plan does not perturb the run",
+        &fault_cfg,
+        false,
+        true,
+    ));
+
+    lines.push((
+        "all-local dominates all-remote".to_string(),
+        dominance_oracle(wl.as_ref(), seed),
+    ));
+
+    DiffLedger { lines }
+}
+
+/// Cross-configuration sanity law: with the identity (`notier`)
+/// policy, a machine whose fast tier holds the whole footprint must
+/// finish no later than one whose fast tier holds nothing.
+///
+/// # Errors
+///
+/// Returns the two cycle counts when the law is violated.
+pub fn dominance_oracle(wl: &dyn Workload, seed: u64) -> Result<(), String> {
+    let total_pages = wl.footprint_bytes().div_ceil(PAGE_BYTES);
+    let mut local_cfg = MachineConfig::skylake_cxl(total_pages);
+    local_cfg.seed = seed;
+    let mut remote_cfg = MachineConfig::skylake_cxl(0);
+    remote_cfg.seed = seed;
+    let local = Machine::new(local_cfg)
+        .expect("config is valid")
+        .try_run(wl, &mut FirstTouch::new())
+        .map_err(|e| format!("all-local run failed: {e}"))?;
+    let remote = Machine::new(remote_cfg)
+        .expect("config is valid")
+        .try_run(wl, &mut FirstTouch::new())
+        .map_err(|e| format!("all-remote run failed: {e}"))?;
+    if local.total_cycles <= remote.total_cycles {
+        Ok(())
+    } else {
+        Err(format!(
+            "all-local took {} cycles but all-remote only {}",
+            local.total_cycles, remote.total_cycles
+        ))
+    }
+}
+
+/// Locates the first divergence between two serialized reports and
+/// renders a short context window around it.
+fn diff_hint(want: &str, got: &str) -> String {
+    let pos = want
+        .bytes()
+        .zip(got.bytes())
+        .position(|(a, b)| a != b)
+        .unwrap_or(want.len().min(got.len()));
+    let start = pos.saturating_sub(40);
+    let w: String = want.chars().skip(start).take(80).collect();
+    let g: String = got.chars().skip(start).take(80).collect();
+    format!("reports diverge at byte {pos}: expected ...{w}... got ...{g}...")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gups_cell_passes_every_oracle() {
+        let ledger = check_cell("gups", 7);
+        assert!(ledger.is_ok(), "\n{}", ledger.render());
+        assert_eq!(ledger.lines.len(), 6);
+        assert!(ledger.render().contains("ok   baseline"));
+    }
+
+    #[test]
+    fn ledger_is_deterministic() {
+        let a = check_cell("masim", 3).render();
+        let b = check_cell("masim", 3).render();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dominance_holds_for_silo() {
+        let wl = build("silo", Scale::Smoke, 1);
+        dominance_oracle(wl.as_ref(), 1).unwrap();
+    }
+
+    #[test]
+    fn diff_hint_points_at_first_divergence() {
+        let hint = diff_hint("aaaabaaaa", "aaaacaaaa");
+        assert!(hint.contains("byte 4"), "{hint}");
+    }
+
+    #[test]
+    fn fingerprint_strips_only_fault_metrics() {
+        let wl = build("gups", Scale::Smoke, 2);
+        let cfg = MachineConfig::skylake_cxl(64);
+        let base = run_with(&cfg, wl.as_ref(), false).unwrap();
+        let fp = fingerprint(&base);
+        assert!(!fp.contains("\"fault/"));
+        assert!(fp.contains("\"mem/fast_used\""));
+    }
+}

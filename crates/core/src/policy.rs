@@ -87,6 +87,26 @@ impl PactPolicy {
         self.bins.width()
     }
 
+    /// Post-run consistency audit for the policy's internal state; the
+    /// `pact-check` fuzzer calls this after every PACT cell.
+    ///
+    /// Delegates to [`PacStore::debug_validate`] and additionally checks
+    /// that the derived bin width is finite and non-negative.
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line description of the first inconsistency found.
+    pub fn audit(&self) -> Result<(), String> {
+        self.store
+            .debug_validate()
+            .map_err(|e| format!("pac store: {e}"))?;
+        let w = self.bins.width();
+        if !w.is_finite() || w < 0.0 {
+            return Err(format!("bin width is invalid: {w}"));
+        }
+        Ok(())
+    }
+
     fn run_period(&mut self, win: &WindowStats, ctx: &mut PolicyCtx) {
         let delta = win.cumulative.delta_since(&self.last_period_snapshot);
         self.last_period_snapshot = *win.cumulative;
@@ -460,6 +480,16 @@ mod tests {
         // Device-side counting sees every slow miss, so tracking volume
         // exceeds what 1-in-N PEBS sampling would deliver.
         assert!(p.store().global_samples() > r.counters.pebs_samples);
+    }
+
+    #[test]
+    fn audit_passes_after_a_real_run() {
+        let wl = mixed_workload();
+        let m = Machine::new(small_cfg(128)).unwrap();
+        let mut p = PactPolicy::new(PactConfig::default()).unwrap();
+        p.audit().unwrap(); // fresh policy is consistent
+        m.run(&wl, &mut p);
+        p.audit().unwrap();
     }
 
     #[test]

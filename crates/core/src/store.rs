@@ -212,6 +212,78 @@ impl PacStore {
     pub fn bytes_per_page() -> usize {
         std::mem::size_of::<PageEntry>()
     }
+
+    /// Validates the store's internal bookkeeping invariants; used by
+    /// `pact-check`'s config fuzzer after every PACT run.
+    ///
+    /// Checked: every tracked PAC is finite and non-negative; the
+    /// tracked bitmap, insertion-order registry, and active list agree;
+    /// open-period counters sum to `period_total`; per-run totals sum to
+    /// `global_samples`; and no cooling stamp runs ahead of the global
+    /// sample clock.
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line description of the first violated invariant.
+    pub fn debug_validate(&self) -> Result<(), String> {
+        let tracked_count = self.tracked.iter().filter(|&&t| t).count();
+        if tracked_count != self.ids.len() {
+            return Err(format!(
+                "tracked bitmap has {tracked_count} pages but registry lists {}",
+                self.ids.len()
+            ));
+        }
+        let mut period_sum = 0u64;
+        let mut total_sum = 0u64;
+        for page in &self.ids {
+            let idx = page.0 as usize;
+            if !self.tracked.get(idx).copied().unwrap_or(false) {
+                return Err(format!("registry lists untracked page {}", page.0));
+            }
+            let e = &self.entries[idx];
+            if !e.pac.is_finite() || e.pac < 0.0 {
+                return Err(format!("page {} has invalid pac {}", page.0, e.pac));
+            }
+            if (e.period_samples as u64) > e.total_samples {
+                return Err(format!(
+                    "page {} period_samples {} exceeds total_samples {}",
+                    page.0, e.period_samples, e.total_samples
+                ));
+            }
+            if e.last_capture > self.global_samples {
+                return Err(format!(
+                    "page {} last_capture {} is ahead of global clock {}",
+                    page.0, e.last_capture, self.global_samples
+                ));
+            }
+            if e.period_samples > 0 && !self.active.contains(page) {
+                return Err(format!(
+                    "page {} has open-period samples but is not in the active list",
+                    page.0
+                ));
+            }
+            period_sum += e.period_samples as u64;
+            total_sum += e.total_samples;
+        }
+        for page in &self.active {
+            if !self.tracked.get(page.0 as usize).copied().unwrap_or(false) {
+                return Err(format!("active list holds untracked page {}", page.0));
+            }
+        }
+        if period_sum != self.period_total {
+            return Err(format!(
+                "per-page period samples sum to {period_sum} but period_total is {}",
+                self.period_total
+            ));
+        }
+        if total_sum != self.global_samples {
+            return Err(format!(
+                "per-page totals sum to {total_sum} but global_samples is {}",
+                self.global_samples
+            ));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -339,6 +411,26 @@ mod tests {
         let order: Vec<u64> = s.iter().map(|(p, _)| p.0).collect();
         assert_eq!(order, vec![9, 2, 500, 41]);
         assert_eq!(s.tracked_pages(), 4);
+    }
+
+    #[test]
+    fn debug_validate_accepts_live_store_and_rejects_corruption() {
+        let mut s = PacStore::new();
+        for p in [1u64, 2, 3] {
+            s.record_sample(PageId(p), 400);
+        }
+        s.debug_validate().unwrap();
+        s.attribute_period(100.0, 0.9, |e| e.period_samples as f64);
+        s.debug_validate().unwrap();
+        // Corrupt a PAC value the way a bad attribution pass would.
+        s.entries[2].pac = f64::NAN;
+        let err = s.debug_validate().unwrap_err();
+        assert!(err.contains("invalid pac"), "{err}");
+        s.entries[2].pac = 1.0;
+        s.debug_validate().unwrap();
+        // Desync the period total.
+        s.period_total = 7;
+        assert!(s.debug_validate().unwrap_err().contains("period_total"));
     }
 
     #[test]

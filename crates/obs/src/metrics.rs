@@ -166,6 +166,35 @@ impl MetricsRegistry {
         }
     }
 
+    /// Non-mutating preview of what [`snapshot_window`] would return
+    /// right now: one `(name, value)` per metric in registration order,
+    /// with no per-window state reset. The invariant checker uses this
+    /// to cross-check the snapshot actually embedded in a window record
+    /// without perturbing the registry.
+    ///
+    /// [`snapshot_window`]: Self::snapshot_window
+    pub fn peek_window(&self) -> Vec<(&'static str, f64)> {
+        let mut out = Vec::with_capacity(self.metrics.len());
+        for m in &self.metrics {
+            let v = match &m.value {
+                Value::Counter {
+                    total,
+                    last_snapshot,
+                } => (*total - *last_snapshot) as f64,
+                Value::Gauge(g) => *g,
+                Value::Histogram { sum, n, .. } => {
+                    if *n == 0 {
+                        0.0
+                    } else {
+                        *sum / *n as f64
+                    }
+                }
+            };
+            out.push((m.name, v));
+        }
+        out
+    }
+
     /// Closes the current window: returns one `(name, value)` per
     /// metric in registration order (counter delta, gauge value,
     /// histogram window mean) and resets per-window state.
@@ -254,6 +283,23 @@ mod tests {
         assert_eq!(snap[1].0, "b");
         assert_eq!(r.kind(a), MetricKind::Counter);
         assert_eq!(r.kind(b), MetricKind::Gauge);
+    }
+
+    #[test]
+    fn peek_matches_snapshot_and_does_not_reset() {
+        let mut r = MetricsRegistry::new();
+        let c = r.counter("c");
+        let g = r.gauge("g");
+        let h = r.histogram("h", 0.0, 10.0, 4);
+        r.inc(c, 7);
+        r.set(g, 2.5);
+        r.observe(h, 4.0);
+        r.observe(h, 8.0);
+        let peek = r.peek_window();
+        assert_eq!(peek, r.peek_window(), "peeking must not mutate");
+        assert_eq!(peek, r.snapshot_window());
+        // After the snapshot reset, a fresh peek sees the new window.
+        assert_eq!(r.peek_window(), vec![("c", 0.0), ("g", 2.5), ("h", 0.0)]);
     }
 
     #[test]

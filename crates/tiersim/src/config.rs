@@ -1,6 +1,7 @@
 //! Machine configuration and hardware presets.
 
 use crate::fault::FaultPlan;
+use crate::invariant::InvariantSet;
 use crate::types::{Tier, HUGE_PAGE_SPAN, LINE_BYTES, PAGE_BYTES};
 
 /// Configuration of one memory tier: unloaded latency and peak bandwidth.
@@ -168,6 +169,10 @@ pub struct MachineConfig {
     /// Deterministic fault-injection plan ([`crate::fault`]); `None`
     /// disables injection entirely (the zero-cost default).
     pub fault_plan: Option<FaultPlan>,
+    /// Runtime invariant checking ([`crate::invariant`]); `None`
+    /// disables it entirely — the zero-cost default, leaving run output
+    /// byte-identical to a build without the checking layer.
+    pub invariants: Option<InvariantSet>,
 }
 
 impl MachineConfig {
@@ -218,6 +223,7 @@ impl MachineConfig {
             track_page_stalls: false,
             seed: 0x9ac7_1357,
             fault_plan: None,
+            invariants: None,
         }
     }
 

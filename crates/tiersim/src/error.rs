@@ -8,6 +8,7 @@
 //! `should_panic` tests keep their messages.
 
 use crate::config::ConfigError;
+use crate::invariant::InvariantViolation;
 
 /// Everything that can go wrong while configuring or running a
 /// simulation.
@@ -30,6 +31,10 @@ pub enum SimError {
     /// Every workload is a background co-runner; at least one foreground
     /// workload must bound the run.
     NoForeground,
+    /// A runtime invariant armed via
+    /// [`MachineConfig::invariants`](crate::MachineConfig::invariants)
+    /// failed at a window boundary.
+    Invariant(InvariantViolation),
     /// A workload stream emitted an address beyond its declared
     /// footprint.
     AddressOutOfRange {
@@ -54,6 +59,7 @@ impl std::fmt::Display for SimError {
             SimError::NoForeground => {
                 write!(f, "at least one foreground workload is required")
             }
+            SimError::Invariant(v) => write!(f, "{v}"),
             SimError::AddressOutOfRange {
                 workload,
                 vaddr,
@@ -78,6 +84,12 @@ impl std::error::Error for SimError {
 impl From<ConfigError> for SimError {
     fn from(e: ConfigError) -> Self {
         SimError::Config(e)
+    }
+}
+
+impl From<InvariantViolation> for SimError {
+    fn from(v: InvariantViolation) -> Self {
+        SimError::Invariant(v)
     }
 }
 

@@ -399,8 +399,8 @@ impl FaultState {
         self.retries.push_back(e);
     }
 
-    /// Pending (not yet due) retries.
-    #[cfg(test)]
+    /// Pending (scheduled, not yet executed) retries. The invariant
+    /// checker's order ledger counts these as in-flight orders.
     pub fn pending_retries(&self) -> usize {
         self.retries.len()
     }

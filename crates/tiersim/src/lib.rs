@@ -53,6 +53,7 @@ mod chmu;
 mod config;
 mod error;
 mod fault;
+mod invariant;
 mod machine;
 mod mem;
 mod observe;
@@ -71,6 +72,7 @@ pub use config::{
 };
 pub use error::SimError;
 pub use fault::{FaultPlan, StallFault, FAULTS_ENV};
+pub use invariant::{InvariantSet, InvariantViolation};
 pub use machine::{Machine, ProcessReport, RunReport, WindowRecord};
 pub use mem::Memory;
 pub use observe::export_trace;

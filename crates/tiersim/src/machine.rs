@@ -13,6 +13,7 @@ use crate::chmu::Chmu;
 use crate::config::{ConfigError, MachineConfig};
 use crate::error::SimError;
 use crate::fault::FaultState;
+use crate::invariant::{InvariantChecker, WindowCheck};
 use crate::mem::Memory;
 use crate::pmu::{PebsSampler, PmuCounters, SampleEvent};
 use crate::policy::{
@@ -381,6 +382,11 @@ struct Sim<'a, 'w> {
     /// active plan; `None` keeps the hot path fault-free and the
     /// metrics/trace output byte-identical to a pre-fault build.
     faults: Option<FaultState>,
+    /// Invariant checking, present only when the configuration arms an
+    /// [`crate::InvariantSet`]; `None` (the default) adds nothing but
+    /// dead `Option` branches to the migration path and keeps output
+    /// byte-identical to a build without the checking layer.
+    checker: Option<Box<InvariantChecker>>,
 }
 
 /// Maximum pending async migration orders before new ones are dropped.
@@ -541,6 +547,9 @@ impl<'a, 'w> Sim<'a, 'w> {
             chan_lines_seen: [0; 2],
             saturated_since: [None; 2],
             faults,
+            checker: cfg
+                .invariants
+                .map(|set| Box::new(InvariantChecker::new(set))),
             cfg,
         })
     }
@@ -566,7 +575,7 @@ impl<'a, 'w> Sim<'a, 'w> {
             let Some(ti) = best else { break };
             // Fire any window boundaries the whole machine has passed.
             while self.threads[ti].now >= self.next_edge {
-                self.fire_window();
+                self.fire_window()?;
             }
             self.step_thread(ti)?;
         }
@@ -577,7 +586,16 @@ impl<'a, 'w> Sim<'a, 'w> {
             self.procs[t.proc].finish = self.procs[t.proc].finish.max(finish);
         }
         // Close the final partial window so its activity is recorded.
-        self.fire_window();
+        self.fire_window()?;
+        if let Some(c) = self.checker.as_ref() {
+            c.check_final(
+                self.promotions,
+                self.demotions,
+                self.failed_promotions,
+                self.dropped_orders,
+                &self.counters,
+            )?;
+        }
         let total_cycles = self
             .procs
             .iter()
@@ -865,6 +883,9 @@ impl<'a, 'w> Sim<'a, 'w> {
                     sync: order.sync,
                 },
             );
+            if let Some(c) = self.checker.as_mut() {
+                c.note_issued();
+            }
             if order.sync {
                 self.execute_order(order, Some(ti), 0);
             } else {
@@ -895,6 +916,9 @@ impl<'a, 'w> Sim<'a, 'w> {
                 let mi = f.m_injected;
                 self.dropped_orders += 1;
                 self.window_dropped += 1;
+                if let Some(c) = self.checker.as_mut() {
+                    c.note_shed();
+                }
                 self.registry.inc(mi, 1);
                 self.tracer.emit(
                     cycle,
@@ -916,6 +940,9 @@ impl<'a, 'w> Sim<'a, 'w> {
         if self.order_queue.len() >= ORDER_QUEUE_CAP {
             self.dropped_orders += 1;
             self.window_dropped += 1;
+            if let Some(c) = self.checker.as_mut() {
+                c.note_shed();
+            }
             self.tracer.emit(
                 cycle,
                 EventKind::OrderDropped {
@@ -971,12 +998,18 @@ impl<'a, 'w> Sim<'a, 'w> {
                     None if order.to == Tier::Fast => {
                         self.failed_promotions += 1;
                         self.window_failed += 1;
+                        if let Some(c) = self.checker.as_mut() {
+                            c.note_abandoned();
+                        }
                         self.tracer
                             .emit(anchor, EventKind::PromotionRejected { page: order.page.0 });
                     }
                     None => {
                         self.dropped_orders += 1;
                         self.window_dropped += 1;
+                        if let Some(c) = self.checker.as_mut() {
+                            c.note_abandoned();
+                        }
                         self.tracer.emit(
                             anchor,
                             EventKind::OrderDropped {
@@ -991,6 +1024,9 @@ impl<'a, 'w> Sim<'a, 'w> {
         }
         match self.mem.move_unit(order.page, order.to) {
             None => {
+                if let Some(c) = self.checker.as_mut() {
+                    c.note_noop();
+                }
                 if order.to == Tier::Fast {
                     self.failed_promotions += 1;
                     self.window_failed += 1;
@@ -1000,6 +1036,9 @@ impl<'a, 'w> Sim<'a, 'w> {
             }
             Some(moved) => {
                 let lines = moved * (PAGE_BYTES / LINE_BYTES);
+                if let Some(c) = self.checker.as_mut() {
+                    c.note_executed(moved);
+                }
                 if sync_thread.is_none() {
                     self.registry.inc(self.m_daemon_pages, moved);
                 }
@@ -1037,8 +1076,9 @@ impl<'a, 'w> Sim<'a, 'w> {
     }
 
     /// Ends the current window: snapshot counters, consult the policy,
-    /// run the migration daemon, refresh hint-fault poison.
-    fn fire_window(&mut self) {
+    /// run the migration daemon, refresh hint-fault poison, and — when
+    /// an [`crate::InvariantSet`] is armed — verify conservation laws.
+    fn fire_window(&mut self) -> Result<(), SimError> {
         let delta = self.counters.delta_since(&self.last_snapshot);
         let mut orders = std::mem::take(&mut self.order_buf);
         let mut telemetry = std::mem::take(&mut self.telemetry_buf);
@@ -1070,6 +1110,9 @@ impl<'a, 'w> Sim<'a, 'w> {
                     sync: order.sync,
                 },
             );
+            if let Some(c) = self.checker.as_mut() {
+                c.note_issued();
+            }
             self.enqueue_order(order, edge);
         }
         self.order_buf = orders;
@@ -1082,6 +1125,9 @@ impl<'a, 'w> Sim<'a, 'w> {
             if let Some((tidx, lines)) = f.stall(self.window_idx) {
                 let mi = f.m_injected;
                 self.channels[tidx].book(edge, lines);
+                if let Some(c) = self.checker.as_mut() {
+                    c.note_stall(tidx, lines);
+                }
                 self.registry.inc(mi, 1);
                 self.tracer.emit(
                     edge,
@@ -1212,6 +1258,10 @@ impl<'a, 'w> Sim<'a, 'w> {
             },
         );
 
+        let peeked_metrics = match self.checker.as_ref() {
+            Some(c) if c.wants_window_records() => Some(self.registry.peek_window()),
+            _ => None,
+        };
         self.windows.push(WindowRecord {
             index: self.window_idx,
             end_cycles: self.next_edge,
@@ -1223,6 +1273,43 @@ impl<'a, 'w> Sim<'a, 'w> {
             telemetry: std::mem::take(&mut self.window_telemetry),
             metrics: self.registry.snapshot_window(),
         });
+        if let Some(mut c) = self.checker.take() {
+            let mut max_thread_now = 0u64;
+            let mut max_inflight = 0usize;
+            let mut max_write_buffer = 0usize;
+            for t in &self.threads {
+                max_thread_now = max_thread_now.max(t.now);
+                max_inflight = max_inflight.max(t.inflight.len());
+                max_write_buffer = max_write_buffer.max(t.write_buffer.len());
+            }
+            let result = c.check_window(WindowCheck {
+                window: self.window_idx,
+                edge,
+                mem: &self.mem,
+                counters: &self.counters,
+                prev_snapshot: &self.last_snapshot,
+                channels: &self.channels,
+                record: self.windows.last().expect("record pushed above"),
+                peeked_metrics,
+                registry_chan_lines: [
+                    self.registry.counter_total(self.m_chan_lines[0]),
+                    self.registry.counter_total(self.m_chan_lines[1]),
+                ],
+                queue_len: self.order_queue.len(),
+                pending_retries: self.faults.as_ref().map_or(0, |f| f.pending_retries()),
+                promotions: self.promotions,
+                demotions: self.demotions,
+                failed_promotions: self.failed_promotions,
+                dropped_orders: self.dropped_orders,
+                max_thread_now,
+                max_inflight,
+                max_write_buffer,
+                mshrs: self.cfg.mshrs,
+                write_buffer_cap: WRITE_BUFFER,
+            });
+            self.checker = Some(c);
+            result?;
+        }
         self.window_promos = 0;
         self.window_demos = 0;
         self.window_failed = 0;
@@ -1230,6 +1317,7 @@ impl<'a, 'w> Sim<'a, 'w> {
         self.last_snapshot = self.counters;
         self.window_idx += 1;
         self.next_edge += self.cfg.window_cycles;
+        Ok(())
     }
 }
 

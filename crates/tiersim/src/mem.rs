@@ -111,6 +111,23 @@ impl Memory {
         self.meta.len() as u64
     }
 
+    /// Full recount of per-tier residency from the page table:
+    /// `(fast, slow)` base pages. O(total pages) — the ground truth the
+    /// invariant checker compares against the incremental
+    /// [`fast_used`](Self::fast_used) bookkeeping.
+    pub fn recount(&self) -> (u64, u64) {
+        let mut fast = 0u64;
+        let mut slow = 0u64;
+        for m in &self.meta {
+            match m.tier {
+                TIER_FAST => fast += 1,
+                TIER_SLOW => slow += 1,
+                _ => {}
+            }
+        }
+        (fast, slow)
+    }
+
     /// Residency of `page`, or `None` if never touched.
     #[inline]
     pub fn tier_of(&self, page: PageId) -> Option<Tier> {
@@ -330,6 +347,23 @@ impl Memory {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn recount_tracks_incremental_bookkeeping() {
+        let mut mem = Memory::new(64, 4, 1);
+        assert_eq!(mem.recount(), (0, 0));
+        for i in 0..10 {
+            mem.ensure_mapped(PageId(i));
+        }
+        let (fast, slow) = mem.recount();
+        assert_eq!(fast, mem.fast_used());
+        assert_eq!(fast + slow, 10);
+        mem.move_unit(PageId(0), Tier::Slow).unwrap();
+        mem.move_unit(PageId(7), Tier::Fast).unwrap();
+        let (fast, slow) = mem.recount();
+        assert_eq!(fast, mem.fast_used());
+        assert_eq!(fast + slow, 10);
+    }
 
     #[test]
     fn first_touch_fills_fast_then_slow() {

@@ -101,6 +101,49 @@ impl Channel {
         self.booked
     }
 
+    /// Unserved backlog at cycle `t`, in lines, computed without
+    /// advancing the ring. The invariant checker uses this to bound the
+    /// drained-line total (`lines_booked - backlog`) by channel capacity
+    /// without perturbing subsequent bookings the way
+    /// [`backlog_cycles`](Self::backlog_cycles) would.
+    pub fn backlog_lines_at(&self, t: u64) -> f64 {
+        let epoch = t / EPOCH_CYCLES;
+        let mut base = self.base;
+        let mut carry = self.carry;
+        let mut lines = self.lines;
+        // Replicates `advance_to` on local copies.
+        if epoch >= base + EPOCHS as u64 {
+            let shift = epoch + 1 - (base + EPOCHS as u64);
+            for _ in 0..shift.min(EPOCHS as u64) {
+                let idx = (base % EPOCHS as u64) as usize;
+                carry = (carry + lines[idx] - self.cap).max(0.0);
+                lines[idx] = 0.0;
+                base += 1;
+            }
+            if shift > EPOCHS as u64 {
+                let gap = shift - EPOCHS as u64;
+                carry = (carry - gap as f64 * self.cap).max(0.0);
+                base += gap;
+            }
+        }
+        let e = epoch.max(base);
+        let mut backlog = carry;
+        for j in base..=e {
+            backlog = (backlog + lines[(j % EPOCHS as u64) as usize] - self.cap).max(0.0);
+        }
+        backlog
+    }
+
+    /// Line capacity of one epoch (`EPOCH_CYCLES / transfer_cycles`).
+    pub fn epoch_capacity_lines(&self) -> f64 {
+        self.cap
+    }
+
+    /// Number of epochs elapsed by cycle `t` (for capacity bounds).
+    pub fn epoch_index(t: u64) -> u64 {
+        t / EPOCH_CYCLES
+    }
+
     /// Current backlog at cycle `t`, in cycles of channel time (used by
     /// the prefetcher to yield under load).
     pub fn backlog_cycles(&mut self, t: u64) -> f64 {
@@ -198,6 +241,29 @@ mod tests {
         ch.book(0, 10);
         ch.book(10_000, 3);
         assert_eq!(ch.lines_booked(), 13);
+    }
+
+    #[test]
+    fn backlog_lines_at_agrees_with_mutating_backlog_and_is_pure() {
+        let mut ch = Channel::new(4.0);
+        ch.book(0, 320);
+        ch.book(5 * EPOCH_CYCLES, 64);
+        for &t in &[
+            0u64,
+            3 * EPOCH_CYCLES,
+            40 * EPOCH_CYCLES,
+            100 * EPOCH_CYCLES,
+        ] {
+            let pure = ch.backlog_lines_at(t);
+            let pure2 = ch.backlog_lines_at(t);
+            assert_eq!(pure, pure2, "pure query must not mutate");
+            let mut probe = ch.clone();
+            let cycles = probe.backlog_cycles(t);
+            assert!(
+                (pure * 4.0 - cycles).abs() < 1e-9,
+                "t={t}: {pure} lines vs {cycles} cycles"
+            );
+        }
     }
 
     #[test]
