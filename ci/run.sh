@@ -11,10 +11,10 @@
 # The pipeline is split into named stages; run a subset by listing them
 # in PACT_CI_STAGES (space-separated), e.g.
 #
-#     PACT_CI_STAGES="fmt clippy" ci/run.sh
+#     PACT_CI_STAGES="fmt lint" ci/run.sh
 #     PACT_CI_STAGES="build check" ci/run.sh
 #
-# Stages: fmt clippy build test workspace perf obs fault check
+# Stages: fmt lint build test workspace perf obs fault check
 #
 # PACT_JOBS is pinned so sweep-shaped tests exercise the parallel
 # executor deterministically regardless of the runner's core count.
@@ -24,7 +24,7 @@ cd "$(dirname "$0")/.."
 export CARGO_NET_OFFLINE="${CARGO_NET_OFFLINE:-true}"
 export PACT_JOBS="${PACT_JOBS:-4}"
 
-STAGES="${PACT_CI_STAGES:-fmt clippy build test workspace perf obs fault check}"
+STAGES="${PACT_CI_STAGES:-fmt lint build test workspace perf obs fault check}"
 TIMING_FILE="$(mktemp)"
 trap 'rm -f "$TIMING_FILE"' EXIT
 
@@ -34,7 +34,12 @@ stage_fmt() {
     cargo fmt --all --check
 }
 
-stage_clippy() {
+# Static analysis, two layers: pact-lint (the workspace determinism &
+# hygiene linter — rule catalogue in DESIGN.md §11) and clippy with
+# warnings denied. `tierctl lint` exits 1 on findings, 2 on usage/IO
+# errors; either fails the stage.
+stage_lint() {
+    cargo run --release -p pact-bench --bin tierctl -- lint
     cargo clippy --workspace --all-targets -- -D warnings
 }
 
@@ -121,7 +126,7 @@ run_stage() {
     printf '%-10s %4ss\n' "$1" "$(($(date +%s) - stage_start))" >> "$TIMING_FILE"
 }
 
-for stage in fmt clippy build test workspace perf obs fault check; do
+for stage in fmt lint build test workspace perf obs fault check; do
     run_stage "$stage"
 done
 

@@ -1,6 +1,6 @@
 //! Shared helpers for the fault-driven baselines.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use pact_tiersim::PageId;
 
@@ -9,7 +9,9 @@ use pact_tiersim::PageId;
 /// window, filtering one-off touches.
 #[derive(Debug, Clone, Default)]
 pub struct TwoTouchTracker {
-    first_touch: HashMap<PageId, u64>,
+    // Keyed lookups only today, but BTreeMap keeps any future
+    // iteration deterministic by construction (det-hash-collections).
+    first_touch: BTreeMap<PageId, u64>,
     window_span: u64,
 }
 
@@ -18,7 +20,7 @@ impl TwoTouchTracker {
     /// `window_span` sampling windows.
     pub fn new(window_span: u64) -> Self {
         Self {
-            first_touch: HashMap::new(),
+            first_touch: BTreeMap::new(),
             window_span,
         }
     }

@@ -8,7 +8,7 @@
 //! measures Memtis at thousands (not millions) of migrations, decent
 //! with THP where its huge-page awareness pays off.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use pact_tiersim::{
     MachineInfo, PageId, PebsScope, PolicyCtx, SampleEvent, Tier, TieringPolicy, WindowStats,
@@ -45,7 +45,10 @@ const HIST_BINS: usize = 16;
 #[derive(Debug, Clone)]
 pub struct Memtis {
     cfg: MemtisConfig,
-    counts: HashMap<PageId, u32>,
+    // BTreeMap, not HashMap: on_window iterates these counts, and the
+    // iteration order must be a function of the keys alone for the
+    // bit-determinism contract (pact-lint: det-hash-collections).
+    counts: BTreeMap<PageId, u32>,
     fast_units: u64,
     span: u64,
     sample_tick: u32,
@@ -61,7 +64,7 @@ impl Memtis {
     pub fn with_config(cfg: MemtisConfig) -> Self {
         Self {
             cfg,
-            counts: HashMap::new(),
+            counts: BTreeMap::new(),
             fast_units: 0,
             span: 1,
             sample_tick: 0,
@@ -135,7 +138,7 @@ impl TieringPolicy for Memtis {
             .map(|(p, &c)| (*p, c))
             .collect();
         // Deterministic order: count-descending, page id tie-break
-        // (HashMap iteration order must not leak into decisions).
+        // (map iteration order must not leak into decisions).
         hot_slow.sort_by_key(|&(p, c)| (std::cmp::Reverse(c), p.0));
         hot_slow.truncate(self.cfg.promo_limit);
         let needed = hot_slow.len() as u64 * self.span;
@@ -245,5 +248,43 @@ mod tests {
             *c > 0
         });
         assert_eq!(m.counts[&PageId(1)], 4);
+    }
+
+    #[test]
+    fn threshold_and_hot_set_ignore_insertion_order() {
+        // The bit-determinism contract: policy decisions must be a
+        // function of the count *values*, never of the order counts
+        // were recorded in. Feed the same multiset of page counts in
+        // three different insertion orders and pin identical output.
+        let pages: Vec<(u64, u32)> = (0..64).map(|i| (i, 1 + (i as u32 * 7) % 40)).collect();
+        let mut orders = vec![pages.clone(), pages.iter().rev().cloned().collect()];
+        let mut shuffled = pages.clone();
+        // Deterministic permutation: swap by a fixed stride walk.
+        for i in 0..shuffled.len() {
+            let j = (i * 29 + 13) % shuffled.len();
+            shuffled.swap(i, j);
+        }
+        orders.push(shuffled);
+
+        let snapshots: Vec<(u32, Vec<(PageId, u32)>)> = orders
+            .into_iter()
+            .map(|order| {
+                let mut m = Memtis::new();
+                m.fast_units = 16;
+                for (p, c) in order {
+                    m.counts.insert(PageId(p), c);
+                }
+                let t = m.hot_threshold();
+                let hot: Vec<(PageId, u32)> = m
+                    .counts
+                    .iter()
+                    .filter(|&(_, &c)| c >= t)
+                    .map(|(p, &c)| (*p, c))
+                    .collect();
+                (t, hot)
+            })
+            .collect();
+        assert_eq!(snapshots[0], snapshots[1]);
+        assert_eq!(snapshots[0], snapshots[2]);
     }
 }

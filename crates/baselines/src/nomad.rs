@@ -58,7 +58,9 @@ pub struct Nomad {
     aborted: u64,
     /// Pages whose transactional copy aborted: too actively used to
     /// move; Nomad backs off from them (cleared periodically).
-    abort_backoff: std::collections::HashSet<PageId>,
+    /// BTreeSet for deterministic behavior regardless of insertion
+    /// order (det-hash-collections).
+    abort_backoff: std::collections::BTreeSet<PageId>,
 }
 
 impl Nomad {
@@ -75,7 +77,7 @@ impl Nomad {
             reserved: 0,
             rng: SplitMix64::new(cfg.seed),
             aborted: 0,
-            abort_backoff: std::collections::HashSet::new(),
+            abort_backoff: std::collections::BTreeSet::new(),
             cfg,
         }
     }

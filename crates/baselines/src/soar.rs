@@ -48,6 +48,9 @@ pub fn profile(base_cfg: &MachineConfig, workload: &dyn Workload) -> SoarProfile
     let mut cfg = base_cfg.clone();
     cfg.fast_tier_pages = u64::MAX / PAGE_BYTES; // DRAM-only profiling box
     cfg.pebs.scope = PebsScope::BothTiers;
+    // Invariant: the profiling box is the caller's validated config
+    // with only the fast-tier size and PEBS scope widened, both to
+    // values the constructor accepts.
     let machine = Machine::new(cfg).expect("profiling config is valid");
     let mut profiler = Profiler::new(workload.regions());
     machine.run(workload, &mut profiler);

@@ -78,7 +78,7 @@ fn main() {
             let s = Summary::from_values(&pacs);
             // Invariant: hi >= lo + 1 above, so the slice is non-empty.
             let f_lo = slice.first().unwrap().0;
-            let f_hi = slice.last().unwrap().0;
+            let f_hi = slice.last().unwrap().0; // Invariant: non-empty, see above
             t.row(vec![
                 format!("{f_lo}..{f_hi}"),
                 slice.len().to_string(),

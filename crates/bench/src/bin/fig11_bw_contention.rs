@@ -42,19 +42,20 @@ fn run_level(
         .per_process
         .iter()
         .find(|p| p.name == "bc-kron")
-        .unwrap()
+        .unwrap() // Invariant: bc-kron was passed to the run above
         .cycles;
 
     let mut cfg = pact_bench::experiment_machine(fast);
     cfg.thp = thp;
     let machine = Machine::new(cfg).unwrap_or_else(|e| pact_bench::exit_invalid_config(e));
+    // Invariant: fig11 only sweeps names from ALL_POLICIES.
     let mut policy = make_policy(policy_name).expect("fig11 sweeps known policies");
     let r = machine.run_colocated(&[bc.as_ref(), &mlc], policy.as_mut());
     let cycles = r
         .per_process
         .iter()
         .find(|p| p.name == "bc-kron")
-        .unwrap()
+        .unwrap() // Invariant: bc-kron was passed to the run above
         .cycles;
     (cycles as f64 / base_cycles as f64 - 1.0, r.promotions)
 }

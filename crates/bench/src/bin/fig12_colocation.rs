@@ -42,7 +42,7 @@ fn proc_cycles(r: &RunReport, name: &str) -> u64 {
     r.per_process
         .iter()
         .find(|p| p.name == name)
-        .unwrap()
+        .unwrap() // Invariant: see above
         .cycles
 }
 
@@ -74,6 +74,7 @@ fn main() {
     for name in ["pact", "colloid", "notier"] {
         let machine = Machine::new(pact_bench::experiment_machine(fast))
             .unwrap_or_else(|e| pact_bench::exit_invalid_config(e));
+        // Invariant: fig12 only sweeps names from ALL_POLICIES.
         let mut policy = make_policy(name).expect("fig12 sweeps known policies");
         let r = machine.run_colocated(&[&seq, &rnd], policy.as_mut());
         let s_seq = proc_cycles(&r, "masim-seq") as f64 / base_seq as f64 - 1.0;
@@ -94,7 +95,7 @@ fn main() {
 
     // Invariant: both names are in the loop above, so both rows exist.
     let pact = rows.iter().find(|r| r.0 == "pact").unwrap();
-    let colloid = rows.iter().find(|r| r.0 == "colloid").unwrap();
+    let colloid = rows.iter().find(|r| r.0 == "colloid").unwrap(); // Invariant: see above
     let rel = |p: f64, c: f64| ((1.0 + c) - (1.0 + p)) / (1.0 + p) * 100.0;
     out.push_str(&format!(
         "\nPACT improvement over Colloid: seq {:+.0}%, rnd {:+.0}%, aggregate {:+.0}% \

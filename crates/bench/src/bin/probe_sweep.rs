@@ -115,10 +115,7 @@ fn parse_args() -> Option<String> {
 
 fn main() {
     let check_path = parse_args();
-    let jobs = match std::env::var(pact_bench::exec::JOBS_ENV) {
-        Ok(v) => v.trim().parse().ok().filter(|&n| n > 0).unwrap_or(4),
-        Err(_) => 4,
-    };
+    let jobs = pact_bench::env::jobs_override().unwrap_or(4);
     let ratios = [
         TierRatio::new(4, 1),
         TierRatio::new(1, 1),

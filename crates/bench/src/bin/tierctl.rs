@@ -22,8 +22,18 @@
 //! tierctl check --case 0xdeadbeef        # replay one failing fuzz case
 //! ```
 //!
-//! Exit status: 0 all checks passed, 1 a check failed, 2 invalid
-//! usage.
+//! The `lint` subcommand runs the pact-lint static-analysis pass over
+//! the workspace sources (determinism & hygiene rules, DESIGN.md §11):
+//!
+//! ```text
+//! tierctl lint                         # lint the enclosing workspace
+//! tierctl lint --json                  # machine-readable diagnostics
+//! tierctl lint --rule naked-unwrap     # run a subset of rules
+//! tierctl lint --list-rules            # print the rule catalogue
+//! ```
+//!
+//! Exit status: 0 all checks passed, 1 a check failed (or lint
+//! findings exist), 2 invalid usage or I/O error.
 
 use pact_bench::{count, experiment_machine, pct, Harness, TierRatio, ALL_POLICIES};
 use pact_obs::{validate, DEFAULT_RING_CAPACITY};
@@ -116,7 +126,8 @@ fn parse_args() -> Result<Args, String> {
                      [--scale smoke|paper] [--seed N] [--out FILE] \
                      [--format chrome|jsonl] [--validate]\n       \
                      tierctl check [--fuzz N] [--seed S] [--case 0xHEX] [--oracle] \
-                     [--workload W]..."
+                     [--workload W]...\n       \
+                     tierctl lint [--root DIR] [--json] [--rule ID]... [--list-rules]"
                     .into())
             }
             other => return Err(format!("unknown flag '{other}'")),
@@ -281,10 +292,97 @@ fn run_trace(args: &Args) {
     );
 }
 
+struct LintArgs {
+    root: Option<String>,
+    json: bool,
+    rules: Vec<String>,
+    list_rules: bool,
+}
+
+fn parse_lint_args(mut it: impl Iterator<Item = String>) -> Result<LintArgs, String> {
+    let mut args = LintArgs {
+        root: None,
+        json: false,
+        rules: Vec::new(),
+        list_rules: false,
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => args.root = Some(it.next().ok_or("--root needs a path")?),
+            "--json" => args.json = true,
+            "--rule" => {
+                let id = it.next().ok_or("--rule needs a rule id")?;
+                if pact_lint::rule_by_id(&id).is_none() {
+                    return Err(format!(
+                        "unknown rule '{id}'; see tierctl lint --list-rules"
+                    ));
+                }
+                args.rules.push(id);
+            }
+            "--list-rules" => args.list_rules = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: tierctl lint [--root DIR] [--json] [--rule ID]... [--list-rules]"
+                        .into(),
+                )
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+/// The `lint` subcommand: the pact-lint workspace pass. Exit 0 clean,
+/// 1 findings, 2 usage/IO error.
+fn run_lint(args: &LintArgs) {
+    if args.list_rules {
+        print!("{}", pact_lint::LintReport::catalogue());
+        return;
+    }
+    let root = match &args.root {
+        Some(r) => std::path::PathBuf::from(r),
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|e| {
+                eprintln!("cannot determine working directory: {e}");
+                std::process::exit(2);
+            });
+            pact_lint::find_workspace_root(&cwd).unwrap_or_else(|| {
+                eprintln!("no cargo workspace found above {}", cwd.display());
+                std::process::exit(2);
+            })
+        }
+    };
+    let cfg = pact_lint::LintConfig {
+        enabled_rules: args.rules.clone(),
+        ..pact_lint::LintConfig::default()
+    };
+    let report = pact_lint::lint_workspace(&root, &cfg).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    if args.json {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if !report.is_clean() {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     // Reject a malformed PACT_FAULTS spec before any work happens.
     pact_bench::validate_fault_env();
     let mut raw = std::env::args().skip(1).peekable();
+    if raw.peek().map(String::as_str) == Some("lint") {
+        raw.next();
+        let lint_args = parse_lint_args(raw).unwrap_or_else(|msg| {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        });
+        run_lint(&lint_args);
+        return;
+    }
     if raw.peek().map(String::as_str) == Some("check") {
         raw.next();
         let check_args = parse_check_args(raw).unwrap_or_else(|msg| {

@@ -1,6 +1,5 @@
 //! Minimal command-line parsing shared by the figure binaries.
 
-use pact_tiersim::FaultPlan;
 use pact_workloads::suite::Scale;
 
 /// Common options of every experiment binary.
@@ -41,7 +40,7 @@ pub fn parse_options() -> Options {
 /// every experiment binary rejects a bad fault spec before doing any
 /// work. A valid spec is left for the harness to apply per run.
 pub fn validate_fault_env() {
-    if let Err(e) = FaultPlan::from_env() {
+    if let Err(e) = crate::env::fault_plan() {
         eprintln!("error: {e}");
         std::process::exit(2);
     }

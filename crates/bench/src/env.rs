@@ -1,0 +1,104 @@
+//! The `PACT_*` environment-variable registry.
+//!
+//! Every environment read in the workspace happens in this module —
+//! the `det-env-read` lint rule (DESIGN.md §11) rejects `env::var`
+//! anywhere else — so the full runtime surface of the reproduction is
+//! auditable in one table:
+//!
+//! | Variable            | Read by              | Meaning                                             |
+//! |---------------------|----------------------|-----------------------------------------------------|
+//! | `PACT_JOBS`         | [`jobs_override`]    | Sweep worker count (positive integer; `1` = serial) |
+//! | `PACT_TRACE`        | [`trace_config`]     | Trace output path (file for one run, dir for sweeps)|
+//! | `PACT_TRACE_FORMAT` | [`trace_config`]     | `chrome` (default) or `jsonl`                       |
+//! | `PACT_FAULTS`       | [`fault_plan`]       | Fault-injection spec (see `tiersim::fault`)         |
+//! | `PACT_CI_STAGES`    | `ci/run.sh` only     | Space-separated CI stage subset                     |
+//!
+//! Library crates below `pact-bench` (`tiersim`, `obs`, …) never read
+//! the environment: they take parsed values (a [`FaultPlan`], a
+//! [`TraceConfig`]) through their APIs, which keeps simulation results
+//! a pure function of explicit configuration. Binaries resolve the
+//! environment here, once, at the edge.
+
+use pact_obs::{TraceConfig, TraceFormat, TRACE_ENV, TRACE_FORMAT_ENV};
+use pact_tiersim::{FaultPlan, SimError, FAULTS_ENV};
+
+/// `PACT_JOBS`: worker-count override for sweep executors.
+pub const JOBS_ENV: &str = "PACT_JOBS";
+
+/// `PACT_CI_STAGES`: consumed by `ci/run.sh` (never by Rust code);
+/// registered here so the table above stays complete.
+pub const CI_STAGES_ENV: &str = "PACT_CI_STAGES";
+
+/// The one sanctioned environment read.
+fn read(name: &str) -> Option<String> {
+    std::env::var(name).ok().filter(|v| !v.trim().is_empty())
+}
+
+/// The `PACT_JOBS` override: `Some(n)` for a positive integer, `None`
+/// when unset; warns and returns `None` on an unparseable value so
+/// callers fall back to their own default.
+pub fn jobs_override() -> Option<usize> {
+    let v = read(JOBS_ENV)?;
+    match v.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Some(n),
+        _ => {
+            eprintln!("warning: ignoring invalid {JOBS_ENV}={v:?}; using the default worker count");
+            None
+        }
+    }
+}
+
+/// Where and how to write traces, from `PACT_TRACE` /
+/// `PACT_TRACE_FORMAT`. `None` when tracing is not requested; an
+/// unknown format warns and falls back to Chrome trace.
+pub fn trace_config() -> Option<TraceConfig> {
+    let path = read(TRACE_ENV)?;
+    let format = match read(TRACE_FORMAT_ENV) {
+        Some(v) => TraceFormat::parse(v.trim()).unwrap_or_else(|| {
+            eprintln!("warning: unknown {TRACE_FORMAT_ENV}={v:?}; using chrome trace format");
+            TraceFormat::Chrome
+        }),
+        None => TraceFormat::Chrome,
+    };
+    Some(TraceConfig {
+        path: path.into(),
+        format,
+    })
+}
+
+/// The `PACT_FAULTS` fault-injection plan. `Ok(None)` when unset or
+/// empty — the zero-cost disabled path.
+///
+/// # Errors
+///
+/// Returns the parse error of a malformed specification, so binaries
+/// can exit with a structured message instead of running an
+/// experiment the operator did not ask for.
+pub fn fault_plan() -> Result<Option<FaultPlan>, SimError> {
+    match read(FAULTS_ENV) {
+        Some(v) => FaultPlan::parse(v.trim()).map(Some),
+        None => Ok(None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Set/unset round-trips are unsafe under the parallel test runner,
+    // so only unset paths are exercised; the CLI tests drive the set
+    // paths through spawned tierctl processes.
+
+    #[test]
+    fn unset_variables_resolve_to_none() {
+        if std::env::var(JOBS_ENV).is_err() {
+            assert_eq!(jobs_override(), None);
+        }
+        if std::env::var(TRACE_ENV).is_err() {
+            assert_eq!(trace_config(), None);
+        }
+        if std::env::var(FAULTS_ENV).is_err() {
+            assert_eq!(fault_plan().unwrap(), None);
+        }
+    }
+}

@@ -28,24 +28,14 @@
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Environment variable overriding the worker count.
-pub const JOBS_ENV: &str = "PACT_JOBS";
+pub use crate::env::JOBS_ENV;
 
 /// Resolves the worker count: `PACT_JOBS` if set to a positive
-/// integer, else the machine's available parallelism, else 1.
+/// integer, else the machine's available parallelism, else 1. The
+/// environment read itself lives in [`crate::env`], the `PACT_*`
+/// registry.
 pub fn jobs_from_env() -> usize {
-    match std::env::var(JOBS_ENV) {
-        Ok(v) => match v.trim().parse::<usize>() {
-            Ok(n) if n > 0 => n,
-            _ => {
-                eprintln!(
-                    "warning: ignoring invalid {JOBS_ENV}={v:?}; using available parallelism"
-                );
-                default_jobs()
-            }
-        },
-        Err(_) => default_jobs(),
-    }
+    crate::env::jobs_override().unwrap_or_else(default_jobs)
 }
 
 /// The machine's available parallelism (1 if it cannot be queried).

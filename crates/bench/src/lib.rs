@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 mod cli;
+pub mod env;
 pub mod exec;
 mod report;
 mod runner;

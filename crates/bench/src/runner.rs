@@ -73,7 +73,7 @@ pub fn experiment_machine(fast_pages: u64) -> MachineConfig {
 /// [`crate::parse_options`]) so interactive users get a hard error.
 fn env_fault_plan() -> Option<&'static FaultPlan> {
     static PLAN: OnceLock<Option<FaultPlan>> = OnceLock::new();
-    PLAN.get_or_init(|| match FaultPlan::from_env() {
+    PLAN.get_or_init(|| match crate::env::fault_plan() {
         Ok(plan) => plan,
         Err(e) => {
             eprintln!("warning: ignoring {FAULTS_ENV}: {e}");
@@ -401,7 +401,7 @@ pub fn ratio_sweep_jobs(
     ratios: &[TierRatio],
     jobs: usize,
 ) -> SweepResult {
-    let trace = TraceConfig::from_env();
+    let trace = crate::env::trace_config();
     ratio_sweep_traced(h, policies, ratios, jobs, trace.as_ref())
 }
 

@@ -112,3 +112,141 @@ fn list_exits_0() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("workloads:") && stdout.contains("pact"));
 }
+
+// --- tierctl lint ----------------------------------------------------
+
+/// Writes a throwaway one-crate workspace for lint to scan.
+fn lint_fixture(dir: &std::path::Path, src: &str) {
+    std::fs::create_dir_all(dir.join("crates/tiersim/src")).expect("mkdir fixture");
+    std::fs::write(dir.join("Cargo.toml"), "[workspace]\n").expect("write manifest");
+    std::fs::write(dir.join("crates/tiersim/src/lib.rs"), src).expect("write source");
+}
+
+fn fixture_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    // A stale tree from an earlier run would leak extra findings.
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn lint_clean_tree_exits_0() {
+    let dir = fixture_dir("lint_clean");
+    lint_fixture(&dir, "//! Clean.\npub fn ok() -> u32 { 1 }\n");
+    let out = run(&["lint", "--root", dir.to_str().expect("utf8 path")]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr_of(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("0 findings"), "{stdout}");
+}
+
+#[test]
+fn lint_findings_exit_1_with_rustc_style_diagnostics() {
+    let dir = fixture_dir("lint_dirty");
+    lint_fixture(&dir, "use std::collections::HashMap;\n");
+    let out = run(&["lint", "--root", dir.to_str().expect("utf8 path")]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr_of(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("error[D001/det-hash-collections]"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("--> crates/tiersim/src/lib.rs:1:23"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("= help:"), "{stdout}");
+}
+
+#[test]
+fn lint_json_mode_is_machine_readable() {
+    let dir = fixture_dir("lint_json");
+    lint_fixture(&dir, "use std::collections::HashMap;\n");
+    let out = run(&["lint", "--json", "--root", dir.to_str().expect("utf8 path")]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr_of(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    pact_obs::validate(&stdout).expect("lint --json emits valid JSON");
+    assert!(stdout.contains("\"tool\":\"pact-lint\""), "{stdout}");
+    assert!(
+        stdout.contains("\"rule\":\"det-hash-collections\""),
+        "{stdout}"
+    );
+    assert!(stdout.contains("\"findings_total\":1"), "{stdout}");
+}
+
+#[test]
+fn lint_rule_filter_restricts_the_rule_set() {
+    let dir = fixture_dir("lint_filter");
+    // One D001 and one H003 finding in the same file.
+    lint_fixture(
+        &dir,
+        "use std::collections::HashMap;\npub fn f() { println!(\"x\"); }\n",
+    );
+    let all = run(&["lint", "--root", dir.to_str().expect("utf8 path")]);
+    assert_eq!(all.status.code(), Some(1));
+    let filtered = run(&[
+        "lint",
+        "--rule",
+        "stray-print",
+        "--root",
+        dir.to_str().expect("utf8 path"),
+    ]);
+    let stdout = String::from_utf8_lossy(&filtered.stdout);
+    assert_eq!(filtered.status.code(), Some(1), "{stdout}");
+    assert!(stdout.contains("stray-print"), "{stdout}");
+    assert!(!stdout.contains("det-hash-collections"), "{stdout}");
+}
+
+#[test]
+fn lint_rejects_bad_usage_with_2() {
+    for args in [
+        &["lint", "--rule", "no-such-rule"][..],
+        &["lint", "--nope"],
+        &["lint", "--root"],
+        &["lint", "--root", "/definitely/not/a/workspace"],
+    ] {
+        let out = run(args);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "args {args:?}: {}",
+            stderr_of(&out)
+        );
+    }
+}
+
+#[test]
+fn lint_list_rules_prints_the_catalogue() {
+    let out = run(&["lint", "--list-rules"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr_of(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for id in [
+        "det-hash-collections",
+        "det-wall-clock",
+        "det-rng",
+        "det-env-read",
+        "naked-unwrap",
+        "counter-truncation",
+        "stray-print",
+        "suppression",
+    ] {
+        assert!(stdout.contains(id), "missing {id} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn lint_of_this_workspace_is_clean() {
+    // The gate CI enforces: the real tree has zero findings. --root
+    // points at the repo root, two levels up from crates/bench.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("bench crate sits two levels below the workspace root")
+        .to_path_buf();
+    let out = run(&["lint", "--root", root.to_str().expect("utf8 path")]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "workspace has lint findings:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}

@@ -71,6 +71,8 @@ fn run_with(cfg: &MachineConfig, wl: &dyn Workload, traced: bool) -> Result<RunR
     // Invariant: the caller's config came from a validated preset with
     // only validated-range edits, so Machine::new cannot fail.
     let machine = Machine::new(cfg.clone()).expect("differential config is valid");
+    // Invariant: the default PactConfig passes its own validation
+    // (pinned by pact-core tests).
     let mut policy = PactPolicy::new(PactConfig::default()).expect("default config is valid");
     if traced {
         let mut tracer = Tracer::ring(1 << 16);
@@ -185,11 +187,11 @@ pub fn dominance_oracle(wl: &dyn Workload, seed: u64) -> Result<(), String> {
     let mut remote_cfg = MachineConfig::skylake_cxl(0);
     remote_cfg.seed = seed;
     let local = Machine::new(local_cfg)
-        .expect("config is valid")
+        .expect("config is valid") // Invariant: skylake_cxl presets always construct
         .try_run(wl, &mut FirstTouch::new())
         .map_err(|e| format!("all-local run failed: {e}"))?;
     let remote = Machine::new(remote_cfg)
-        .expect("config is valid")
+        .expect("config is valid") // Invariant: skylake_cxl presets always construct
         .try_run(wl, &mut FirstTouch::new())
         .map_err(|e| format!("all-remote run failed: {e}"))?;
     if local.total_cycles <= remote.total_cycles {

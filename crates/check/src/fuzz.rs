@@ -201,13 +201,14 @@ fn gen_policy(rng: &mut SplitMix64) -> FuzzPolicy {
         // Invariant: the default config and a rank_by change both pass
         // PactConfig::validate (pinned by pact-core tests).
         0 => FuzzPolicy::Pact(Box::new(
-            PactPolicy::new(PactConfig::default()).expect("default is valid"),
+            PactPolicy::new(PactConfig::default()).expect("default is valid"), // Invariant: see above
         )),
         1 => {
             let cfg = PactConfig {
                 rank_by: RankBy::Frequency,
                 ..PactConfig::default()
             };
+            // Invariant: see above — validate accepts this config.
             FuzzPolicy::Pact(Box::new(PactPolicy::new(cfg).expect("config is valid")))
         }
         _ => FuzzPolicy::First(FirstTouch::new()),

@@ -1,0 +1,370 @@
+//! A minimal hand-rolled Rust lexer.
+//!
+//! The rule engine only needs a token stream that is *sound* about
+//! what is code and what is not: identifiers, punctuation, and — the
+//! part a regex grep always gets wrong — string literals, character
+//! literals, lifetimes, and (nested) comments. Everything the rules
+//! match on is an identifier or punctuation token, so a `HashMap`
+//! inside a string literal or a doc-comment example can never produce
+//! a finding.
+//!
+//! The lexer is lossless enough for diagnostics: every token carries
+//! its 1-based line and (byte) column.
+
+/// Classification of one lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including `as`, `fn`, `r#raw` idents).
+    Ident,
+    /// Lifetime such as `'a` (distinguished from char literals).
+    Lifetime,
+    /// Numeric literal (suffixes included; `1.5` lexes as three
+    /// tokens, which is irrelevant to every rule).
+    Number,
+    /// String literal: `"…"`, `r#"…"#`, `b"…"`, `br#"…"#`.
+    Str,
+    /// Character or byte literal: `'x'`, `b'\n'`.
+    Char,
+    /// `// …` comment (doc comments included).
+    LineComment,
+    /// `/* … */` comment, nesting handled.
+    BlockComment,
+    /// Any other single character of punctuation.
+    Punct,
+}
+
+/// One token: kind, source text, and 1-based position of its first
+/// byte.
+#[derive(Debug, Clone, Copy)]
+pub struct Tok<'a> {
+    /// What the token is.
+    pub kind: TokKind,
+    /// The exact source slice.
+    pub text: &'a str,
+    /// 1-based line of the first byte.
+    pub line: u32,
+    /// 1-based byte column of the first byte.
+    pub col: u32,
+    /// 1-based line of the last byte (differs for multi-line
+    /// comments and raw strings).
+    pub end_line: u32,
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.i).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.bytes.get(self.i + off).copied()
+    }
+
+    fn bump(&mut self) {
+        if self.bytes.get(self.i) == Some(&b'\n') {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        self.i += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    /// Consumes a `"…"` body (opening quote already consumed).
+    fn string_body(&mut self) {
+        while let Some(c) = self.peek() {
+            match c {
+                b'\\' => self.bump_n(2),
+                b'"' => {
+                    self.bump();
+                    return;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// Consumes a raw-string body starting at `r`'s hashes: counts
+    /// `#`s, expects `"`, then scans for `"` followed by that many
+    /// `#`s. Returns false if this is not a raw string after all
+    /// (e.g. `r#ident`).
+    fn raw_string(&mut self) -> bool {
+        let mut hashes = 0usize;
+        while self.peek_at(hashes) == Some(b'#') {
+            hashes += 1;
+        }
+        if self.peek_at(hashes) != Some(b'"') {
+            return false;
+        }
+        self.bump_n(hashes + 1);
+        loop {
+            match self.peek() {
+                None => return true,
+                Some(b'"') => {
+                    self.bump();
+                    let mut n = 0usize;
+                    while n < hashes && self.peek() == Some(b'#') {
+                        self.bump();
+                        n += 1;
+                    }
+                    if n == hashes {
+                        return true;
+                    }
+                }
+                Some(_) => self.bump(),
+            }
+        }
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphabetic() || c >= 0x80
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphanumeric() || c >= 0x80
+}
+
+/// Lexes `src` into tokens. Never fails: unrecognized bytes become
+/// single-character [`TokKind::Punct`] tokens, and unterminated
+/// literals extend to end of input.
+pub fn lex(src: &str) -> Vec<Tok<'_>> {
+    let mut lx = Lexer {
+        src,
+        bytes: src.as_bytes(),
+        i: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(c) = lx.peek() {
+        if c.is_ascii_whitespace() {
+            lx.bump();
+            continue;
+        }
+        let (start, line, col) = (lx.i, lx.line, lx.col);
+        let kind = match c {
+            b'/' if lx.peek_at(1) == Some(b'/') => {
+                while lx.peek().is_some_and(|c| c != b'\n') {
+                    lx.bump();
+                }
+                TokKind::LineComment
+            }
+            b'/' if lx.peek_at(1) == Some(b'*') => {
+                lx.bump_n(2);
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (lx.peek(), lx.peek_at(1)) {
+                        (None, _) => break,
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            lx.bump_n(2);
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            lx.bump_n(2);
+                        }
+                        _ => lx.bump(),
+                    }
+                }
+                TokKind::BlockComment
+            }
+            b'"' => {
+                lx.bump();
+                lx.string_body();
+                TokKind::Str
+            }
+            b'r' if matches!(lx.peek_at(1), Some(b'"' | b'#')) => {
+                lx.bump();
+                if lx.raw_string() {
+                    TokKind::Str
+                } else {
+                    // `r#ident` raw identifier: consume `#` + ident.
+                    lx.bump();
+                    while lx.peek().is_some_and(is_ident_continue) {
+                        lx.bump();
+                    }
+                    TokKind::Ident
+                }
+            }
+            b'b' if lx.peek_at(1) == Some(b'"') => {
+                lx.bump_n(2);
+                lx.string_body();
+                TokKind::Str
+            }
+            b'b' if lx.peek_at(1) == Some(b'r') && matches!(lx.peek_at(2), Some(b'"' | b'#')) => {
+                lx.bump_n(2);
+                lx.raw_string();
+                TokKind::Str
+            }
+            b'b' if lx.peek_at(1) == Some(b'\'') => {
+                lx.bump_n(2);
+                char_body(&mut lx);
+                TokKind::Char
+            }
+            b'\'' => {
+                // Lifetime (`'a` not followed by a closing quote) vs
+                // char literal (`'a'`, `'\n'`, `'\u{1F600}'`).
+                let second = lx.peek_at(1);
+                let third = lx.peek_at(2);
+                if second.is_some_and(is_ident_start) && third != Some(b'\'') {
+                    lx.bump_n(2);
+                    while lx.peek().is_some_and(is_ident_continue) {
+                        lx.bump();
+                    }
+                    TokKind::Lifetime
+                } else {
+                    lx.bump();
+                    char_body(&mut lx);
+                    TokKind::Char
+                }
+            }
+            c if is_ident_start(c) => {
+                lx.bump();
+                while lx.peek().is_some_and(is_ident_continue) {
+                    lx.bump();
+                }
+                TokKind::Ident
+            }
+            c if c.is_ascii_digit() => {
+                lx.bump();
+                // Suffixes, hex digits, separators; `.` is left out so
+                // `1.5` lexes as Number Punct Number — irrelevant to
+                // every rule and ambiguity-free for `0..n` ranges.
+                while lx.peek().is_some_and(is_ident_continue) {
+                    lx.bump();
+                }
+                TokKind::Number
+            }
+            _ => {
+                lx.bump();
+                TokKind::Punct
+            }
+        };
+        out.push(Tok {
+            kind,
+            text: &lx.src[start..lx.i],
+            line,
+            col,
+            end_line: if lx.col == 1 {
+                lx.line.saturating_sub(1)
+            } else {
+                lx.line
+            },
+        });
+    }
+    out
+}
+
+/// Consumes a char-literal body (opening quote already consumed).
+fn char_body(lx: &mut Lexer<'_>) {
+    while let Some(c) = lx.peek() {
+        match c {
+            b'\\' => lx.bump_n(2),
+            b'\'' => {
+                lx.bump();
+                return;
+            }
+            b'\n' => return, // malformed; don't eat the file
+            _ => lx.bump(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, &str)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_punct() {
+        let t = kinds("use std::collections::HashMap;");
+        assert_eq!(t[0], (TokKind::Ident, "use"));
+        assert_eq!(t[1], (TokKind::Ident, "std"));
+        assert_eq!(t[2], (TokKind::Punct, ":"));
+        assert_eq!(t[4], (TokKind::Ident, "collections"));
+        assert_eq!(t[7], (TokKind::Ident, "HashMap"));
+        assert_eq!(t[8], (TokKind::Punct, ";"));
+    }
+
+    #[test]
+    fn strings_hide_identifiers() {
+        let t = kinds(r#"let s = "HashMap::new()";"#);
+        assert!(t
+            .iter()
+            .all(|&(k, x)| k != TokKind::Ident || x != "HashMap"));
+        assert!(t.iter().any(|&(k, _)| k == TokKind::Str));
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents() {
+        let t = kinds(r##"let x = r#"a "quoted" HashMap"#; let r#fn = 1;"##);
+        assert!(t
+            .iter()
+            .any(|&(k, x)| k == TokKind::Str && x.contains("quoted")));
+        assert!(t.iter().any(|&(k, x)| k == TokKind::Ident && x == "r#fn"));
+        assert!(t
+            .iter()
+            .all(|&(k, x)| k != TokKind::Ident || x != "HashMap"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let t = kinds("a /* outer /* inner */ still */ b");
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[1].0, TokKind::BlockComment);
+        assert_eq!(t[2], (TokKind::Ident, "b"));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let t = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(t.iter().filter(|t| t.0 == TokKind::Lifetime).count(), 2);
+        assert_eq!(t.iter().filter(|t| t.0 == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn byte_literals() {
+        let t = kinds(r##"f(b'\n', b"bytes", br#"raw"#)"##);
+        assert_eq!(t.iter().filter(|t| t.0 == TokKind::Char).count(), 1);
+        assert_eq!(t.iter().filter(|t| t.0 == TokKind::Str).count(), 2);
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let t = lex("a\n  bb");
+        assert_eq!((t[0].line, t[0].col), (1, 1));
+        assert_eq!((t[1].line, t[1].col), (2, 3));
+    }
+
+    #[test]
+    fn multiline_comment_tracks_end_line() {
+        let t = lex("/* one\ntwo\nthree */ x");
+        assert_eq!(t[0].line, 1);
+        assert_eq!(t[0].end_line, 3);
+        assert_eq!(t[1].line, 3);
+    }
+
+    #[test]
+    fn unterminated_literals_do_not_panic() {
+        for bad in ["\"open", "r#\"open", "/* open", "'"] {
+            let _ = lex(bad);
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Fixture-based rule tests: known-bad snippets linted as if they
+//! lived at a given workspace-relative path, with the expected
+//! diagnostics pinned (rule, line, column).
+
+use pact_lint::{lint_source, LintConfig};
+
+/// Lints `src` as file `path` under the default config and returns
+/// `(rule_id, line, col)` triples.
+fn findings(path: &str, src: &str) -> Vec<(&'static str, u32, u32)> {
+    let cfg = LintConfig::default();
+    lint_source(path, src, &cfg)
+        .into_iter()
+        .map(|d| (d.rule.id, d.line, d.col))
+        .collect()
+}
+
+const SIM_PATH: &str = "crates/tiersim/src/subject.rs";
+const BENCH_PATH: &str = "crates/bench/src/subject.rs";
+
+#[test]
+fn hash_collections_flagged_in_deterministic_crates() {
+    let src = "use std::collections::HashMap;\nfn f() { let s: std::collections::HashSet<u32> = Default::default(); let _ = s; }\n";
+    assert_eq!(
+        findings(SIM_PATH, src),
+        vec![
+            ("det-hash-collections", 1, 23),
+            ("det-hash-collections", 2, 35),
+        ]
+    );
+    // The same text in pact-bench (a non-deterministic crate) is fine.
+    assert_eq!(findings(BENCH_PATH, src), vec![]);
+}
+
+#[test]
+fn identifiers_inside_strings_and_comments_do_not_fire() {
+    let src = r#"
+// HashMap is banned here; Instant too. thread_rng() as well.
+/* std::env::var("PACT_JOBS") in a block comment */
+fn f() -> &'static str { "use std::collections::HashMap and Instant::now()" }
+"#;
+    assert_eq!(findings(SIM_PATH, src), vec![]);
+}
+
+#[test]
+fn wall_clock_and_rng_flagged() {
+    let src = "fn f() { let t = std::time::Instant::now(); let _ = t; }\n\
+               fn g() { let s = std::time::SystemTime::now(); let _ = s; }\n\
+               fn h() -> u64 { rand::thread_rng().gen() }\n";
+    let got = findings(SIM_PATH, src);
+    assert_eq!(
+        got,
+        vec![
+            ("det-wall-clock", 1, 29),
+            ("det-wall-clock", 2, 29),
+            ("det-rng", 3, 17),
+            ("det-rng", 3, 23),
+        ]
+    );
+}
+
+#[test]
+fn env_reads_only_allowed_in_the_registry() {
+    let src = "fn f() -> Option<String> { std::env::var(\"PACT_JOBS\").ok() }\n";
+    assert_eq!(findings(BENCH_PATH, src), vec![("det-env-read", 1, 33)]);
+    // The registry module itself is the one sanctioned read site.
+    assert_eq!(findings("crates/bench/src/env.rs", src), vec![]);
+}
+
+#[test]
+fn naked_unwrap_needs_an_invariant_comment() {
+    let bad = "fn f(v: Vec<u32>) -> u32 { *v.first().unwrap() }\n";
+    assert_eq!(findings(SIM_PATH, bad), vec![("naked-unwrap", 1, 39)]);
+
+    let same_line =
+        "fn f(v: Vec<u32>) -> u32 { *v.first().unwrap() } // Invariant: caller checked\n";
+    assert_eq!(findings(SIM_PATH, same_line), vec![]);
+
+    let above = "fn f(v: Vec<u32>) -> u32 {\n    // Invariant: v is never empty here.\n    *v.first().unwrap()\n}\n";
+    assert_eq!(findings(SIM_PATH, above), vec![]);
+}
+
+#[test]
+fn expect_with_string_flagged_but_custom_expect_methods_are_not() {
+    let bad = "fn f(v: Option<u32>) -> u32 { v.expect(\"present\") }\n";
+    assert_eq!(findings(SIM_PATH, bad), vec![("naked-unwrap", 1, 33)]);
+    // A custom parser method also called `expect` takes a non-string
+    // argument and must not fire.
+    let custom = "fn f(p: &mut Parser) { p.expect(b':'); }\n";
+    assert_eq!(findings(SIM_PATH, custom), vec![]);
+}
+
+#[test]
+fn test_code_is_exempt_from_hygiene_rules() {
+    let src = "#[test]\nfn t() { let v: Vec<u32> = vec![]; let _ = v.first().unwrap(); }\n";
+    assert_eq!(findings(SIM_PATH, src), vec![]);
+    let module =
+        "#[cfg(test)]\nmod tests {\n    fn helper(v: Vec<u32>) -> u32 { *v.first().unwrap() }\n}\n";
+    assert_eq!(findings(SIM_PATH, module), vec![]);
+    // ... but #[cfg(not(test))] is live code.
+    let not_test = "#[cfg(not(test))]\nfn live(v: Vec<u32>) -> u32 { *v.first().unwrap() }\n";
+    assert_eq!(findings(SIM_PATH, not_test), vec![("naked-unwrap", 2, 42)]);
+}
+
+#[test]
+fn counter_truncation_scoped_to_pmu_files() {
+    let src = "fn f(x: u64) -> u32 { x as u32 }\n";
+    assert_eq!(
+        findings("crates/tiersim/src/pmu.rs", src),
+        vec![("counter-truncation", 1, 28)]
+    );
+    // Elsewhere the cast is allowed (clippy covers the general case).
+    assert_eq!(findings(SIM_PATH, src), vec![]);
+}
+
+#[test]
+fn stray_print_flagged_outside_bench() {
+    let src = "fn f() { println!(\"hi\"); eprintln!(\"lo\"); }\n";
+    assert_eq!(
+        findings(SIM_PATH, src),
+        vec![("stray-print", 1, 10), ("stray-print", 1, 26)]
+    );
+    assert_eq!(findings(BENCH_PATH, src), vec![]);
+}
+
+#[test]
+fn suppressions_silence_their_rule_on_the_next_code_line() {
+    let src = "\
+// pact-lint: allow(det-hash-collections) — keyed lookups only, never iterated
+use std::collections::HashMap;
+fn f() { let m: HashMap<u32, u32> = HashMap::new(); let _ = m; }
+";
+    // Only the `use` line is covered; line 3 still fires (twice: the
+    // type and the constructor path).
+    let got = findings(SIM_PATH, src);
+    assert!(got.iter().all(|&(id, _, _)| id == "det-hash-collections"));
+    assert!(got.iter().all(|&(_, line, _)| line == 3), "{got:?}");
+}
+
+#[test]
+fn suppression_reason_is_mandatory() {
+    let src = "// pact-lint: allow(det-hash-collections)\nuse std::collections::HashMap;\n";
+    let got = findings(SIM_PATH, src);
+    // The malformed suppression is itself a finding, and it does not
+    // suppress anything.
+    assert_eq!(got[0].0, "suppression");
+    assert!(got.iter().any(|&(id, _, _)| id == "det-hash-collections"));
+}
+
+#[test]
+fn unknown_rule_in_suppression_is_flagged() {
+    let src = "// pact-lint: allow(no-such-rule) — because reasons\nfn f() {}\n";
+    assert_eq!(findings(SIM_PATH, src), vec![("suppression", 1, 1)]);
+}
+
+#[test]
+fn plain_ascii_separator_also_accepted() {
+    let src = "// pact-lint: allow(det-hash-collections) - keyed lookups only\nuse std::collections::HashMap;\n";
+    assert_eq!(findings(SIM_PATH, src), vec![]);
+}
+
+#[test]
+fn diagnostics_are_sorted_by_position() {
+    let src = "fn g() { let t = std::time::Instant::now(); let _ = t; }\nuse std::collections::HashMap;\n";
+    let got = findings(SIM_PATH, src);
+    let mut sorted = got.clone();
+    sorted.sort_by_key(|&(_, l, c)| (l, c));
+    assert_eq!(got, sorted);
+}

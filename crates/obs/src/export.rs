@@ -14,9 +14,10 @@
 //! Both formats are produced with the deterministic [`crate::json`]
 //! writer, so identical runs export byte-identical files.
 //!
-//! Runtime selection: [`TraceConfig::from_env`] reads `PACT_TRACE`
-//! (output path — a file for single runs, a directory for sweeps) and
-//! `PACT_TRACE_FORMAT` (`chrome`, the default, or `jsonl`).
+//! Runtime selection: the `PACT_TRACE` / `PACT_TRACE_FORMAT`
+//! variables (named by [`TRACE_ENV`] / [`TRACE_FORMAT_ENV`]) are
+//! resolved into a [`TraceConfig`] by `pact-bench`'s `env` registry
+//! module — this crate never reads the environment itself.
 
 use crate::json::JsonWriter;
 use crate::tracer::{tier_name, EventKind, TraceEvent};
@@ -65,36 +66,14 @@ pub const TRACE_ENV: &str = "PACT_TRACE";
 /// Environment variable selecting the trace format.
 pub const TRACE_FORMAT_ENV: &str = "PACT_TRACE_FORMAT";
 
-/// Where and how to write traces, resolved from the environment.
+/// Where and how to write traces. Constructed by binaries (typically
+/// from the `pact-bench` `env` registry); this crate only consumes it.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceConfig {
     /// Output path (file for single runs, directory for sweeps).
     pub path: std::path::PathBuf,
     /// Export format.
     pub format: TraceFormat,
-}
-
-impl TraceConfig {
-    /// Reads `PACT_TRACE` / `PACT_TRACE_FORMAT`. Returns `None` when
-    /// `PACT_TRACE` is unset or empty; warns and falls back to
-    /// [`TraceFormat::Chrome`] on an unknown format name.
-    pub fn from_env() -> Option<TraceConfig> {
-        let path = std::env::var(TRACE_ENV).ok()?;
-        if path.trim().is_empty() {
-            return None;
-        }
-        let format = match std::env::var(TRACE_FORMAT_ENV) {
-            Ok(v) => TraceFormat::parse(v.trim()).unwrap_or_else(|| {
-                eprintln!("warning: unknown {TRACE_FORMAT_ENV}={v:?}; using chrome trace format");
-                TraceFormat::Chrome
-            }),
-            Err(_) => TraceFormat::Chrome,
-        };
-        Some(TraceConfig {
-            path: path.into(),
-            format,
-        })
-    }
 }
 
 /// One window of per-window series data, supplied by the simulator's

@@ -81,7 +81,10 @@ impl JsonWriter {
 
     /// Closes the innermost object (`}`).
     pub fn end_object(&mut self) {
-        debug_assert!(self.stack.pop().is_some(), "no open container");
+        // The pop must stay outside debug_assert!: release builds
+        // compile the macro out, side effects included.
+        let open = self.stack.pop();
+        debug_assert!(open.is_some(), "no open container");
         self.buf.push('}');
     }
 
@@ -94,7 +97,8 @@ impl JsonWriter {
 
     /// Closes the innermost array (`]`).
     pub fn end_array(&mut self) {
-        debug_assert!(self.stack.pop().is_some(), "no open container");
+        let open = self.stack.pop();
+        debug_assert!(open.is_some(), "no open container");
         self.buf.push(']');
     }
 
@@ -396,6 +400,26 @@ impl Parser<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn empty_containers_still_separate_siblings() {
+        // Regression: end_object/end_array once popped the container
+        // stack inside debug_assert!, so release builds never popped
+        // and the member after an empty container lost its comma.
+        let mut j = JsonWriter::new();
+        j.begin_object();
+        j.key("t");
+        j.begin_object();
+        j.end_object();
+        j.key("a");
+        j.begin_array();
+        j.end_array();
+        j.field_u64("n", 1);
+        j.end_object();
+        let s = j.finish();
+        assert_eq!(s, r#"{"t":{},"a":[],"n":1}"#);
+        validate(&s).unwrap();
+    }
 
     #[test]
     fn writer_builds_nested_structures() {

@@ -34,7 +34,9 @@ pub mod json;
 mod metrics;
 mod tracer;
 
-pub use export::{chrome_trace, jsonl, TraceConfig, TraceFormat, WindowRow};
+pub use export::{
+    chrome_trace, jsonl, TraceConfig, TraceFormat, WindowRow, TRACE_ENV, TRACE_FORMAT_ENV,
+};
 pub use json::{validate, JsonError, JsonWriter};
 pub use metrics::{MetricId, MetricKind, MetricsRegistry};
 pub use tracer::{EventKind, TraceEvent, Tracer, DEFAULT_RING_CAPACITY};

@@ -24,6 +24,8 @@ impl Ecdf {
     /// Builds the ECDF from an unsorted sample; NaNs are dropped.
     pub fn new(values: &[f64]) -> Self {
         let mut sorted: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+        // Invariant: NaNs were filtered on the line above, so every
+        // remaining pair of values is comparable.
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaNs were filtered"));
         Self { sorted }
     }

@@ -61,7 +61,9 @@ pub fn top_k_overlap(xs: &[f64], ys: &[f64], k: usize) -> f64 {
         let mut idx: Vec<usize> = (0..v.len()).collect();
         idx.sort_by(|&a, &b| v[b].partial_cmp(&v[a]).unwrap_or(std::cmp::Ordering::Equal));
         idx.truncate(k);
-        idx.into_iter().collect::<std::collections::HashSet<_>>()
+        // BTreeSet: set semantics with a deterministic layout
+        // (det-hash-collections).
+        idx.into_iter().collect::<std::collections::BTreeSet<_>>()
     };
     let a = top(xs);
     let b = top(ys);
@@ -88,6 +90,8 @@ pub fn gini(values: &[f64]) -> Option<f64> {
         return None;
     }
     let mut sorted: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+    // Invariant: NaNs were filtered on the line above, so every pair
+    // of remaining values is comparable.
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaNs filtered"));
     let n = sorted.len() as f64;
     let total: f64 = sorted.iter().sum();

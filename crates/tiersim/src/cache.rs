@@ -168,7 +168,7 @@ impl StrideDetector {
             .streams
             .iter_mut()
             .min_by_key(|e| e.last_use)
-            .expect("table is non-empty");
+            .expect("table is non-empty"); // Invariant: streams has fixed non-zero capacity
         victim.last_line = line;
         victim.streak = 0;
         victim.last_use = self.clock;

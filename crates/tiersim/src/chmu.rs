@@ -68,6 +68,9 @@ impl SpaceSaving {
         if idx >= self.pos.len() {
             self.pos.resize(idx + 1, 0);
         }
+        // pact-lint: allow(counter-truncation) — heap indices are
+        // bounded by the Space-Saving table capacity (a few thousand
+        // entries), orders of magnitude below u32::MAX.
         self.pos[idx] = heap_idx as u32 + 1;
     }
 

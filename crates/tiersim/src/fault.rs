@@ -28,8 +28,9 @@
 //!   Space-Saving table resets mid-run, wiping accumulated hotness.
 //!
 //! Faults only fire inside the configured window range
-//! (`window=A..B`). The environment hook is `PACT_FAULTS` (see
-//! [`FaultPlan::from_env`]); an unset variable means no plan and a
+//! (`window=A..B`). The environment hook is `PACT_FAULTS` (named by
+//! [`FAULTS_ENV`], resolved by `pact-bench`'s `env` registry into
+//! [`FaultPlan::parse`]); an unset variable means no plan and a
 //! byte-identical, zero-cost run.
 
 use std::collections::VecDeque;
@@ -61,7 +62,7 @@ pub struct StallFault {
 /// [`MachineConfig::fault_plan`](crate::MachineConfig::fault_plan).
 ///
 /// `FaultPlan::default()` injects nothing; construct via
-/// [`FaultPlan::parse`] / [`FaultPlan::from_env`] or field access.
+/// [`FaultPlan::parse`] or field access.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultPlan {
     /// Seed of the dedicated fault RNG stream (independent of the
@@ -206,21 +207,6 @@ impl FaultPlan {
             reason: reason.into(),
         })?;
         Ok(plan)
-    }
-
-    /// Reads the [`FAULTS_ENV`] (`PACT_FAULTS`) environment variable.
-    /// `Ok(None)` when unset or empty — the zero-cost disabled path.
-    ///
-    /// # Errors
-    ///
-    /// Returns the parse error of a malformed specification, so
-    /// binaries can exit with a structured message instead of running
-    /// an experiment the operator did not ask for.
-    pub fn from_env() -> Result<Option<FaultPlan>, SimError> {
-        match std::env::var(FAULTS_ENV) {
-            Ok(v) if !v.trim().is_empty() => Self::parse(v.trim()).map(Some),
-            _ => Ok(None),
-        }
     }
 
     /// Checks internal consistency; the message feeds both
@@ -518,12 +504,12 @@ mod tests {
     }
 
     #[test]
-    fn from_env_unset_is_none() {
-        // The test harness never sets PACT_FAULTS; guard the zero-cost
-        // default. (Set/unset round-trips are unsafe under the parallel
-        // test runner, so only the unset path is exercised here.)
-        if std::env::var(FAULTS_ENV).is_err() {
-            assert_eq!(FaultPlan::from_env().unwrap(), None);
-        }
+    fn blank_parts_are_ignored() {
+        // The env registry maps an unset/empty PACT_FAULTS to None
+        // before ever calling parse; stray blank fragments inside a
+        // spec are tolerated rather than fatal.
+        let plan = FaultPlan::parse("drop=0.25, ,seed=9").unwrap();
+        assert_eq!(plan.drop_order, 0.25);
+        assert_eq!(plan.seed, 9);
     }
 }

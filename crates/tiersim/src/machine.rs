@@ -87,7 +87,9 @@ pub struct RunReport {
     /// Ground-truth stall cycles attributed to each page's misses
     /// (present only when `track_page_stalls` was configured). The
     /// simulator-only oracle against which PAC estimates are validated.
-    pub page_stalls: Option<std::collections::HashMap<PageId, u64>>,
+    /// Ordered map so consumers that iterate the oracle (reports,
+    /// diffs) see a deterministic sequence (det-hash-collections).
+    pub page_stalls: Option<std::collections::BTreeMap<PageId, u64>>,
 }
 
 impl RunReport {
@@ -363,7 +365,7 @@ struct Sim<'a, 'w> {
     window_dropped: u64,
     hint_scan_per_window: u64,
     foreground_threads: usize,
-    page_stalls: Option<std::collections::HashMap<PageId, u64>>,
+    page_stalls: Option<std::collections::BTreeMap<PageId, u64>>,
     // Observability: structured event sink, metrics registry, and the
     // dense metric handles the substrate updates each window.
     tracer: &'a mut Tracer,
@@ -534,7 +536,7 @@ impl<'a, 'w> Sim<'a, 'w> {
             window_dropped: 0,
             hint_scan_per_window: 0,
             foreground_threads,
-            page_stalls: cfg.track_page_stalls.then(std::collections::HashMap::new),
+            page_stalls: cfg.track_page_stalls.then(std::collections::BTreeMap::new),
             tracer,
             registry,
             m_daemon_pages,
@@ -682,6 +684,8 @@ impl<'a, 'w> Sim<'a, 'w> {
             self.deliver_sample(ti, SampleEvent::HintFault { page, tier });
         }
         // The fault may have migrated the page synchronously.
+        // Invariant: migration moves a page between tiers but never
+        // unmaps it, so the page looked up above is still mapped.
         let tier = self.mem.tier_of(page).expect("page was mapped above");
 
         let gline = line_of(base_page * PAGE_BYTES + a.vaddr);
@@ -1289,7 +1293,7 @@ impl<'a, 'w> Sim<'a, 'w> {
                 counters: &self.counters,
                 prev_snapshot: &self.last_snapshot,
                 channels: &self.channels,
-                record: self.windows.last().expect("record pushed above"),
+                record: self.windows.last().expect("record pushed above"), // Invariant: pushed this window
                 peeked_metrics,
                 registry_chan_lines: [
                     self.registry.counter_total(self.m_chan_lines[0]),

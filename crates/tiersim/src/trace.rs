@@ -127,12 +127,14 @@ pub fn read_trace<R: Read>(mut r: R) -> io::Result<TraceWorkload> {
             Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
             Err(e) => return Err(e),
         }
+        // Invariant: rec is exactly 12 bytes, so each fixed-width
+        // subslice below converts to its array type.
         let vaddr = u64::from_le_bytes(rec[0..8].try_into().expect("8 bytes"));
-        let flags = u16::from_le_bytes(rec[8..10].try_into().expect("2 bytes"));
-        let work = u16::from_le_bytes(rec[10..12].try_into().expect("2 bytes"));
-        // Decode the flags independently: a store may also carry the
-        // dependent bit (address computed from a prior load), and the
-        // constructor shortcuts would silently drop it.
+        let flags = u16::from_le_bytes(rec[8..10].try_into().expect("2 bytes")); // Invariant: see above
+        let work = u16::from_le_bytes(rec[10..12].try_into().expect("2 bytes")); // Invariant: see above
+                                                                                 // Decode the flags independently: a store may also carry the
+                                                                                 // dependent bit (address computed from a prior load), and the
+                                                                                 // constructor shortcuts would silently drop it.
         let kind = if flags & FLAG_STORE != 0 {
             AccessKind::Store
         } else {

@@ -293,6 +293,8 @@ impl HostBfs {
         let mut levels = vec![vec![root]];
         loop {
             let mut next = Vec::new();
+            // Invariant: levels starts with the root level and only
+            // grows, so last() always exists.
             let cur = levels.last().expect("at least the root level");
             let d = levels.len() as i32 - 1;
             for &v in cur {
