@@ -14,7 +14,7 @@
 #     PACT_CI_STAGES="fmt lint" ci/run.sh
 #     PACT_CI_STAGES="build check" ci/run.sh
 #
-# Stages: fmt lint build test workspace perf obs fault check
+# Stages: fmt lint build test workspace perf machine-perf obs fault check
 #
 # PACT_JOBS is pinned so sweep-shaped tests exercise the parallel
 # executor deterministically regardless of the runner's core count.
@@ -24,7 +24,7 @@ cd "$(dirname "$0")/.."
 export CARGO_NET_OFFLINE="${CARGO_NET_OFFLINE:-true}"
 export PACT_JOBS="${PACT_JOBS:-4}"
 
-STAGES="${PACT_CI_STAGES:-fmt lint build test workspace perf obs fault check}"
+STAGES="${PACT_CI_STAGES:-fmt lint build test workspace perf machine-perf obs fault check}"
 TIMING_FILE="$(mktemp)"
 trap 'rm -f "$TIMING_FILE"' EXIT
 
@@ -62,6 +62,16 @@ stage_workspace() {
 stage_perf() {
     cargo run --release -p pact-bench --bin probe_sweep -- \
         --check-against BENCH_sweep.json
+}
+
+# Machine-loop perf-regression gate: one large many-threaded cell run
+# serial (1 shard) and sharded (8 shards) must stay bit-identical, and
+# the sharded sim_cycles_per_sec must stay within 20% of the committed
+# baseline. (Refresh with `cargo run --release -p pact-bench --bin
+# probe_machine` and commit the new BENCH_machine.json.)
+stage_machine_perf() {
+    cargo run --release -p pact-bench --bin probe_machine -- \
+        --check-against BENCH_machine.json
 }
 
 stage_obs() {
@@ -122,11 +132,12 @@ run_stage() {
     fi
     echo "==> $1"
     stage_start=$(date +%s)
-    "stage_$1"
-    printf '%-10s %4ss\n' "$1" "$(($(date +%s) - stage_start))" >> "$TIMING_FILE"
+    # POSIX function names cannot contain dashes; stage names can.
+    "stage_$(echo "$1" | tr '-' '_')"
+    printf '%-12s %4ss\n' "$1" "$(($(date +%s) - stage_start))" >> "$TIMING_FILE"
 }
 
-for stage in fmt lint build test workspace perf obs fault check; do
+for stage in fmt lint build test workspace perf machine-perf obs fault check; do
     run_stage "$stage"
 done
 

@@ -18,7 +18,7 @@
 
 use std::time::Instant;
 
-use pact_bench::{ratio_sweep_jobs, Harness, JsonWriter, SweepResult, TierRatio};
+use pact_bench::{gate, ratio_sweep_jobs, Harness, JsonWriter, SweepResult, TierRatio};
 use pact_workloads::suite::{build, Scale};
 
 const POLICIES: [&str; 5] = ["pact", "colloid", "memtis", "tpp", "notier"];
@@ -34,87 +34,21 @@ fn sim_cycles(sweep: &SweepResult, dram: u64) -> u64 {
         .sum()
 }
 
-/// Maximum tolerated drop in serial `sim_cycles_per_sec` vs the
-/// committed baseline before the check-against mode fails.
-const MAX_REGRESSION: f64 = 0.20;
-
-/// Extracts the JSON number following `"<key>":` after `anchor` in a
-/// flat, known-shape document (the probe's own output format — no
-/// general JSON parsing needed offline).
-fn extract_f64(json: &str, anchor: &str, key: &str) -> Option<f64> {
-    let start = json.find(anchor)? + anchor.len();
-    let rest = &json[start..];
-    let needle = format!("\"{key}\":");
-    let vstart = rest.find(&needle)? + needle.len();
-    let tail = &rest[vstart..];
-    let vend = tail.find([',', '}']).unwrap_or(tail.len());
-    tail[..vend].trim().parse().ok()
-}
-
-fn extract_bool(json: &str, key: &str) -> Option<bool> {
-    let needle = format!("\"{key}\":");
-    let vstart = json.find(&needle)? + needle.len();
-    let tail = &json[vstart..];
-    if tail.starts_with("true") {
-        Some(true)
-    } else if tail.starts_with("false") {
-        Some(false)
-    } else {
-        None
-    }
-}
-
 /// Compares a fresh probe against the committed baseline; returns an
 /// error line per violated gate.
 fn check_against(baseline_json: &str, fresh_identical: bool, fresh_serial_cps: f64) -> Vec<String> {
-    let mut errors = Vec::new();
-    if !fresh_identical {
-        errors.push("parallel sweep is no longer bit-identical to serial".to_string());
-    }
-    match extract_bool(baseline_json, "bit_identical") {
-        Some(true) => {}
-        Some(false) => errors.push("committed baseline recorded bit_identical=false".to_string()),
-        None => errors.push("committed baseline is missing bit_identical".to_string()),
-    }
-    match extract_f64(baseline_json, "\"serial\":", "sim_cycles_per_sec") {
-        Some(base_cps) if base_cps > 0.0 => {
-            let floor = base_cps * (1.0 - MAX_REGRESSION);
-            if fresh_serial_cps < floor {
-                errors.push(format!(
-                    "serial sim_cycles_per_sec regressed: {fresh_serial_cps:.0} < {floor:.0} \
-                     (baseline {base_cps:.0}, tolerance {:.0}%)",
-                    MAX_REGRESSION * 100.0
-                ));
-            }
-        }
-        _ => errors.push("committed baseline is missing serial sim_cycles_per_sec".to_string()),
-    }
-    errors
-}
-
-fn parse_args() -> Option<String> {
-    let mut check_path = None;
-    let mut it = std::env::args().skip(1);
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--check-against" => match it.next() {
-                Some(p) => check_path = Some(p),
-                None => {
-                    eprintln!("--check-against needs a baseline path");
-                    std::process::exit(2);
-                }
-            },
-            other => {
-                eprintln!("unknown flag '{other}'; usage: probe_sweep [--check-against PATH]");
-                std::process::exit(2);
-            }
-        }
-    }
-    check_path
+    gate::check_against(
+        baseline_json,
+        "\"serial\":",
+        "serial",
+        "parallel sweep is no longer bit-identical to serial",
+        fresh_identical,
+        fresh_serial_cps,
+    )
 }
 
 fn main() {
-    let check_path = parse_args();
+    let check_path = gate::check_path_from_args("probe_sweep");
     let jobs = pact_bench::env::jobs_override().unwrap_or(4);
     let ratios = [
         TierRatio::new(4, 1),
@@ -210,15 +144,8 @@ mod tests {
 
     const BASELINE: &str = r#"{"workload":"bc-kron","serial":{"jobs":1,"wall_seconds":0.25,"sim_cycles_per_sec":22750166.0},"parallel":{"jobs":4,"wall_seconds":0.2,"sim_cycles_per_sec":27000000.0},"speedup":1.2,"bit_identical":true}"#;
 
-    #[test]
-    fn extraction_reads_the_probe_format() {
-        assert_eq!(extract_bool(BASELINE, "bit_identical"), Some(true));
-        let cps = extract_f64(BASELINE, "\"serial\":", "sim_cycles_per_sec").unwrap();
-        assert!((cps - 22_750_166.0).abs() < 1.0);
-        // The anchor skips the serial block's identically-named field.
-        let pcps = extract_f64(BASELINE, "\"parallel\":", "sim_cycles_per_sec").unwrap();
-        assert!((pcps - 27_000_000.0).abs() < 1.0);
-    }
+    // The shared extraction/threshold mechanics are pinned in
+    // `pact_bench::gate`; these cover this probe's labels and anchors.
 
     #[test]
     fn gate_passes_within_tolerance() {
@@ -231,7 +158,11 @@ mod tests {
     fn gate_fails_on_regression_or_divergence() {
         let errs = check_against(BASELINE, true, 10_000_000.0);
         assert_eq!(errs.len(), 1);
-        assert!(errs[0].contains("regressed"), "{}", errs[0]);
+        assert!(
+            errs[0].contains("serial sim_cycles_per_sec regressed"),
+            "{}",
+            errs[0]
+        );
         let errs = check_against(BASELINE, false, 22_000_000.0);
         assert!(errs.iter().any(|e| e.contains("bit-identical")));
     }

@@ -8,6 +8,7 @@
 //! | Variable            | Read by              | Meaning                                             |
 //! |---------------------|----------------------|-----------------------------------------------------|
 //! | `PACT_JOBS`         | [`jobs_override`]    | Sweep worker count (positive integer; `1` = serial) |
+//! | `PACT_SHARDS`       | [`shards_override`]  | Event-loop shard count (1..=256; `1` = serial loop) |
 //! | `PACT_TRACE`        | [`trace_config`]     | Trace output path (file for one run, dir for sweeps)|
 //! | `PACT_TRACE_FORMAT` | [`trace_config`]     | `chrome` (default) or `jsonl`                       |
 //! | `PACT_FAULTS`       | [`fault_plan`]       | Fault-injection spec (see `tiersim::fault`)         |
@@ -24,6 +25,10 @@ use pact_tiersim::{FaultPlan, SimError, FAULTS_ENV};
 
 /// `PACT_JOBS`: worker-count override for sweep executors.
 pub const JOBS_ENV: &str = "PACT_JOBS";
+
+/// `PACT_SHARDS`: event-loop shard count for the simulator's sharded
+/// scheduler (`tiersim::machine`, DESIGN.md §12).
+pub const SHARDS_ENV: &str = "PACT_SHARDS";
 
 /// `PACT_CI_STAGES`: consumed by `ci/run.sh` (never by Rust code);
 /// registered here so the table above stays complete.
@@ -43,6 +48,26 @@ pub fn jobs_override() -> Option<usize> {
         Ok(n) if n > 0 => Some(n),
         _ => {
             eprintln!("warning: ignoring invalid {JOBS_ENV}={v:?}; using the default worker count");
+            None
+        }
+    }
+}
+
+/// The `PACT_SHARDS` override: `Some(n)` for an integer in `1..=256`
+/// (the range `MachineConfig::validate` accepts), `None` when unset;
+/// warns and returns `None` on an invalid value so callers fall back
+/// to the configured shard count. Sharding is a pure scheduling choice
+/// — results are byte-identical for every value (pinned by
+/// `tests/shard_determinism.rs`) — so an operator override can never
+/// change an experiment's outcome, only its speed.
+pub fn shards_override() -> Option<usize> {
+    let v = read(SHARDS_ENV)?;
+    match v.trim().parse::<usize>() {
+        Ok(n) if (1..=256).contains(&n) => Some(n),
+        _ => {
+            eprintln!(
+                "warning: ignoring invalid {SHARDS_ENV}={v:?}; expected 1..=256, using the configured shard count"
+            );
             None
         }
     }
@@ -93,6 +118,9 @@ mod tests {
     fn unset_variables_resolve_to_none() {
         if std::env::var(JOBS_ENV).is_err() {
             assert_eq!(jobs_override(), None);
+        }
+        if std::env::var(SHARDS_ENV).is_err() {
+            assert_eq!(shards_override(), None);
         }
         if std::env::var(TRACE_ENV).is_err() {
             assert_eq!(trace_config(), None);

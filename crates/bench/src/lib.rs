@@ -22,6 +22,7 @@
 mod cli;
 pub mod env;
 pub mod exec;
+pub mod gate;
 mod report;
 mod runner;
 

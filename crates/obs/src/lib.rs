@@ -20,6 +20,10 @@
 //!   `PACT_TRACE` / `PACT_TRACE_FORMAT` environment variables.
 //! * [`json`] — the dependency-free JSON writer/validator the
 //!   exporters and figure binaries share.
+//! * [`shard`] — deterministic merge of per-shard event runs for the
+//!   sharded event loop: sequence-ordered k-way merge for
+//!   order-dependent consumers, fixed-shard-order drain for
+//!   commutative ones.
 //!
 //! Determinism is load-bearing: events carry only simulation state
 //! (cycles, pages, counters — never wall-clock time or addresses of
@@ -32,6 +36,7 @@
 pub mod export;
 pub mod json;
 mod metrics;
+pub mod shard;
 mod tracer;
 
 pub use export::{

@@ -1,0 +1,148 @@
+//! Deterministic merge of per-shard event runs.
+//!
+//! The sharded event loop (DESIGN.md §12) buffers page-keyed events —
+//! CHMU observations, stall attributions, telemetry rows — into one
+//! buffer per shard instead of applying them at the access site. At
+//! every merge point (window boundaries and any read of merged state)
+//! the runs are combined by this module, which is what makes the shard
+//! count invisible in output bytes:
+//!
+//! * [`merge_runs`] reconstructs the exact *global* event order from a
+//!   per-event sequence number, for order-dependent consumers (the
+//!   Space-Saving CHMU table inherits eviction counts, so observation
+//!   order matters).
+//! * [`drain_in_shard_order`] visits buffers in fixed shard order
+//!   `0..P`, for order-*independent* (commutative) consumers such as
+//!   additive stall attribution, where any fixed order is correct and
+//!   shard order is the cheapest deterministic one.
+
+/// Maximum shard count the merge helpers support. The event loop's
+/// `shards` config validates against this bound (its cursor state
+/// lives on the stack so merging never allocates — see
+/// `tiersim/tests/window_alloc.rs`).
+pub const MAX_SHARDS: usize = 256;
+
+/// Merges per-shard `(seq, payload)` runs into `out`, ordered by the
+/// global sequence number `seq`; the shard buffers are drained (left
+/// empty with capacity retained) and `out` is cleared first.
+///
+/// Each shard buffer must be internally sorted by `seq` ascending,
+/// which holds by construction when events are appended in program
+/// order and `seq` comes from one global counter. Sequence numbers
+/// across shards are disjoint (one counter), so the merged order is
+/// total and the merge reproduces the serial event order exactly —
+/// independent of shard count or partition function.
+///
+/// # Panics
+///
+/// Panics if more than [`MAX_SHARDS`] runs are passed.
+pub fn merge_runs<T: Copy>(shards: &mut [Vec<(u64, T)>], out: &mut Vec<(u64, T)>) {
+    assert!(
+        shards.len() <= MAX_SHARDS,
+        "merge_runs supports at most {MAX_SHARDS} shards"
+    );
+    out.clear();
+    let total: usize = shards.iter().map(Vec::len).sum();
+    if total == 0 {
+        return;
+    }
+    out.reserve(total);
+    // K-way merge over cursor positions; shard counts are small
+    // (≤ MAX_SHARDS) so a linear scan of the heads beats heap
+    // bookkeeping, and the cursors fit on the stack — this runs at
+    // every window edge and must not allocate.
+    let mut cursor = [0usize; MAX_SHARDS];
+    for _ in 0..total {
+        let mut best: Option<(u64, usize)> = None;
+        for (si, run) in shards.iter().enumerate() {
+            if let Some(&(seq, _)) = run.get(cursor[si]) {
+                if best.is_none_or(|(bseq, _)| seq < bseq) {
+                    best = Some((seq, si));
+                }
+            }
+        }
+        // Invariant: `total` counts exactly the un-consumed entries, so
+        // a head always exists inside this loop.
+        let (_, si) = best.expect("a run head remains");
+        out.push(shards[si][cursor[si]]);
+        cursor[si] += 1;
+    }
+    for run in shards.iter_mut() {
+        run.clear();
+    }
+}
+
+/// Drains every shard buffer in fixed shard order `0..P`, feeding each
+/// item to `apply`. Buffers keep their capacity. Only correct for
+/// commutative consumers (sums, set-unions); order-dependent state must
+/// go through [`merge_runs`].
+pub fn drain_in_shard_order<T, F: FnMut(T)>(shards: &mut [Vec<T>], mut apply: F) {
+    for run in shards.iter_mut() {
+        for item in run.drain(..) {
+            apply(item);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_reconstructs_global_order() {
+        // Events 0..12 scattered across 3 shards by an arbitrary key.
+        let mut shards: Vec<Vec<(u64, u32)>> = vec![Vec::new(); 3];
+        for seq in 0..12u64 {
+            shards[(seq % 3) as usize].push((seq, seq as u32 * 10));
+        }
+        let mut out = Vec::new();
+        merge_runs(&mut shards, &mut out);
+        let seqs: Vec<u64> = out.iter().map(|&(s, _)| s).collect();
+        assert_eq!(seqs, (0..12).collect::<Vec<_>>());
+        assert!(shards.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn merge_is_partition_independent() {
+        let events: Vec<(u64, u64)> = (0..40).map(|s| (s, s * s)).collect();
+        let mut merged = Vec::new();
+        for parts in [1usize, 2, 5, 7] {
+            let mut shards: Vec<Vec<(u64, u64)>> = vec![Vec::new(); parts];
+            for &(seq, v) in &events {
+                shards[(v % parts as u64) as usize].push((seq, v));
+            }
+            let mut out = Vec::new();
+            merge_runs(&mut shards, &mut out);
+            if merged.is_empty() {
+                merged = out;
+            } else {
+                assert_eq!(merged, out, "partition into {parts} diverged");
+            }
+        }
+        assert_eq!(merged, events);
+    }
+
+    #[test]
+    fn merge_reuses_capacity() {
+        let mut shards: Vec<Vec<(u64, u8)>> = vec![vec![(0, 1)], vec![(1, 2)]];
+        let caps: Vec<usize> = shards.iter().map(Vec::capacity).collect();
+        let mut out = Vec::new();
+        merge_runs(&mut shards, &mut out);
+        assert_eq!(out, vec![(0, 1), (1, 2)]);
+        for (run, cap) in shards.iter().zip(caps) {
+            assert!(run.is_empty() && run.capacity() >= cap);
+        }
+        // Empty merge keeps `out` usable and allocation-free.
+        merge_runs(&mut shards, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn drain_visits_fixed_shard_order() {
+        let mut shards = vec![vec![1, 2], vec![], vec![3]];
+        let mut seen = Vec::new();
+        drain_in_shard_order(&mut shards, |v| seen.push(v));
+        assert_eq!(seen, vec![1, 2, 3]);
+        assert!(shards.iter().all(Vec::is_empty));
+    }
+}

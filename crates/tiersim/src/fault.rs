@@ -360,21 +360,32 @@ impl FaultState {
     }
 
     /// Pops every retry due at or before `window`, preserving schedule
-    /// order.
+    /// order. Test convenience; the window loop uses
+    /// [`due_retries_into`](Self::due_retries_into) with a reused buffer.
+    #[cfg(test)]
     pub fn due_retries(&mut self, window: u64) -> Vec<RetryEntry> {
         let mut due = Vec::new();
+        self.due_retries_into(window, &mut due);
+        due
+    }
+
+    /// [`due_retries`](Self::due_retries) into a caller-owned buffer:
+    /// `out` is cleared and refilled, so a window loop that drains
+    /// retries every window reuses one allocation instead of building
+    /// a fresh `Vec` per window.
+    pub fn due_retries_into(&mut self, window: u64, out: &mut Vec<RetryEntry>) {
+        out.clear();
         let mut i = 0;
         while i < self.retries.len() {
             if self.retries[i].due_window <= window {
                 // Removal preserves relative order (VecDeque::remove).
                 if let Some(e) = self.retries.remove(i) {
-                    due.push(e);
+                    out.push(e);
                 }
             } else {
                 i += 1;
             }
         }
-        due
     }
 
     /// Re-queues a due-but-unexecuted retry for the following window

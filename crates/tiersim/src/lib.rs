@@ -83,5 +83,7 @@ pub use pmu::{PebsSampler, PmuCounters, SampleEvent};
 pub use policy::{FirstTouch, MachineInfo, MigrationOrder, PolicyCtx, TieringPolicy, WindowStats};
 pub use tier::Channel;
 pub use trace::{read_trace, write_trace, write_workload_trace};
-pub use types::{Access, AccessKind, PageId, ProcId, Tier, HUGE_PAGE_SPAN, LINE_BYTES, PAGE_BYTES};
+pub use types::{
+    page_shard, Access, AccessKind, PageId, ProcId, Tier, HUGE_PAGE_SPAN, LINE_BYTES, PAGE_BYTES,
+};
 pub use workload::{AccessStream, Region, TraceWorkload, VecStream, Workload};

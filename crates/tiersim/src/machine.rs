@@ -12,7 +12,7 @@ use crate::cache::{line_of, Llc, StrideDetector};
 use crate::chmu::Chmu;
 use crate::config::{ConfigError, MachineConfig};
 use crate::error::SimError;
-use crate::fault::FaultState;
+use crate::fault::{FaultState, RetryEntry};
 use crate::invariant::{InvariantChecker, WindowCheck};
 use crate::mem::Memory;
 use crate::pmu::{PebsSampler, PmuCounters, SampleEvent};
@@ -20,7 +20,7 @@ use crate::policy::{
     CtxTotals, MachineInfo, MigrationOrder, PolicyCtx, TieringPolicy, WindowStats,
 };
 use crate::tier::Channel;
-use crate::types::{AccessKind, PageId, Tier, HUGE_PAGE_SPAN, LINE_BYTES, PAGE_BYTES};
+use crate::types::{page_shard, AccessKind, PageId, Tier, HUGE_PAGE_SPAN, LINE_BYTES, PAGE_BYTES};
 use crate::workload::{AccessStream, Workload};
 
 /// Per-window record of migration activity, counter deltas, and policy
@@ -293,12 +293,15 @@ impl Machine {
     }
 }
 
+/// Cold per-thread state. The scheduler-hot fields — the thread clock,
+/// done flag, and prologue gate — live in struct-of-arrays form on
+/// [`Sim`] (`clock` / `done` / `gated_by`) so the next-thread pick
+/// touches three dense vectors instead of striding through this struct.
 struct ThreadState<'w> {
     stream: Box<dyn AccessStream + 'w>,
     proc: usize,
     base_page: u64,
     footprint_bytes: u64,
-    now: u64,
     /// Outstanding miss completions:
     /// `Reverse((completion_cycle, tier_index, page))`.
     inflight: BinaryHeap<Reverse<(u64, u8, u64)>>,
@@ -308,10 +311,6 @@ struct ThreadState<'w> {
     last_miss_tier: u8,
     last_miss_page: u64,
     detector: StrideDetector,
-    done: bool,
-    /// Index of the prologue thread that must finish before this one
-    /// starts (workers of a process with an init phase).
-    gated_by: Option<usize>,
 }
 
 /// Write-buffer entries per thread; a full buffer stalls the core until
@@ -333,6 +332,34 @@ struct Sim<'a, 'w> {
     cfg: &'a MachineConfig,
     policy: &'a mut dyn TieringPolicy,
     threads: Vec<ThreadState<'w>>,
+    // Scheduler-hot thread state in struct-of-arrays form: the pick
+    // loop reads only these dense vectors. `clock[ti]` is *relative*
+    // (absolute minus `clock_offset`) while the thread is live, and
+    // materialised to absolute cycles once `done[ti]` is set — TLB
+    // shootdowns advance every live thread by bumping `clock_offset`
+    // once instead of writing every element.
+    clock: Vec<u64>,
+    done: Vec<bool>,
+    /// Index of the prologue thread that must finish before this one
+    /// starts (workers of a process with an init phase).
+    gated_by: Vec<Option<u32>>,
+    clock_offset: u64,
+    // Sharded event loop (cfg.shards >= 2): one ready-heap of
+    // `Reverse((relative_clock, thread))` per shard; the pick scans the
+    // P shard minima instead of all T threads. Empty on the serial path.
+    shard_heaps: Vec<BinaryHeap<Reverse<(u64, u32)>>>,
+    /// Per-page-shard buffered CHMU observations `(seq, page)`, merged
+    /// back into exact global order at every policy read point. Empty
+    /// unless sharded *and* a CHMU is configured.
+    chmu_pending: Vec<Vec<(u64, PageId)>>,
+    chmu_merge: Vec<(u64, PageId)>,
+    chmu_seq: u64,
+    /// Per-page-shard buffered stall attributions `(page, cycles)`,
+    /// drained additively in fixed shard order at window edges. Empty
+    /// unless sharded *and* `track_page_stalls` is on.
+    stall_pending: Vec<Vec<(PageId, u64)>>,
+    /// Reusable due-retry buffer for the window loop.
+    retry_buf: Vec<RetryEntry>,
     procs: Vec<ProcState>,
     mem: Memory,
     llc: Llc,
@@ -407,6 +434,7 @@ impl<'a, 'w> Sim<'a, 'w> {
         tracer: &'a mut Tracer,
     ) -> Result<Self, SimError> {
         let mut threads = Vec::new();
+        let mut gated: Vec<Option<u32>> = Vec::new();
         let mut procs = Vec::new();
         let mut next_base_page = 0u64;
         for (pi, wl) in workloads.iter().enumerate() {
@@ -415,27 +443,29 @@ impl<'a, 'w> Sim<'a, 'w> {
             let fp_pages = fp_pages.div_ceil(HUGE_PAGE_SPAN) * HUGE_PAGE_SPAN;
             let base_page = next_base_page;
             next_base_page += fp_pages;
-            let mk = |stream, gated_by| ThreadState {
+            let mk = |stream| ThreadState {
                 stream,
                 proc: pi,
                 base_page,
                 footprint_bytes: fp_bytes,
-                now: 0,
                 inflight: BinaryHeap::with_capacity(cfg.mshrs + 1),
                 write_buffer: BinaryHeap::with_capacity(WRITE_BUFFER + 1),
                 last_miss_completion: 0,
                 last_miss_tier: 0,
                 last_miss_page: 0,
                 detector: StrideDetector::new(&cfg.prefetch),
-                done: false,
-                gated_by,
             };
             let gate = wl.prologue().map(|stream| {
-                threads.push(mk(stream, None));
-                threads.len() - 1
+                threads.push(mk(stream));
+                gated.push(None);
+                // pact-lint: allow(counter-truncation) — thread indices
+                // are bounded by the workload's stream count, far below
+                // u32::MAX.
+                (threads.len() - 1) as u32
             });
             for stream in wl.streams() {
-                threads.push(mk(stream, gate));
+                threads.push(mk(stream));
+                gated.push(gate);
             }
             procs.push(ProcState {
                 name: wl.name(),
@@ -499,8 +529,46 @@ impl<'a, 'w> Sim<'a, 'w> {
             .as_ref()
             .filter(|p| p.is_active())
             .map(|p| FaultState::new(p.clone(), &mut registry));
+        let nshards = cfg.shards.max(1);
+        let shard_heaps = if nshards >= 2 {
+            // Thread ti lives on ready-heap ti % P; gated workers join
+            // their heap when the prologue releases them.
+            let mut heaps: Vec<BinaryHeap<Reverse<(u64, u32)>>> = (0..nshards)
+                .map(|_| BinaryHeap::with_capacity(threads.len() / nshards + 1))
+                .collect();
+            for (ti, gate) in gated.iter().enumerate() {
+                if gate.is_none() {
+                    // pact-lint: allow(counter-truncation) — thread
+                    // indices are far below u32::MAX.
+                    heaps[ti % nshards].push(Reverse((0, ti as u32)));
+                }
+            }
+            heaps
+        } else {
+            Vec::new()
+        };
+        let chmu_pending = if nshards >= 2 && cfg.chmu_counters > 0 {
+            vec![Vec::new(); nshards]
+        } else {
+            Vec::new()
+        };
+        let stall_pending = if nshards >= 2 && cfg.track_page_stalls {
+            vec![Vec::new(); nshards]
+        } else {
+            Vec::new()
+        };
         Ok(Sim {
             policy,
+            clock: vec![0; threads.len()],
+            done: vec![false; threads.len()],
+            gated_by: gated,
+            clock_offset: 0,
+            shard_heaps,
+            chmu_pending,
+            chmu_merge: Vec::new(),
+            chmu_seq: 0,
+            stall_pending,
+            retry_buf: Vec::new(),
             threads,
             procs,
             mem,
@@ -556,36 +624,108 @@ impl<'a, 'w> Sim<'a, 'w> {
         })
     }
 
-    fn run(mut self) -> Result<RunReport, SimError> {
+    /// Absolute machine time of thread `ti`: live threads carry the
+    /// shared `clock_offset`, done threads store absolute cycles.
+    #[inline]
+    fn now_abs(&self, ti: usize) -> u64 {
+        if self.done[ti] {
+            self.clock[ti]
+        } else {
+            self.clock[ti] + self.clock_offset
+        }
+    }
+
+    /// Re-inserts a live thread into its shard's ready-heap (no-op on
+    /// the serial path). Heap keys are relative clocks, which never
+    /// change while a thread sits in a heap: shootdowns move the shared
+    /// offset, and only the popped thread's own clock advances.
+    #[inline]
+    fn ready_push(&mut self, ti: usize) {
+        let n = self.shard_heaps.len();
+        if n > 0 {
+            // pact-lint: allow(counter-truncation) — thread indices are
+            // far below u32::MAX.
+            self.shard_heaps[ti % n].push(Reverse((self.clock[ti], ti as u32)));
+        }
+    }
+
+    /// Serial event loop (`shards <= 1`): pick the runnable thread with
+    /// the smallest clock by scanning the dense SoA vectors.
+    fn run_serial(&mut self) -> Result<(), SimError> {
         while self.foreground_threads > 0 {
             // Pick the runnable thread with the smallest clock (global
             // time order); workers gated behind a prologue wait for it.
             let mut best: Option<usize> = None;
-            for (i, t) in self.threads.iter().enumerate() {
-                if t.done {
+            for ti in 0..self.threads.len() {
+                if self.done[ti] {
                     continue;
                 }
-                if let Some(g) = t.gated_by {
-                    if !self.threads[g].done {
+                if let Some(g) = self.gated_by[ti] {
+                    if !self.done[g as usize] {
                         continue;
                     }
                 }
-                if best.is_none_or(|b| t.now < self.threads[b].now) {
-                    best = Some(i);
+                // Live threads share one offset, so comparing relative
+                // clocks is comparing absolute times.
+                if best.is_none_or(|b| self.clock[ti] < self.clock[b]) {
+                    best = Some(ti);
                 }
             }
             let Some(ti) = best else { break };
             // Fire any window boundaries the whole machine has passed.
-            while self.threads[ti].now >= self.next_edge {
+            while self.clock[ti] + self.clock_offset >= self.next_edge {
                 self.fire_window()?;
             }
             self.step_thread(ti)?;
         }
+        Ok(())
+    }
+
+    /// Sharded event loop (`shards >= 2`): each shard keeps a min-heap
+    /// of its runnable threads; the pick scans the P shard minima and
+    /// takes the lexicographic minimum of `(relative_clock, thread)`,
+    /// which is exactly the serial tie-break (lowest index among the
+    /// earliest threads) — so every step, and therefore every output
+    /// byte, matches the serial path for any shard count.
+    fn run_sharded(&mut self) -> Result<(), SimError> {
+        while self.foreground_threads > 0 {
+            let mut best: Option<(u64, u32, usize)> = None;
+            for (si, heap) in self.shard_heaps.iter().enumerate() {
+                if let Some(&Reverse((rel, ti))) = heap.peek() {
+                    if best.is_none_or(|(brel, bti, _)| (rel, ti) < (brel, bti)) {
+                        best = Some((rel, ti, si));
+                    }
+                }
+            }
+            let Some((_, ti, si)) = best else { break };
+            let ti = ti as usize;
+            while self.clock[ti] + self.clock_offset >= self.next_edge {
+                self.fire_window()?;
+            }
+            self.shard_heaps[si].pop();
+            self.step_thread(ti)?;
+            if !self.done[ti] {
+                self.ready_push(ti);
+            }
+        }
+        Ok(())
+    }
+
+    fn run(mut self) -> Result<RunReport, SimError> {
+        if self.shard_heaps.is_empty() {
+            self.run_serial()?;
+        } else {
+            self.run_sharded()?;
+        }
         // Stop any background co-runners at the current clock.
-        for t in self.threads.iter_mut().filter(|t| !t.done) {
-            t.done = true;
-            let finish = t.now;
-            self.procs[t.proc].finish = self.procs[t.proc].finish.max(finish);
+        for ti in 0..self.threads.len() {
+            if !self.done[ti] {
+                self.done[ti] = true;
+                let finish = self.clock[ti] + self.clock_offset;
+                self.clock[ti] = finish;
+                let proc = self.threads[ti].proc;
+                self.procs[proc].finish = self.procs[proc].finish.max(finish);
+            }
         }
         // Close the final partial window so its activity is recorded.
         self.fire_window()?;
@@ -631,23 +771,32 @@ impl<'a, 'w> Sim<'a, 'w> {
     fn step_thread(&mut self, ti: usize) -> Result<(), SimError> {
         let Some(a) = self.threads[ti].stream.next_access() else {
             // Wait for outstanding misses to retire, then finish.
+            let mut finish = self.now_abs(ti);
             let t = &mut self.threads[ti];
             if let Some(&Reverse((c, _, _))) = t.inflight.peek() {
                 let max_c = t.inflight.iter().map(|r| r.0 .0).max().unwrap_or(c);
-                t.now = t.now.max(max_c);
+                finish = finish.max(max_c);
             }
-            t.done = true;
-            let finish = t.now;
             let proc = t.proc;
+            self.done[ti] = true;
+            // Done threads materialise their absolute finish time; the
+            // shared offset no longer applies to them.
+            self.clock[ti] = finish;
             self.procs[proc].finish = self.procs[proc].finish.max(finish);
             if !self.procs[proc].background {
                 self.foreground_threads -= 1;
             }
             // Release workers gated behind this prologue at its finish
             // time.
-            for w in self.threads.iter_mut().filter(|w| w.gated_by == Some(ti)) {
-                w.now = w.now.max(finish);
-                w.gated_by = None;
+            for w in 0..self.gated_by.len() {
+                if self.gated_by[w] == Some(ti as u32) {
+                    self.gated_by[w] = None;
+                    // `finish >= clock_offset`: the prologue was live
+                    // for (and advanced by) every shootdown, so its
+                    // absolute time bounds the offset from above.
+                    self.clock[w] = self.clock[w].max(finish - self.clock_offset);
+                    self.ready_push(w);
+                }
             }
             return Ok(());
         };
@@ -669,7 +818,7 @@ impl<'a, 'w> Sim<'a, 'w> {
             AccessKind::Store => self.counters.stores += 1,
         }
 
-        self.threads[ti].now += (self.cfg.issue_cycles + a.work as u32) as u64;
+        self.clock[ti] += (self.cfg.issue_cycles + a.work as u32) as u64;
 
         let page = PageId(base_page + a.vaddr / PAGE_BYTES);
         let prefer = self.policy.place(page);
@@ -679,7 +828,7 @@ impl<'a, 'w> Sim<'a, 'w> {
         // NUMA hint fault on a scan-poisoned unit.
         if self.mem.is_poisoned(self.mem.unit_head(page)) {
             self.mem.unpoison(self.mem.unit_head(page));
-            self.threads[ti].now += self.cfg.migration.hint_fault_cycles;
+            self.clock[ti] += self.cfg.migration.hint_fault_cycles;
             self.counters.hint_faults += 1;
             self.deliver_sample(ti, SampleEvent::HintFault { page, tier });
         }
@@ -693,7 +842,7 @@ impl<'a, 'w> Sim<'a, 'w> {
 
         // Train the prefetcher on demand loads, hit or miss.
         if a.kind == AccessKind::Load {
-            let now = self.threads[ti].now;
+            let now = self.now_abs(ti);
             let pf = self.threads[ti].detector.observe(gline);
             for pline in pf {
                 self.issue_prefetch(pline, base_page, fp_bytes, now);
@@ -702,7 +851,7 @@ impl<'a, 'w> Sim<'a, 'w> {
 
         if hit {
             self.counters.llc_hits += 1;
-            self.threads[ti].now += self.cfg.hit_cycles as u64;
+            self.clock[ti] += self.cfg.hit_cycles as u64;
             return Ok(());
         }
 
@@ -713,27 +862,38 @@ impl<'a, 'w> Sim<'a, 'w> {
                 // channel bandwidth without stalling the core, unless
                 // the buffer fills, which throttles store bursts to the
                 // channel's pace.
+                let mut now = self.clock[ti] + self.clock_offset;
                 let t = &mut self.threads[ti];
                 while let Some(&Reverse(handoff)) = t.write_buffer.peek() {
-                    if handoff <= t.now {
+                    if handoff <= now {
                         t.write_buffer.pop();
                     } else if t.write_buffer.len() >= WRITE_BUFFER {
-                        t.now = handoff;
+                        now = handoff;
                         t.write_buffer.pop();
                     } else {
                         break;
                     }
                 }
-                let now = t.now;
                 let delay = self.channels[tidx].book(now, 1);
                 let handoff = now + delay as u64 + self.channels[tidx].transfer_cycles() as u64 + 1;
                 self.threads[ti].write_buffer.push(Reverse(handoff));
+                // `now >= clock_offset`: write-buffer handoffs were
+                // booked at earlier absolute times of this live thread.
+                self.clock[ti] = now - self.clock_offset;
                 self.counters.bytes[tidx] += LINE_BYTES;
             }
             AccessKind::Load => {
                 self.counters.llc_misses[tidx] += 1;
                 if tier == Tier::Slow {
-                    if let Some(chmu) = &mut self.chmu {
+                    if !self.chmu_pending.is_empty() {
+                        // Sharded engine: buffer the observation under
+                        // its page-shard with a global sequence number;
+                        // replayed in exact access order at the next
+                        // policy read point (see `flush_page_events`).
+                        let s = page_shard(page, self.mem.unit_span(), self.chmu_pending.len());
+                        self.chmu_pending[s].push((self.chmu_seq, page));
+                        self.chmu_seq += 1;
+                    } else if let Some(chmu) = &mut self.chmu {
                         chmu.observe(page); // device-side, free for the CPU
                     }
                 }
@@ -750,7 +910,7 @@ impl<'a, 'w> Sim<'a, 'w> {
                             self.registry.inc(mi, 1);
                             self.registry.inc(ml, 1);
                             self.tracer.emit(
-                                self.threads[ti].now,
+                                self.clock[ti] + self.clock_offset,
                                 EventKind::FaultInjected {
                                     kind: "pebs_loss",
                                     arg: page.0,
@@ -761,7 +921,7 @@ impl<'a, 'w> Sim<'a, 'w> {
                     if !lost {
                         self.counters.pebs_samples += 1;
                         self.registry.observe(self.m_pebs_latency, latency as f64);
-                        self.threads[ti].now += self.pebs.overhead_cycles() as u64;
+                        self.clock[ti] += self.pebs.overhead_cycles() as u64;
                         self.deliver_sample(
                             ti,
                             SampleEvent::Pebs {
@@ -783,41 +943,45 @@ impl<'a, 'w> Sim<'a, 'w> {
     /// TOR occupancy. Returns the loaded latency of the miss.
     fn execute_load_miss(&mut self, ti: usize, dep: bool, tier: Tier, page: PageId) -> u32 {
         let tidx = tier.index();
+        let mut now = self.clock[ti] + self.clock_offset;
         let t = &mut self.threads[ti];
 
         // A dependent load cannot issue until its producer miss returns.
         let mut blamed: Option<(u64, u64)> = None; // (page, stall)
-        if dep && t.last_miss_completion > t.now {
-            let wait = t.last_miss_completion - t.now;
+        if dep && t.last_miss_completion > now {
+            let wait = t.last_miss_completion - now;
             self.counters.llc_stalls[t.last_miss_tier as usize] += wait;
             blamed = Some((t.last_miss_page, wait));
-            t.now = t.last_miss_completion;
+            now = t.last_miss_completion;
         }
 
         // Retire completed misses; block on MSHR exhaustion.
         while let Some(&Reverse((c, ct, cp))) = t.inflight.peek() {
-            if c <= t.now {
+            if c <= now {
                 t.inflight.pop();
             } else if t.inflight.len() >= self.cfg.mshrs {
-                self.counters.llc_stalls[ct as usize] += c - t.now;
-                blamed = Some((cp, c - t.now));
-                t.now = c;
+                self.counters.llc_stalls[ct as usize] += c - now;
+                blamed = Some((cp, c - now));
+                now = c;
                 t.inflight.pop();
             } else {
                 break;
             }
         }
-        if let (Some(map), Some((page, stall))) = (self.page_stalls.as_mut(), blamed) {
-            *map.entry(PageId(page)).or_insert(0) += stall;
-        }
 
-        let issue = t.now;
+        let issue = now;
         let queue_delay = self.channels[tidx].book(issue, 1);
         let completion = issue + queue_delay as u64 + self.latency[tidx];
         t.inflight.push(Reverse((completion, tidx as u8, page.0)));
         t.last_miss_completion = completion;
         t.last_miss_tier = tidx as u8;
         t.last_miss_page = page.0;
+        // `now >= clock_offset`: miss completions are absolute times of
+        // this live thread, which carries every shootdown bump.
+        self.clock[ti] = now - self.clock_offset;
+        if let Some((bp, stall)) = blamed {
+            self.note_page_stall(PageId(bp), stall);
+        }
 
         self.counters.demand_latency_sum[tidx] += completion - issue;
         self.counters.tor_occupancy[tidx] += completion - issue;
@@ -861,8 +1025,46 @@ impl<'a, 'w> Sim<'a, 'w> {
         self.channels[tidx].book(now, 1);
     }
 
+    /// Attributes `stall` cycles to `page`'s misses. On the sharded
+    /// path the hot loop only appends to a reused per-shard buffer; the
+    /// BTreeMap (whose inserts allocate nodes) is updated at window
+    /// edges. Attribution is additive, so any fixed merge order works.
+    #[inline]
+    fn note_page_stall(&mut self, page: PageId, stall: u64) {
+        if !self.stall_pending.is_empty() {
+            let s = page_shard(page, self.mem.unit_span(), self.stall_pending.len());
+            self.stall_pending[s].push((page, stall));
+        } else if let Some(map) = self.page_stalls.as_mut() {
+            *map.entry(page).or_insert(0) += stall;
+        }
+    }
+
+    /// Applies all buffered per-shard page events. Called before every
+    /// policy read point (sample delivery, window boundary), so merged
+    /// state is always up to date when it can be observed: CHMU
+    /// observations replay in exact global access order via the
+    /// sequence-number merge; stall attributions drain additively in
+    /// fixed shard order. No-op on the serial path (empty buffers).
+    fn flush_page_events(&mut self) {
+        if !self.chmu_pending.is_empty() {
+            pact_obs::shard::merge_runs(&mut self.chmu_pending, &mut self.chmu_merge);
+            if let Some(chmu) = self.chmu.as_mut() {
+                chmu.observe_batch(self.chmu_merge.iter().map(|(_, p)| p));
+            }
+            self.chmu_merge.clear();
+        }
+        if !self.stall_pending.is_empty() {
+            if let Some(map) = self.page_stalls.as_mut() {
+                pact_obs::shard::drain_in_shard_order(&mut self.stall_pending, |(page, stall)| {
+                    *map.entry(page).or_insert(0) += stall;
+                });
+            }
+        }
+    }
+
     /// Routes a sample event to the policy and applies resulting orders.
     fn deliver_sample(&mut self, ti: usize, ev: SampleEvent) {
+        self.flush_page_events();
         let mut orders = std::mem::take(&mut self.order_buf);
         let mut telemetry = std::mem::take(&mut self.telemetry_buf);
         let totals = self.ctx_totals();
@@ -878,7 +1080,7 @@ impl<'a, 'w> Sim<'a, 'w> {
         self.policy.on_sample(&ev, &mut ctx);
         self.window_telemetry.append(&mut telemetry);
         for order in orders.drain(..) {
-            let now = self.threads[ti].now;
+            let now = self.now_abs(ti);
             self.tracer.emit(
                 now,
                 EventKind::OrderIssued {
@@ -967,7 +1169,7 @@ impl<'a, 'w> Sim<'a, 'w> {
         // time starts no earlier than the daemon's (or faulting
         // thread's) clock. Events are stamped with the same anchor.
         let anchor = match sync_thread {
-            Some(ti) => self.threads[ti].now,
+            Some(ti) => self.now_abs(ti),
             None => self.next_edge.saturating_sub(self.cfg.window_cycles),
         };
         // Injected transient failure (a lost `move_pages` race): retry
@@ -1058,12 +1260,15 @@ impl<'a, 'w> Sim<'a, 'w> {
                     self.channels[tidx].book(anchor, lines);
                     self.counters.bytes[tidx] += moved * PAGE_BYTES;
                 }
+                // TLB shootdown hits every live thread equally: advance
+                // the shared offset once — O(1) instead of a full-fleet
+                // write, and ready-heap keys (relative clocks) stay
+                // valid. Done threads already hold absolute times and
+                // are untouched, exactly like the per-thread loop was.
                 let shootdown = self.cfg.migration.shootdown_cycles_per_page * moved;
-                for t in self.threads.iter_mut().filter(|t| !t.done) {
-                    t.now += shootdown;
-                }
+                self.clock_offset += shootdown;
                 if let Some(ti) = sync_thread {
-                    self.threads[ti].now += self.cfg.migration.per_page_cycles * moved;
+                    self.clock[ti] += self.cfg.migration.per_page_cycles * moved;
                 }
                 match order.to {
                     Tier::Fast => {
@@ -1083,6 +1288,9 @@ impl<'a, 'w> Sim<'a, 'w> {
     /// run the migration daemon, refresh hint-fault poison, and — when
     /// an [`crate::InvariantSet`] is armed — verify conservation laws.
     fn fire_window(&mut self) -> Result<(), SimError> {
+        // Merge the shards' buffered page events before anything — the
+        // policy, CHMU gauges, and oracle below — can observe them.
+        self.flush_page_events();
         let delta = self.counters.delta_since(&self.last_snapshot);
         let mut orders = std::mem::take(&mut self.order_buf);
         let mut telemetry = std::mem::take(&mut self.telemetry_buf);
@@ -1164,11 +1372,11 @@ impl<'a, 'w> Sim<'a, 'w> {
         // the oldest work); leftovers beyond the budget slip one window.
         let mut budget = self.cfg.migration.daemon_pages_per_window;
         let span = self.mem.unit_span();
-        let due = self
-            .faults
-            .as_mut()
-            .map(|f| f.due_retries(self.window_idx))
-            .unwrap_or_default();
+        let mut due = std::mem::take(&mut self.retry_buf);
+        due.clear();
+        if let Some(f) = self.faults.as_mut() {
+            f.due_retries_into(self.window_idx, &mut due);
+        }
         for (i, e) in due.iter().enumerate() {
             if budget < span {
                 if let Some(f) = self.faults.as_mut() {
@@ -1181,6 +1389,7 @@ impl<'a, 'w> Sim<'a, 'w> {
             budget -= span;
             self.execute_order(e.order, None, e.attempt);
         }
+        self.retry_buf = due;
         while budget >= span {
             let Some(order) = self.order_queue.pop_front() else {
                 break;
@@ -1274,15 +1483,23 @@ impl<'a, 'w> Sim<'a, 'w> {
             failed_promotions: self.window_failed,
             dropped_orders: self.window_dropped,
             delta,
-            telemetry: std::mem::take(&mut self.window_telemetry),
+            // Drain, not take: the per-window telemetry buffer keeps
+            // its capacity across windows (the record gets an
+            // exact-size copy).
+            telemetry: self.window_telemetry.drain(..).collect(),
             metrics: self.registry.snapshot_window(),
         });
         if let Some(mut c) = self.checker.take() {
             let mut max_thread_now = 0u64;
             let mut max_inflight = 0usize;
             let mut max_write_buffer = 0usize;
-            for t in &self.threads {
-                max_thread_now = max_thread_now.max(t.now);
+            for (ti, t) in self.threads.iter().enumerate() {
+                let now = if self.done[ti] {
+                    self.clock[ti]
+                } else {
+                    self.clock[ti] + self.clock_offset
+                };
+                max_thread_now = max_thread_now.max(now);
                 max_inflight = max_inflight.max(t.inflight.len());
                 max_write_buffer = max_write_buffer.max(t.write_buffer.len());
             }

@@ -12,21 +12,6 @@ const TIER_FAST: u8 = 0;
 const TIER_SLOW: u8 = 1;
 const NOT_PRESENT: u8 = 2;
 
-#[derive(Debug, Clone, Copy)]
-struct PageMeta {
-    tier: u8,
-    flags: u8,
-    last_window: u32,
-}
-
-impl PageMeta {
-    const EMPTY: PageMeta = PageMeta {
-        tier: NOT_PRESENT,
-        flags: 0,
-        last_window: 0,
-    };
-}
-
 /// The simulated memory subsystem: a flat space of base pages, each
 /// resident in one tier (or not yet touched), with first-touch allocation,
 /// per-unit reference bits feeding a CLOCK list (the kernel's LRU
@@ -35,9 +20,20 @@ impl PageMeta {
 ///
 /// A *unit* is the allocation/migration granule: one base page normally,
 /// or a 512-page huge page when THP is enabled.
+///
+/// Page metadata is laid out struct-of-arrays: residency (`tier`) is
+/// read on every access while reference/poison bits and recency stamps
+/// are touched far less often, so splitting them keeps the hot
+/// residency lookups at one byte per page of cache traffic (and makes
+/// [`recount`](Self::recount) a dense single-vector scan).
 #[derive(Debug, Clone)]
 pub struct Memory {
-    meta: Vec<PageMeta>,
+    /// Residency code per base page (`TIER_*`/`NOT_PRESENT`).
+    tier: Vec<u8>,
+    /// `FLAG_*` bits per base page (reference, poison), unit-head only.
+    flags: Vec<u8>,
+    /// Saturating window stamp of the last touch, unit-head only.
+    last_window: Vec<u32>,
     fast_capacity: u64,
     fast_used: u64,
     unit_span: u64,
@@ -64,7 +60,9 @@ impl Memory {
             "unit span must be a power of two"
         );
         Self {
-            meta: vec![PageMeta::EMPTY; total_pages as usize],
+            tier: vec![NOT_PRESENT; total_pages as usize],
+            flags: vec![0; total_pages as usize],
+            last_window: vec![0; total_pages as usize],
             fast_capacity,
             fast_used: 0,
             unit_span,
@@ -108,7 +106,7 @@ impl Memory {
 
     /// Total addressable base pages.
     pub fn total_pages(&self) -> u64 {
-        self.meta.len() as u64
+        self.tier.len() as u64
     }
 
     /// Full recount of per-tier residency from the page table:
@@ -118,8 +116,8 @@ impl Memory {
     pub fn recount(&self) -> (u64, u64) {
         let mut fast = 0u64;
         let mut slow = 0u64;
-        for m in &self.meta {
-            match m.tier {
+        for &t in &self.tier {
+            match t {
                 TIER_FAST => fast += 1,
                 TIER_SLOW => slow += 1,
                 _ => {}
@@ -131,7 +129,7 @@ impl Memory {
     /// Residency of `page`, or `None` if never touched.
     #[inline]
     pub fn tier_of(&self, page: PageId) -> Option<Tier> {
-        match self.meta[page.0 as usize].tier {
+        match self.tier[page.0 as usize] {
             TIER_FAST => Some(Tier::Fast),
             TIER_SLOW => Some(Tier::Slow),
             _ => None,
@@ -170,10 +168,8 @@ impl Memory {
             Tier::Slow => TIER_SLOW,
         };
         let start = head.0 as usize;
-        let end = (head.0 + span).min(self.meta.len() as u64) as usize;
-        for m in &mut self.meta[start..end] {
-            m.tier = code;
-        }
+        let end = (head.0 + span).min(self.tier.len() as u64) as usize;
+        self.tier[start..end].fill(code);
         let actual = (end - start) as u64;
         match tier {
             Tier::Fast => {
@@ -196,15 +192,14 @@ impl Memory {
             window <= u64::from(u32::MAX),
             "window index {window} exceeds the u32 recency stamp; stamps saturate from here on"
         );
-        let head = self.unit_head(page);
-        let m = &mut self.meta[head.0 as usize];
-        m.flags |= FLAG_REF;
-        m.last_window = window.min(u64::from(u32::MAX)) as u32;
+        let head = self.unit_head(page).0 as usize;
+        self.flags[head] |= FLAG_REF;
+        self.last_window[head] = window.min(u64::from(u32::MAX)) as u32;
     }
 
     /// Last window in which the unit containing `page` was touched.
     pub fn last_touch_window(&self, page: PageId) -> u32 {
-        self.meta[self.unit_head(page).0 as usize].last_window
+        self.last_window[self.unit_head(page).0 as usize]
     }
 
     /// Migrates the unit containing `page` to `to`. Returns the number of
@@ -225,10 +220,8 @@ impl Memory {
             Tier::Slow => TIER_SLOW,
         };
         let start = head.0 as usize;
-        let end = (head.0 + span).min(self.meta.len() as u64) as usize;
-        for m in &mut self.meta[start..end] {
-            m.tier = code;
-        }
+        let end = (head.0 + span).min(self.tier.len() as u64) as usize;
+        self.tier[start..end].fill(code);
         let moved = (end - start) as u64;
         match to {
             Tier::Fast => {
@@ -261,12 +254,12 @@ impl Memory {
                 break;
             };
             sweeps -= 1;
-            let m = &mut self.meta[head.0 as usize];
-            if m.tier != TIER_FAST {
+            let h = head.0 as usize;
+            if self.tier[h] != TIER_FAST {
                 continue; // stale entry: unit has moved away
             }
-            if m.flags & FLAG_REF != 0 {
-                m.flags &= !FLAG_REF;
+            if self.flags[h] & FLAG_REF != 0 {
+                self.flags[h] &= !FLAG_REF;
                 self.fast_clock.push_back(head);
             } else {
                 // Held out of the clock until the sweep ends so one call
@@ -291,7 +284,7 @@ impl Memory {
                 break;
             };
             sweeps -= 1;
-            if self.meta[head.0 as usize].tier != TIER_FAST {
+            if self.tier[head.0 as usize] != TIER_FAST {
                 continue;
             }
             if units.contains(&head) {
@@ -314,7 +307,7 @@ impl Memory {
                 self.slow_cursor = 0;
             }
             let head = self.slow_scan[self.slow_cursor];
-            if self.meta[head.0 as usize].tier == TIER_SLOW {
+            if self.tier[head.0 as usize] == TIER_SLOW {
                 out.push(head);
                 self.slow_cursor += 1;
             } else {
@@ -328,19 +321,19 @@ impl Memory {
 
     /// Poisons `page`'s PTE so the next touch takes a hint fault.
     pub fn poison(&mut self, page: PageId) {
-        self.meta[page.0 as usize].flags |= FLAG_POISON;
+        self.flags[page.0 as usize] |= FLAG_POISON;
     }
 
     /// Whether `page` is poisoned.
     #[inline]
     pub fn is_poisoned(&self, page: PageId) -> bool {
-        self.meta[page.0 as usize].flags & FLAG_POISON != 0
+        self.flags[page.0 as usize] & FLAG_POISON != 0
     }
 
     /// Clears the poison bit (the fault has been taken).
     #[inline]
     pub fn unpoison(&mut self, page: PageId) {
-        self.meta[page.0 as usize].flags &= !FLAG_POISON;
+        self.flags[page.0 as usize] &= !FLAG_POISON;
     }
 }
 

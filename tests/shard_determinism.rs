@@ -1,0 +1,145 @@
+//! The sharded event loop's one contract: the shard count is invisible
+//! in output bytes. `PACT_SHARDS`/`MachineConfig::shards` may change
+//! how the simulator schedules its work internally, but `RunReport`
+//! JSON, exported traces, and the page-stall oracle must be
+//! byte-identical for every shard count — with and without fault
+//! injection, CHMU sampling, prologue-gated threads, and colocation.
+//!
+//! Fault plans are set explicitly on the machine configuration rather
+//! than through `PACT_FAULTS` (mutating the environment is unsound
+//! under the parallel test runner).
+
+use pact_bench::make_policy;
+use pact_core::{PactConfig, PactPolicy, SamplingSource};
+use pact_tiersim::{
+    export_trace, FaultPlan, Machine, MachineConfig, RunReport, StallFault, Tier, TraceFormat,
+    Tracer,
+};
+use pact_workloads::suite::{build, Scale};
+
+/// Shard counts under test: serial baseline, powers of two, and a
+/// prime that does not divide the thread or page counts.
+const SHARDS: [usize; 4] = [1, 2, 4, 7];
+
+fn base_cfg(fast_pages: u64) -> MachineConfig {
+    let mut cfg = MachineConfig::skylake_cxl(fast_pages);
+    cfg.window_cycles = 100_000;
+    cfg.track_page_stalls = true;
+    cfg
+}
+
+/// Runs gups (multi-threaded, prologue-gated) under `cfg` with a fresh
+/// `pact` policy and returns the report plus its serialized artifacts.
+fn run_gups(cfg: MachineConfig) -> (RunReport, String, String) {
+    let wl = build("gups", Scale::Smoke, 42);
+    let mut policy = make_policy("pact").expect("pact is a known policy");
+    let machine = Machine::new(cfg).expect("config is valid");
+    let mut tracer = Tracer::ring(1 << 14);
+    let report = machine.run_traced(wl.as_ref(), policy.as_mut(), &mut tracer);
+    let trace = export_trace(&report, &tracer, "shard-det", TraceFormat::Jsonl);
+    let json = report.to_json();
+    (report, json, trace)
+}
+
+/// Asserts every shard count reproduces the serial run's bytes.
+fn assert_shard_invariant(mk_cfg: impl Fn(usize) -> MachineConfig) {
+    let (base_report, base_json, base_trace) = run_gups(mk_cfg(SHARDS[0]));
+    assert!(
+        base_report.total_cycles > 0 && !base_report.windows.is_empty(),
+        "baseline run must do real work"
+    );
+    for &shards in &SHARDS[1..] {
+        let (report, json, trace) = run_gups(mk_cfg(shards));
+        assert_eq!(base_json, json, "report diverged at {shards} shards");
+        assert_eq!(base_trace, trace, "trace diverged at {shards} shards");
+        assert_eq!(
+            base_report.page_stalls, report.page_stalls,
+            "page-stall oracle diverged at {shards} shards"
+        );
+    }
+}
+
+#[test]
+fn reports_traces_and_oracle_are_shard_invariant() {
+    assert_shard_invariant(|shards| {
+        let mut cfg = base_cfg(256);
+        cfg.shards = shards;
+        cfg
+    });
+}
+
+#[test]
+fn fault_plans_are_shard_invariant() {
+    // Every fault class at survivable rates: retries, drops, stalls,
+    // PEBS loss, and CHMU overflow all cross the shard merge points.
+    let plan = FaultPlan {
+        seed: 7,
+        drop_order: 0.2,
+        fail_migration: 0.6,
+        max_retries: 2,
+        backoff_windows: 1,
+        stall: Some(StallFault {
+            tier: Tier::Slow,
+            lines: 20_000,
+            prob: 0.5,
+        }),
+        pebs_loss: 0.1,
+        chmu_overflow: 0.05,
+        ..FaultPlan::default()
+    };
+    assert_shard_invariant(move |shards| {
+        let mut cfg = base_cfg(128);
+        cfg.shards = shards;
+        cfg.fault_plan = Some(plan.clone());
+        cfg
+    });
+}
+
+#[test]
+fn chmu_sampling_is_shard_invariant() {
+    // The Space-Saving CHMU table is order-dependent (evictions inherit
+    // counts), so this pins the sequence-number merge: buffered
+    // observations must replay in exact global access order.
+    let mk_cfg = |shards: usize| {
+        let mut cfg = base_cfg(128);
+        cfg.shards = shards;
+        cfg.chmu_counters = 64;
+        cfg
+    };
+    let run = |shards: usize| {
+        let wl = build("gups", Scale::Smoke, 11);
+        let cfg = PactConfig {
+            sampling: SamplingSource::Chmu,
+            ..PactConfig::default()
+        };
+        let mut policy = PactPolicy::new(cfg).expect("chmu config is valid");
+        let machine = Machine::new(mk_cfg(shards)).expect("config is valid");
+        machine.run(wl.as_ref(), &mut policy).to_json()
+    };
+    let base = run(SHARDS[0]);
+    for &shards in &SHARDS[1..] {
+        assert_eq!(base, run(shards), "CHMU run diverged at {shards} shards");
+    }
+}
+
+#[test]
+fn colocated_runs_are_shard_invariant() {
+    let run = |shards: usize| {
+        let a = build("gups", Scale::Smoke, 3);
+        let b = build("redis", Scale::Smoke, 4);
+        let mut cfg = base_cfg(192);
+        cfg.shards = shards;
+        let mut policy = make_policy("pact").expect("pact is a known policy");
+        let machine = Machine::new(cfg).expect("config is valid");
+        let report = machine.run_colocated(&[a.as_ref(), b.as_ref()], policy.as_mut());
+        (report.to_json(), report.page_stalls)
+    };
+    let base = run(SHARDS[0]);
+    for &shards in &SHARDS[1..] {
+        assert_eq!(
+            base,
+            run(shards),
+            "colocated run diverged at {shards} shards"
+        );
+    }
+}
