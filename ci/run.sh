@@ -14,7 +14,7 @@
 #     PACT_CI_STAGES="fmt lint" ci/run.sh
 #     PACT_CI_STAGES="build check" ci/run.sh
 #
-# Stages: fmt lint build test workspace perf machine-perf obs fault check
+# Stages: fmt lint build test workspace perf machine-perf obs obs-report fault check
 #
 # PACT_JOBS is pinned so sweep-shaped tests exercise the parallel
 # executor deterministically regardless of the runner's core count.
@@ -24,7 +24,7 @@ cd "$(dirname "$0")/.."
 export CARGO_NET_OFFLINE="${CARGO_NET_OFFLINE:-true}"
 export PACT_JOBS="${PACT_JOBS:-4}"
 
-STAGES="${PACT_CI_STAGES:-fmt lint build test workspace perf machine-perf obs fault check}"
+STAGES="${PACT_CI_STAGES:-fmt lint build test workspace perf machine-perf obs obs-report fault check}"
 TIMING_FILE="$(mktemp)"
 trap 'rm -f "$TIMING_FILE"' EXIT
 
@@ -88,6 +88,48 @@ stage_obs() {
     echo "    chrome traces byte-identical across identically-seeded runs"
 }
 
+# Criticality-attribution gate (DESIGN.md §13): `tierctl report` on a
+# fault-injected cell must emit byte-identical artifacts across
+# event-loop shard counts, and the metrics endpoint must answer
+# /healthz and /metrics. Artifacts stay in target/ci-report for the
+# workflow's upload step.
+stage_obs_report() {
+    report_dir="target/ci-report"
+    rm -rf "$report_dir"
+    fault_spec='drop=0.2,fail=0.6,retries=1,stall=slow:20000:0.5,seed=7'
+    for shards in 1 4; do
+        PACT_FAULTS="$fault_spec" PACT_SHARDS="$shards" \
+            cargo run --release -p pact-bench --bin tierctl -- report \
+            --workload gups --policy pact --ratio 1:2 --seed 7 \
+            --out "$report_dir/shards$shards"
+    done
+    for f in report.md report.json flame.folded; do
+        cmp "$report_dir/shards1/$f" "$report_dir/shards4/$f"
+    done
+    echo "    criticality report byte-identical across PACT_SHARDS={1,4}"
+    if command -v curl > /dev/null 2>&1; then
+        # Every accepted connection counts against --max-requests, so
+        # readiness is detected from the server's "serving metrics"
+        # line rather than by probing the port.
+        cargo run --release -p pact-bench --bin tierctl -- serve-metrics \
+            --workload gups --seed 7 --addr 127.0.0.1:19464 --max-requests 2 \
+            > "$report_dir/serve.out" &
+        serve_pid=$!
+        for _ in $(seq 1 150); do
+            grep -q 'serving metrics' "$report_dir/serve.out" 2> /dev/null && break
+            sleep 0.2
+        done
+        curl -fsS http://127.0.0.1:19464/healthz | grep -q ok
+        curl -fsS http://127.0.0.1:19464/metrics | grep -q '^pact_total_cycles'
+        wait "$serve_pid"
+        echo "    /healthz and /metrics answered over HTTP"
+    else
+        cargo run --release -p pact-bench --bin tierctl -- serve-metrics \
+            --workload gups --seed 7 --self-check
+        echo "    serve-metrics self-check passed (curl unavailable)"
+    fi
+}
+
 stage_fault() {
     obs_dir="target/ci-obs"
     mkdir -p "$obs_dir"
@@ -137,7 +179,7 @@ run_stage() {
     printf '%-12s %4ss\n' "$1" "$(($(date +%s) - stage_start))" >> "$TIMING_FILE"
 }
 
-for stage in fmt lint build test workspace perf machine-perf obs fault check; do
+for stage in fmt lint build test workspace perf machine-perf obs obs-report fault check; do
     run_stage "$stage"
 done
 

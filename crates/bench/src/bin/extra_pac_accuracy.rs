@@ -56,7 +56,8 @@ fn main() {
             for (page, entry) in pact.store().iter() {
                 if entry.pac > 0.0 {
                     est.push(entry.pac);
-                    tru.push(*truth.get(page).unwrap_or(&0) as f64);
+                    // Per-tier blame lanes sum to total criticality.
+                    tru.push(truth.get(page).map_or(0, |v| v[0] + v[1]) as f64);
                 }
             }
             if est.len() < 16 {

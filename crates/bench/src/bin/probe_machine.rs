@@ -120,6 +120,7 @@ fn check_against(
 
 fn main() {
     let check_path = gate::check_path_from_args("probe_machine");
+    pact_bench::arm_hostprof_from_env();
     let shards = pact_bench::env::shards_override().unwrap_or(8);
     eprintln!(
         "[probe_machine] fleet-random: {THREADS} threads x {ACCESSES_PER_THREAD} accesses \
@@ -137,6 +138,9 @@ fn main() {
         "[probe_machine] serial {serial_secs:.2}s, {shards} shards {sharded_secs:.2}s \
          (speedup {speedup:.2}x), identical: {identical}"
     );
+    // Both cells have run; emit the PACT_PROF self-profile (stderr)
+    // before any gate path can exit.
+    pact_bench::emit_hostprof_summary();
 
     let sharded_cps = cycles as f64 / sharded_secs;
     if let Some(path) = &check_path {

@@ -49,6 +49,7 @@ fn check_against(baseline_json: &str, fresh_identical: bool, fresh_serial_cps: f
 
 fn main() {
     let check_path = gate::check_path_from_args("probe_sweep");
+    pact_bench::arm_hostprof_from_env();
     let jobs = pact_bench::env::jobs_override().unwrap_or(4);
     let ratios = [
         TierRatio::new(4, 1),
@@ -84,6 +85,9 @@ fn main() {
         "[probe_sweep] serial {serial_secs:.2}s, {jobs} jobs {parallel_secs:.2}s \
          (speedup {speedup:.2}x), identical: {identical}"
     );
+    // Both sweeps have run; emit the PACT_PROF self-profile (stderr)
+    // before any gate path can exit.
+    pact_bench::emit_hostprof_summary();
 
     let timing = |j: &mut JsonWriter, njobs: u64, secs: f64| {
         j.begin_object();

@@ -14,6 +14,22 @@
 //! output before writing, so CI can gate on well-formedness without
 //! external tools.
 //!
+//! The `report` subcommand runs one cell with the criticality oracle
+//! armed and writes the attribution artifacts (DESIGN.md §13):
+//!
+//! ```text
+//! tierctl report --workload gups --policy pact --out report_dir
+//! # -> report_dir/report.md, report.json, flame.folded
+//! ```
+//!
+//! The `serve-metrics` subcommand runs one cell and serves its metrics
+//! as Prometheus text exposition plus a `/healthz` probe:
+//!
+//! ```text
+//! tierctl serve-metrics --workload gups --addr 127.0.0.1:9464
+//! tierctl serve-metrics --self-check        # bind, scrape, verify, exit
+//! ```
+//!
 //! The `check` subcommand is the CLI front end of `pact-check`:
 //!
 //! ```text
@@ -35,9 +51,11 @@
 //! Exit status: 0 all checks passed, 1 a check failed (or lint
 //! findings exist), 2 invalid usage or I/O error.
 
-use pact_bench::{count, experiment_machine, pct, Harness, TierRatio, ALL_POLICIES};
+use pact_bench::{count, experiment_machine, pct, serve, Harness, TierRatio, ALL_POLICIES};
 use pact_obs::{validate, DEFAULT_RING_CAPACITY};
-use pact_tiersim::{export_trace, Tier, TraceFormat, Tracer};
+use pact_tiersim::{
+    export_trace, CriticalityReport, Tier, TraceFormat, Tracer, DEFAULT_REPORT_TOPK,
+};
 use pact_workloads::suite::{build, Scale, SUITE};
 
 struct Args {
@@ -49,11 +67,17 @@ struct Args {
     seed: u64,
     windows: bool,
     trace_out: Option<String>,
-    // `trace` subcommand state.
+    // `trace` / `report` / `serve-metrics` subcommand state.
     trace_cmd: bool,
+    report_cmd: bool,
+    serve_cmd: bool,
     out: Option<String>,
     format: TraceFormat,
     validate: bool,
+    topk: Option<usize>,
+    addr: Option<std::net::SocketAddr>,
+    max_requests: Option<usize>,
+    self_check: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -67,17 +91,36 @@ fn parse_args() -> Result<Args, String> {
         windows: false,
         trace_out: None,
         trace_cmd: false,
+        report_cmd: false,
+        serve_cmd: false,
         out: None,
         format: TraceFormat::Chrome,
         validate: false,
+        topk: None,
+        addr: None,
+        max_requests: None,
+        self_check: false,
     };
     let mut it = std::env::args().skip(1).peekable();
-    if it.peek().map(String::as_str) == Some("trace") {
-        it.next();
-        args.trace_cmd = true;
-        // The trace subcommand defaults to smoke scale: event traces
-        // are for inspecting behaviour, not paper-scale timing.
-        args.scale = Scale::Smoke;
+    // The inspection subcommands default to smoke scale: their runs
+    // exist to be looked at (or scraped), not for paper-scale timing.
+    match it.peek().map(String::as_str) {
+        Some("trace") => {
+            it.next();
+            args.trace_cmd = true;
+            args.scale = Scale::Smoke;
+        }
+        Some("report") => {
+            it.next();
+            args.report_cmd = true;
+            args.scale = Scale::Smoke;
+        }
+        Some("serve-metrics") => {
+            it.next();
+            args.serve_cmd = true;
+            args.scale = Scale::Smoke;
+        }
+        _ => {}
     }
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -111,6 +154,23 @@ fn parse_args() -> Result<Args, String> {
                 args.format = TraceFormat::parse(&v).ok_or(format!("unknown format '{v}'"))?;
             }
             "--validate" => args.validate = true,
+            "--topk" => {
+                let v = it.next().ok_or("--topk needs a row count")?;
+                args.topk = match v.parse::<usize>() {
+                    Ok(n) if n > 0 => Some(n),
+                    _ => return Err(format!("bad topk '{v}': expected a positive integer")),
+                };
+            }
+            "--addr" => {
+                let v = it.next().ok_or("--addr needs host:port")?;
+                args.addr = Some(v.parse().map_err(|e| format!("bad addr '{v}': {e}"))?);
+            }
+            "--max-requests" => {
+                let v = it.next().ok_or("--max-requests needs a count")?;
+                args.max_requests =
+                    Some(v.parse().map_err(|_| format!("bad request count '{v}'"))?);
+            }
+            "--self-check" => args.self_check = true,
             "--list" => {
                 println!("workloads: {}", SUITE.join(", "));
                 println!("           masim, gups (motivation)");
@@ -125,6 +185,11 @@ fn parse_args() -> Result<Args, String> {
                      tierctl trace [--workload W] [--policy P] [--ratio F:S] [--thp] \
                      [--scale smoke|paper] [--seed N] [--out FILE] \
                      [--format chrome|jsonl] [--validate]\n       \
+                     tierctl report [--workload W] [--policy P] [--ratio F:S] [--thp] \
+                     [--scale smoke|paper] [--seed N] [--out DIR] [--topk N]\n       \
+                     tierctl serve-metrics [--workload W] [--policy P] [--ratio F:S] \
+                     [--scale smoke|paper] [--seed N] [--addr HOST:PORT] \
+                     [--max-requests N] [--self-check]\n       \
                      tierctl check [--fuzz N] [--seed S] [--case 0xHEX] [--oracle] \
                      [--workload W]...\n       \
                      tierctl lint [--root DIR] [--json] [--rule ID]... [--list-rules]"
@@ -279,6 +344,13 @@ fn run_trace(args: &Args) {
         out.report.windows.len(),
         out.report.total_cycles
     );
+    if tracer.overwritten() > 0 {
+        eprintln!(
+            "warning: trace ring overflowed; the {} oldest events were dropped \
+             (per-window counts are in each window's trace_dropped_events)",
+            tracer.overwritten()
+        );
+    }
     // Greppable one-liner for the CI fault-injection smoke test.
     println!(
         "migration health: failed_promotions={} dropped_orders={}",
@@ -290,6 +362,104 @@ fn run_trace(args: &Args) {
         args.format,
         if args.validate { ", validated" } else { "" }
     );
+}
+
+/// Runs one cell for a subcommand that inspects a finished run,
+/// exiting 2 on an unknown policy. `track_stalls` arms the criticality
+/// oracle (the `report` path).
+fn run_cell(args: &Args, track_stalls: bool) -> (pact_bench::Outcome, String) {
+    let mut cfg = experiment_machine(0);
+    cfg.thp = args.thp;
+    cfg.seed = args.seed;
+    cfg.track_page_stalls = track_stalls;
+    let h = Harness::new(build(&args.workload, args.scale, args.seed)).with_machine(cfg);
+    let fast_pages = args.ratio.fast_pages(h.workload().footprint_bytes());
+    let out = h
+        .try_run_policy_with_fast_pages(&args.policy, fast_pages)
+        .unwrap_or_else(|e| {
+            eprintln!("{e}; known policies: {}", ALL_POLICIES.join(", "));
+            std::process::exit(2);
+        });
+    let label = format!("{}/{}/{}", args.workload, args.policy, args.ratio);
+    (out, label)
+}
+
+/// The `report` subcommand: one run with the criticality oracle armed,
+/// folded flamegraph + markdown + JSON written to `--out`. Artifacts
+/// are sim-domain and byte-identical across `PACT_JOBS`/`PACT_SHARDS`;
+/// the CI `obs-report` stage pins this with `cmp`.
+fn run_report(args: &Args) {
+    let (out, label) = run_cell(args, true);
+    let topk = args
+        .topk
+        .or_else(|| pact_bench::env::report_topk().unwrap_or(None))
+        .unwrap_or(DEFAULT_REPORT_TOPK);
+    // Borrow the oracle out of the report — the map can hold an entry
+    // per touched page, and the report path must not duplicate it.
+    let crit = CriticalityReport::new(&out.report, topk).unwrap_or_else(|| {
+        eprintln!("internal error: report ran without the page-stall oracle");
+        std::process::exit(1);
+    });
+    let dir = std::path::PathBuf::from(args.out.as_deref().unwrap_or("report"));
+    std::fs::create_dir_all(&dir).unwrap_or_else(|e| {
+        eprintln!("cannot create {}: {e}", dir.display());
+        std::process::exit(1);
+    });
+    let artifacts = [
+        ("report.md", crit.to_markdown()),
+        ("report.json", crit.to_json()),
+        ("flame.folded", crit.folded()),
+    ];
+    for (name, body) in &artifacts {
+        let path = dir.join(name);
+        std::fs::write(&path, body).unwrap_or_else(|e| {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        });
+    }
+    println!(
+        "criticality report for {label}: {} blamed stall cycles across {} pages (top-{topk})",
+        crit.total_stalls(),
+        out.report.page_stalls.as_ref().map_or(0, |m| m.len()),
+    );
+    println!(
+        "wrote {}/report.md, report.json, flame.folded",
+        dir.display()
+    );
+}
+
+/// The `serve-metrics` subcommand: one run, then a Prometheus
+/// text-exposition endpoint over its metrics (plus `/healthz`).
+/// `--self-check` binds an ephemeral port, scrapes both routes through
+/// a real TCP client, and exits — the CI path when `curl` is absent.
+fn run_serve_metrics(args: &Args) {
+    let (out, label) = run_cell(args, false);
+    let body = serve::render_prometheus(&label, &out.report);
+    if args.self_check {
+        serve::self_check(body).unwrap_or_else(|e| {
+            eprintln!("serve-metrics self-check failed: {e}");
+            std::process::exit(1);
+        });
+        println!("serve-metrics self-check ok ({label})");
+        return;
+    }
+    let addr = args
+        .addr
+        .or_else(|| pact_bench::env::metrics_addr().unwrap_or(None))
+        .unwrap_or_else(|| {
+            // Invariant: a literal loopback address always parses.
+            "127.0.0.1:9464".parse().expect("valid literal")
+        });
+    let server = serve::MetricsServer::bind(addr, body).unwrap_or_else(|e| {
+        eprintln!("cannot bind {addr}: {e}");
+        std::process::exit(1);
+    });
+    let bound = server.local_addr().unwrap_or(addr);
+    println!("serving metrics for {label} on http://{bound}/metrics (and /healthz)");
+    server.serve(args.max_requests).unwrap_or_else(|e| {
+        eprintln!("serve error: {e}");
+        std::process::exit(1);
+    });
 }
 
 struct LintArgs {
@@ -371,8 +541,10 @@ fn run_lint(args: &LintArgs) {
 }
 
 fn main() {
-    // Reject a malformed PACT_FAULTS spec before any work happens.
+    // Reject malformed PACT_* hooks before any work happens, then arm
+    // the host self-profiler if PACT_PROF asks for it.
     pact_bench::validate_fault_env();
+    pact_bench::arm_hostprof_from_env();
     let mut raw = std::env::args().skip(1).peekable();
     if raw.peek().map(String::as_str) == Some("lint") {
         raw.next();
@@ -398,6 +570,16 @@ fn main() {
     });
     if args.trace_cmd {
         run_trace(&args);
+        pact_bench::emit_hostprof_summary();
+        return;
+    }
+    if args.report_cmd {
+        run_report(&args);
+        pact_bench::emit_hostprof_summary();
+        return;
+    }
+    if args.serve_cmd {
+        run_serve_metrics(&args);
         return;
     }
     if let Some(path) = &args.trace_out {

@@ -36,13 +36,44 @@ pub fn parse_options() -> Options {
     })
 }
 
-/// Exits with status 2 if `PACT_FAULTS` is set but unparseable, so
-/// every experiment binary rejects a bad fault spec before doing any
-/// work. A valid spec is left for the harness to apply per run.
+/// Exits with status 2 if any of the parsed `PACT_*` hooks —
+/// `PACT_FAULTS`, `PACT_PROF`, `PACT_METRICS_ADDR`, `PACT_REPORT_TOPK`
+/// — is set but unparseable, so every experiment binary rejects a bad
+/// environment before doing any work. Valid values are left for the
+/// harness to apply per run.
 pub fn validate_fault_env() {
     if let Err(e) = crate::env::fault_plan() {
         eprintln!("error: {e}");
         std::process::exit(2);
+    }
+    let hook_errs = [
+        crate::env::prof_enabled().err(),
+        crate::env::metrics_addr().err(),
+        crate::env::report_topk().err(),
+    ];
+    if let Some(e) = hook_errs.into_iter().flatten().next() {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
+}
+
+/// Arms the host self-profiler (`pact_obs::hostprof`) when `PACT_PROF`
+/// asks for it. Call once at binary startup, after
+/// [`validate_fault_env`] (which rejects malformed values); an error
+/// here is therefore unreachable and treated as "off".
+pub fn arm_hostprof_from_env() {
+    if crate::env::prof_enabled().unwrap_or(false) {
+        pact_obs::hostprof::set_enabled(true);
+    }
+}
+
+/// Prints the host self-profile summary to stderr when the profiler is
+/// armed. Stderr, not stdout: host timings are nondeterministic and
+/// must never mix into artifacts that CI byte-compares.
+pub fn emit_hostprof_summary() {
+    if pact_obs::hostprof::enabled() {
+        eprintln!("host self-profile (wall clock, nondeterministic):");
+        eprint!("{}", pact_obs::hostprof::summary());
     }
 }
 

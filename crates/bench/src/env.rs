@@ -12,6 +12,9 @@
 //! | `PACT_TRACE`        | [`trace_config`]     | Trace output path (file for one run, dir for sweeps)|
 //! | `PACT_TRACE_FORMAT` | [`trace_config`]     | `chrome` (default) or `jsonl`                       |
 //! | `PACT_FAULTS`       | [`fault_plan`]       | Fault-injection spec (see `tiersim::fault`)         |
+//! | `PACT_PROF`         | [`prof_enabled`]     | `1`/`true` arms the host self-profiler (`hostprof`) |
+//! | `PACT_METRICS_ADDR` | [`metrics_addr`]     | `host:port` bind address for `tierctl serve-metrics`|
+//! | `PACT_REPORT_TOPK`  | [`report_topk`]      | Rows in `tierctl report` top-K tables (integer ≥ 1) |
 //! | `PACT_CI_STAGES`    | `ci/run.sh` only     | Space-separated CI stage subset                     |
 //!
 //! Library crates below `pact-bench` (`tiersim`, `obs`, …) never read
@@ -33,6 +36,19 @@ pub const SHARDS_ENV: &str = "PACT_SHARDS";
 /// `PACT_CI_STAGES`: consumed by `ci/run.sh` (never by Rust code);
 /// registered here so the table above stays complete.
 pub const CI_STAGES_ENV: &str = "PACT_CI_STAGES";
+
+/// `PACT_PROF`: arms the host-side self-profiler
+/// (`pact_obs::hostprof`). Host profiles are wall-clock measurements of
+/// the simulator itself and never feed a deterministic artifact.
+pub const PROF_ENV: &str = "PACT_PROF";
+
+/// `PACT_METRICS_ADDR`: bind address for the Prometheus text-exposition
+/// endpoint (`tierctl serve-metrics`).
+pub const METRICS_ADDR_ENV: &str = "PACT_METRICS_ADDR";
+
+/// `PACT_REPORT_TOPK`: number of rows in the criticality report's
+/// top-K tables (`tierctl report`).
+pub const REPORT_TOPK_ENV: &str = "PACT_REPORT_TOPK";
 
 /// The one sanctioned environment read.
 fn read(name: &str) -> Option<String> {
@@ -106,6 +122,64 @@ pub fn fault_plan() -> Result<Option<FaultPlan>, SimError> {
     }
 }
 
+/// Whether `PACT_PROF` arms the host self-profiler: `1`/`true` on,
+/// `0`/`false` off, unset off.
+///
+/// # Errors
+///
+/// Any other value is a configuration error (the profiler silently
+/// staying off would make its absence in output ambiguous), reported
+/// like a malformed `PACT_FAULTS`: binaries exit 2.
+pub fn prof_enabled() -> Result<bool, String> {
+    match read(PROF_ENV).as_deref().map(str::trim) {
+        None => Ok(false),
+        Some("1") | Some("true") => Ok(true),
+        Some("0") | Some("false") => Ok(false),
+        Some(v) => Err(format!(
+            "invalid {PROF_ENV}={v:?}: expected 1/true or 0/false"
+        )),
+    }
+}
+
+/// The `PACT_METRICS_ADDR` bind address for `tierctl serve-metrics`:
+/// `Ok(None)` when unset (the command falls back to its `--addr`
+/// flag or the loopback default).
+///
+/// # Errors
+///
+/// A value that does not parse as `host:port` is a configuration
+/// error; binaries exit 2.
+pub fn metrics_addr() -> Result<Option<std::net::SocketAddr>, String> {
+    match read(METRICS_ADDR_ENV) {
+        None => Ok(None),
+        Some(v) => v
+            .trim()
+            .parse::<std::net::SocketAddr>()
+            .map(Some)
+            .map_err(|e| format!("invalid {METRICS_ADDR_ENV}={v:?}: {e}")),
+    }
+}
+
+/// The `PACT_REPORT_TOPK` table-size override for `tierctl report`:
+/// `Ok(None)` when unset (the report uses
+/// [`pact_tiersim::DEFAULT_REPORT_TOPK`]).
+///
+/// # Errors
+///
+/// A non-integer or zero value is a configuration error; binaries
+/// exit 2.
+pub fn report_topk() -> Result<Option<usize>, String> {
+    match read(REPORT_TOPK_ENV) {
+        None => Ok(None),
+        Some(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n > 0 => Ok(Some(n)),
+            _ => Err(format!(
+                "invalid {REPORT_TOPK_ENV}={v:?}: expected a positive integer"
+            )),
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,6 +201,15 @@ mod tests {
         }
         if std::env::var(FAULTS_ENV).is_err() {
             assert_eq!(fault_plan().unwrap(), None);
+        }
+        if std::env::var(PROF_ENV).is_err() {
+            assert_eq!(prof_enabled(), Ok(false));
+        }
+        if std::env::var(METRICS_ADDR_ENV).is_err() {
+            assert_eq!(metrics_addr(), Ok(None));
+        }
+        if std::env::var(REPORT_TOPK_ENV).is_err() {
+            assert_eq!(report_topk(), Ok(None));
         }
     }
 }

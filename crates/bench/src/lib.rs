@@ -25,8 +25,12 @@ pub mod exec;
 pub mod gate;
 mod report;
 mod runner;
+pub mod serve;
 
-pub use cli::{exit_invalid_config, parse_options, validate_fault_env, Options};
+pub use cli::{
+    arm_hostprof_from_env, emit_hostprof_summary, exit_invalid_config, parse_options,
+    validate_fault_env, Options,
+};
 pub use exec::{jobs_from_env, run_indexed, try_run_indexed};
 pub use report::{banner, cdf_lines, count, pct, save_results, sparkline, JsonWriter, Table};
 pub use runner::{

@@ -12,6 +12,9 @@ fn tierctl(args: &[&str]) -> Command {
     cmd.env_remove("PACT_FAULTS");
     cmd.env_remove("PACT_JOBS");
     cmd.env_remove("PACT_TRACE");
+    cmd.env_remove("PACT_PROF");
+    cmd.env_remove("PACT_METRICS_ADDR");
+    cmd.env_remove("PACT_REPORT_TOPK");
     cmd
 }
 
@@ -111,6 +114,139 @@ fn list_exits_0() {
     assert_eq!(out.status.code(), Some(0));
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("workloads:") && stdout.contains("pact"));
+}
+
+// --- tierctl report / serve-metrics ----------------------------------
+
+#[test]
+fn report_writes_artifacts_and_exits_0() {
+    let dir = fixture_dir("report_out");
+    let out = run(&[
+        "report",
+        "--workload",
+        "gups",
+        "--seed",
+        "1",
+        "--topk",
+        "5",
+        "--out",
+        dir.to_str().expect("utf8 path"),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr_of(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("criticality report for gups/"), "{stdout}");
+    let md = std::fs::read_to_string(dir.join("report.md")).expect("report.md");
+    assert!(md.contains("# Criticality report"), "{md}");
+    assert!(md.contains("## Most critical pages"), "{md}");
+    let json = std::fs::read_to_string(dir.join("report.json")).expect("report.json");
+    pact_obs::validate(&json).expect("report.json is valid JSON");
+    assert!(json.contains("\"total_stall_cycles\""), "{json}");
+    let folded = std::fs::read_to_string(dir.join("flame.folded")).expect("flame.folded");
+    // Every folded line is `tier;huge#H;page#P count`.
+    for line in folded.lines() {
+        let (stack, count) = line.rsplit_once(' ').expect("folded line");
+        count.parse::<u64>().expect("folded count");
+        let frames: Vec<&str> = stack.split(';').collect();
+        assert_eq!(frames.len(), 3, "{line}");
+        assert!(frames[0] == "fast" || frames[0] == "slow", "{line}");
+        assert!(frames[1].starts_with("huge#"), "{line}");
+        assert!(frames[2].starts_with("page#"), "{line}");
+    }
+}
+
+#[test]
+fn report_artifacts_are_identical_across_shard_counts() {
+    let base = fixture_dir("report_shards");
+    let mut bodies = Vec::new();
+    for shards in ["1", "4"] {
+        let dir = base.join(shards);
+        let out = tierctl(&[
+            "report",
+            "--workload",
+            "gups",
+            "--seed",
+            "1",
+            "--out",
+            dir.to_str().expect("utf8 path"),
+        ])
+        .env("PACT_SHARDS", shards)
+        .output()
+        .expect("spawn tierctl");
+        assert_eq!(out.status.code(), Some(0), "{}", stderr_of(&out));
+        bodies.push([
+            std::fs::read(dir.join("report.md")).expect("report.md"),
+            std::fs::read(dir.join("report.json")).expect("report.json"),
+            std::fs::read(dir.join("flame.folded")).expect("flame.folded"),
+        ]);
+    }
+    assert_eq!(
+        bodies[0], bodies[1],
+        "report artifacts differ across PACT_SHARDS"
+    );
+}
+
+#[test]
+fn malformed_observability_env_exits_2() {
+    for (var, value) in [
+        ("PACT_REPORT_TOPK", "0"),
+        ("PACT_REPORT_TOPK", "many"),
+        ("PACT_PROF", "maybe"),
+        ("PACT_METRICS_ADDR", "not-an-addr"),
+    ] {
+        let out = tierctl(&["--list"])
+            .env(var, value)
+            .output()
+            .expect("spawn tierctl");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{var}={value}: {}",
+            stderr_of(&out)
+        );
+        assert!(stderr_of(&out).contains(var), "{}", stderr_of(&out));
+    }
+}
+
+#[test]
+fn serve_metrics_self_check_exits_0() {
+    let out = run(&[
+        "serve-metrics",
+        "--workload",
+        "gups",
+        "--seed",
+        "1",
+        "--self-check",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr_of(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("self-check ok"), "{stdout}");
+}
+
+#[test]
+fn report_with_prof_emits_summary_on_stderr_only() {
+    let dir = fixture_dir("report_prof");
+    let out = tierctl(&[
+        "report",
+        "--workload",
+        "gups",
+        "--seed",
+        "1",
+        "--out",
+        dir.to_str().expect("utf8 path"),
+    ])
+    .env("PACT_PROF", "1")
+    .output()
+    .expect("spawn tierctl");
+    assert_eq!(out.status.code(), Some(0), "{}", stderr_of(&out));
+    // Host timings go to stderr; the deterministic artifacts and stdout
+    // stay clean of wall-clock numbers.
+    assert!(
+        stderr_of(&out).contains("host self-profile"),
+        "{}",
+        stderr_of(&out)
+    );
+    let md = std::fs::read_to_string(dir.join("report.md")).expect("report.md");
+    assert!(!md.contains("host self-profile"), "{md}");
 }
 
 // --- tierctl lint ----------------------------------------------------

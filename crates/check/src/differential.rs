@@ -15,12 +15,15 @@
 //!
 //! Separately, [`dominance_oracle`] pins a cross-configuration sanity
 //! law: with an identity policy, placing the whole footprint in the
-//! fast tier can never be slower than placing it all in the slow tier.
+//! fast tier can never be slower than placing it all in the slow tier,
+//! and [`attribution_oracle`] pins the criticality-attribution
+//! artifacts (DESIGN.md §13) as byte-identical across shard counts on
+//! a fault-injected cell and invariant under the host-side profiler.
 
 use pact_core::{PactConfig, PactPolicy};
 use pact_tiersim::{
-    FaultPlan, FirstTouch, InvariantSet, Machine, MachineConfig, RunReport, SimError, Tracer,
-    Workload, PAGE_BYTES,
+    CriticalityReport, FaultPlan, FirstTouch, InvariantSet, Machine, MachineConfig, RunReport,
+    SimError, Tracer, Workload, PAGE_BYTES,
 };
 use pact_workloads::suite::{build, Scale};
 
@@ -170,7 +173,78 @@ pub fn check_cell(workload: &str, seed: u64) -> DiffLedger {
         dominance_oracle(wl.as_ref(), seed),
     ));
 
+    lines.push((
+        "criticality artifacts are shard- and profiler-invariant".to_string(),
+        attribution_oracle(wl.as_ref(), seed),
+    ));
+
     DiffLedger { lines }
+}
+
+/// Criticality-attribution oracle (DESIGN.md §13): the page-stall
+/// oracle and every artifact derived from it — folded flamegraph,
+/// JSON, markdown — are sim-domain data, so they must be
+/// byte-identical across event-loop shard counts even on a
+/// fault-injected cell, and arming the host-side profiler
+/// (`pact_obs::hostprof`, wall clock) must not perturb them. This is
+/// the enforced boundary between the deterministic sim clock and the
+/// nondeterministic host clock.
+///
+/// # Errors
+///
+/// Returns the first diverging artifact with a byte-level hint.
+pub fn attribution_oracle(wl: &dyn Workload, seed: u64) -> Result<(), String> {
+    let total_pages = wl.footprint_bytes().div_ceil(PAGE_BYTES);
+    let mut cfg = MachineConfig::skylake_cxl((total_pages / 2).max(1));
+    cfg.seed = seed;
+    cfg.track_page_stalls = true;
+    // An *active* plan: dropped orders and failed migrations reshape
+    // the blame distribution, which is exactly what must still be
+    // shard-invariant.
+    cfg.fault_plan = Some(FaultPlan {
+        seed: seed ^ 0x9e37_79b9,
+        drop_order: 0.05,
+        fail_migration: 0.05,
+        pebs_loss: 0.02,
+        ..FaultPlan::default()
+    });
+    const ARTIFACTS: [&str; 3] = ["flame.folded", "report.json", "report.md"];
+    let render = |cfg: &MachineConfig| -> Result<[String; 3], String> {
+        let report = run_with(cfg, wl, false).map_err(|e| format!("run failed: {e}"))?;
+        let crit = CriticalityReport::new(&report, 10)
+            .ok_or_else(|| "run tracked no page stalls".to_string())?;
+        Ok([crit.folded(), crit.to_json(), crit.to_markdown()])
+    };
+    let base = render(&cfg)?;
+    for shards in [4usize, 7] {
+        let mut sharded = cfg.clone();
+        sharded.shards = shards;
+        let got = render(&sharded)?;
+        for (i, name) in ARTIFACTS.iter().enumerate() {
+            if got[i] != base[i] {
+                return Err(format!(
+                    "{name} diverges at {shards} shards: {}",
+                    diff_hint(&base[i], &got[i])
+                ));
+            }
+        }
+    }
+    // Host profiler on/off: restore the previous state even on failure
+    // so a failing oracle cannot leak profiling into other checks.
+    let was = pact_obs::hostprof::enabled();
+    pact_obs::hostprof::set_enabled(true);
+    let profiled = render(&cfg);
+    pact_obs::hostprof::set_enabled(was);
+    let profiled = profiled?;
+    for (i, name) in ARTIFACTS.iter().enumerate() {
+        if profiled[i] != base[i] {
+            return Err(format!(
+                "{name} diverges with the host profiler armed: {}",
+                diff_hint(&base[i], &profiled[i])
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// Cross-configuration sanity law: with the identity (`notier`)
@@ -226,7 +300,7 @@ mod tests {
     fn gups_cell_passes_every_oracle() {
         let ledger = check_cell("gups", 7);
         assert!(ledger.is_ok(), "\n{}", ledger.render());
-        assert_eq!(ledger.lines.len(), 6);
+        assert_eq!(ledger.lines.len(), 7);
         assert!(ledger.render().contains("ok   baseline"));
     }
 

@@ -33,5 +33,5 @@
 pub mod differential;
 pub mod fuzz;
 
-pub use differential::{check_cell, dominance_oracle, DiffLedger};
+pub use differential::{attribution_oracle, check_cell, dominance_oracle, DiffLedger};
 pub use fuzz::{case_seed, run_case, run_fuzz, CaseSummary, FuzzLedger, FuzzOptions};

@@ -19,6 +19,9 @@ pub struct FileClass {
     pub print_allowed: bool,
     /// File subject to the `counter-truncation` rule.
     pub truncation_scoped: bool,
+    /// The one module allowed to read the host wall clock (the host
+    /// self-profiler); `det-wall-clock` is waived here and only here.
+    pub wall_clock_sanctioned: bool,
 }
 
 /// The configurable rule set: scoping tables plus an enabled-rule
@@ -37,6 +40,11 @@ pub struct LintConfig {
     /// Workspace-relative files under the `counter-truncation` rule
     /// (PMU/CHMU counter arithmetic).
     pub truncation_files: Vec<String>,
+    /// Workspace-relative files allowed to read the host wall clock
+    /// despite living in a deterministic crate. The host self-profiler
+    /// (`pact-obs::hostprof`) is the only sanctioned entry: it times
+    /// the simulator itself and never feeds sim-domain output.
+    pub wall_clock_files: Vec<String>,
     /// Enabled rule ids; empty means every rule in the catalogue.
     pub enabled_rules: Vec<String>,
 }
@@ -58,6 +66,7 @@ impl Default for LintConfig {
             rng_registry_files: s(&["crates/stats/src/rng.rs"]),
             print_crates: s(&["bench"]),
             truncation_files: s(&["crates/tiersim/src/pmu.rs", "crates/tiersim/src/chmu.rs"]),
+            wall_clock_files: s(&["crates/obs/src/hostprof.rs"]),
             enabled_rules: Vec::new(),
         }
     }
@@ -83,6 +92,7 @@ impl LintConfig {
             rng_registry: self.rng_registry_files.iter().any(|f| f == rel_path),
             print_allowed: self.print_crates.contains(&crate_name),
             truncation_scoped: self.truncation_files.iter().any(|f| f == rel_path),
+            wall_clock_sanctioned: self.wall_clock_files.iter().any(|f| f == rel_path),
             crate_name,
         }
     }
@@ -107,6 +117,9 @@ mod tests {
         assert!(p.truncation_scoped);
         let g = cfg.classify("crates/stats/src/rng.rs");
         assert!(g.rng_registry && g.deterministic);
+        let w = cfg.classify("crates/obs/src/hostprof.rs");
+        assert!(w.wall_clock_sanctioned && w.deterministic);
+        assert!(!c.wall_clock_sanctioned, "machine.rs must stay under D002");
     }
 
     #[test]

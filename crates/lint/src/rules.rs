@@ -211,7 +211,11 @@ pub fn lint_source(rel_path: &str, src: &str, cfg: &LintConfig) -> Vec<Diagnosti
                     format!("`{}` in deterministic crate `{}`", t.text, class.crate_name),
                 );
             }
-            "Instant" | "SystemTime" if class.deterministic && enabled("det-wall-clock") => {
+            "Instant" | "SystemTime"
+                if class.deterministic
+                    && !class.wall_clock_sanctioned
+                    && enabled("det-wall-clock") =>
+            {
                 push(
                     "det-wall-clock",
                     t,

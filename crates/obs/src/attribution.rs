@@ -1,0 +1,119 @@
+//! Attribution building blocks: collapsed-stack ("folded") flamegraph
+//! output and deterministic top-K selection.
+//!
+//! The folded format is Brendan Gregg's `flamegraph.pl` input: one
+//! stack per line, frames joined by `;`, a space, then the sample
+//! count —
+//!
+//! ```text
+//! slow;huge#0;page#17 4242
+//! ```
+//!
+//! This module is domain-agnostic: callers (the simulator's
+//! criticality report, the host self-profiler) supply the frames.
+//! Output bytes are exactly the lines pushed, in push order — feeding
+//! lines from an ordered map makes the artifact deterministic.
+
+/// Builder for collapsed-stack flamegraph text.
+#[derive(Debug, Clone, Default)]
+pub struct FoldedStacks {
+    buf: String,
+}
+
+impl FoldedStacks {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one stack line: `frame;frame;frame count`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is empty or a frame contains `;`, a space,
+    /// or a newline (these would corrupt the format).
+    pub fn line(&mut self, frames: &[&str], count: u64) {
+        assert!(
+            !frames.is_empty(),
+            "a folded stack needs at least one frame"
+        );
+        for (i, f) in frames.iter().enumerate() {
+            assert!(
+                !f.contains([';', ' ', '\n']),
+                "frame {f:?} contains a folded-format delimiter"
+            );
+            if i > 0 {
+                self.buf.push(';');
+            }
+            self.buf.push_str(f);
+        }
+        self.buf.push(' ');
+        self.buf.push_str(&count.to_string());
+        self.buf.push('\n');
+    }
+
+    /// The text so far.
+    pub fn as_str(&self) -> &str {
+        &self.buf
+    }
+
+    /// Whether no lines have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the builder, returning the folded text.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+}
+
+/// The `k` heaviest `(key, weight)` pairs, ordered by weight
+/// descending with ties broken by key ascending — a total order, so
+/// the selection is deterministic regardless of input order.
+pub fn top_k_desc<K: Ord + Copy>(
+    items: impl IntoIterator<Item = (K, u64)>,
+    k: usize,
+) -> Vec<(K, u64)> {
+    let mut v: Vec<(K, u64)> = items.into_iter().collect();
+    v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    v.truncate(k);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folded_lines_render_the_gregg_format() {
+        let mut f = FoldedStacks::new();
+        f.line(&["slow", "huge#0", "page#17"], 4242);
+        f.line(&["fast", "huge#512", "page#513"], 1);
+        assert_eq!(
+            f.as_str(),
+            "slow;huge#0;page#17 4242\nfast;huge#512;page#513 1\n"
+        );
+        assert!(!f.is_empty());
+        assert_eq!(f.clone().finish(), f.as_str());
+    }
+
+    #[test]
+    #[should_panic(expected = "delimiter")]
+    fn frames_with_delimiters_are_rejected() {
+        FoldedStacks::new().line(&["a;b"], 1);
+    }
+
+    #[test]
+    fn top_k_orders_by_weight_then_key() {
+        let items = [(3u64, 10), (1, 20), (2, 10), (4, 5)];
+        assert_eq!(top_k_desc(items, 3), vec![(1, 20), (2, 10), (3, 10)]);
+        // k beyond the population returns everything, still ordered.
+        assert_eq!(top_k_desc(items, 99).len(), 4);
+        // Deterministic under permutation.
+        let mut rev = items;
+        rev.reverse();
+        assert_eq!(top_k_desc(rev, 3), top_k_desc(items, 3));
+        assert!(top_k_desc(std::iter::empty::<(u64, u64)>(), 5).is_empty());
+    }
+}

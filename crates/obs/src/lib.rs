@@ -24,6 +24,12 @@
 //!   sharded event loop: sequence-ordered k-way merge for
 //!   order-dependent consumers, fixed-shard-order drain for
 //!   commutative ones.
+//! * [`attribution`] — collapsed-stack ("folded") flamegraph text and
+//!   deterministic top-K selection, the building blocks of the
+//!   criticality report (DESIGN.md §13).
+//! * [`hostprof`] — the host-side span profiler, the one sanctioned
+//!   wall-clock reader in the deterministic crates. Host profiles time
+//!   the simulator itself and never feed sim-domain artifacts.
 //!
 //! Determinism is load-bearing: events carry only simulation state
 //! (cycles, pages, counters — never wall-clock time or addresses of
@@ -33,15 +39,18 @@
 
 #![warn(missing_docs)]
 
+pub mod attribution;
 pub mod export;
+pub mod hostprof;
 pub mod json;
 mod metrics;
 pub mod shard;
 mod tracer;
 
+pub use attribution::{top_k_desc, FoldedStacks};
 pub use export::{
     chrome_trace, jsonl, TraceConfig, TraceFormat, WindowRow, TRACE_ENV, TRACE_FORMAT_ENV,
 };
 pub use json::{validate, JsonError, JsonWriter};
-pub use metrics::{MetricId, MetricKind, MetricsRegistry};
+pub use metrics::{HistogramNames, MetricId, MetricKind, MetricsRegistry};
 pub use tracer::{EventKind, TraceEvent, Tracer, DEFAULT_RING_CAPACITY};

@@ -6,11 +6,16 @@
 //! one bounds-checked array access, no hashing, no allocation. The
 //! registry is snapshotted at every sampling-window boundary into the
 //! window record: counters report their delta over the window, gauges
-//! their current value, histograms the mean of values observed during
-//! the window (and then reset). Snapshot order is registration order,
-//! so reports are deterministic.
+//! their current value, histograms the mean **and** deterministic
+//! p50/p90/p99/p999 quantiles of the values observed during the window
+//! (and then reset). Every histogram therefore contributes five
+//! snapshot entries, labelled by the `&'static str` names supplied at
+//! registration via [`HistogramNames`] — the snapshot stays a flat
+//! `(&'static str, f64)` list, allocated in one exact-capacity `Vec`
+//! per window. Snapshot order is registration order, so reports are
+//! deterministic.
 
-use pact_stats::Histogram;
+use pact_stats::LogHistogram;
 
 /// Dense handle to a registered metric.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,15 +29,44 @@ pub enum MetricKind {
     /// Point-in-time value; snapshots report the latest set value.
     Gauge,
     /// Distribution of observed values; snapshots report the window
-    /// mean and reset the distribution.
+    /// mean plus p50/p90/p99/p999 and reset the distribution.
     Histogram,
 }
 
+/// The five snapshot labels of one histogram. Snapshot entries are
+/// `(&'static str, f64)` pairs, so the quantile labels must be string
+/// literals too — callers declare one of these as a `static` next to
+/// the registration site.
+#[derive(Debug, Clone, Copy)]
+pub struct HistogramNames {
+    /// Label of the window-mean entry (the histogram's canonical name).
+    pub mean: &'static str,
+    /// Label of the median entry.
+    pub p50: &'static str,
+    /// Label of the 90th-percentile entry.
+    pub p90: &'static str,
+    /// Label of the 99th-percentile entry.
+    pub p99: &'static str,
+    /// Label of the 99.9th-percentile entry.
+    pub p999: &'static str,
+}
+
+/// Snapshot entries contributed by one histogram.
+const HIST_ENTRIES: usize = 5;
+
 #[derive(Debug, Clone)]
 enum Value {
-    Counter { total: u64, last_snapshot: u64 },
+    Counter {
+        total: u64,
+        last_snapshot: u64,
+    },
     Gauge(f64),
-    Histogram { hist: Histogram, sum: f64, n: u64 },
+    Histogram {
+        hist: LogHistogram,
+        names: HistogramNames,
+        sum: f64,
+        n: u64,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -45,6 +79,10 @@ struct Metric {
 #[derive(Debug, Clone, Default)]
 pub struct MetricsRegistry {
     metrics: Vec<Metric>,
+    /// Total snapshot entries across all metrics (histograms count 5),
+    /// so the per-window snapshot `Vec` is sized exactly — one
+    /// allocation, pinned by the window-allocation test.
+    snapshot_width: usize,
 }
 
 impl MetricsRegistry {
@@ -53,11 +91,12 @@ impl MetricsRegistry {
         Self::default()
     }
 
-    fn register(&mut self, name: &'static str, value: Value) -> MetricId {
+    fn register(&mut self, name: &'static str, value: Value, width: usize) -> MetricId {
         if let Some(i) = self.metrics.iter().position(|m| m.name == name) {
             return MetricId(i);
         }
         self.metrics.push(Metric { name, value });
+        self.snapshot_width += width;
         MetricId(self.metrics.len() - 1)
     }
 
@@ -69,30 +108,29 @@ impl MetricsRegistry {
                 total: 0,
                 last_snapshot: 0,
             },
+            1,
         )
     }
 
     /// Registers (or finds) a gauge named `name`.
     pub fn gauge(&mut self, name: &'static str) -> MetricId {
-        self.register(name, Value::Gauge(0.0))
+        self.register(name, Value::Gauge(0.0), 1)
     }
 
-    /// Registers (or finds) a fixed-width histogram named `name` over
-    /// `[origin, origin + width · bins)` (see [`pact_stats::Histogram`]).
-    pub fn histogram(
-        &mut self,
-        name: &'static str,
-        origin: f64,
-        width: f64,
-        bins: usize,
-    ) -> MetricId {
+    /// Registers (or finds) a log-bucketed histogram. The histogram is
+    /// keyed by `names.mean`; its five snapshot entries carry the five
+    /// labels of `names` (see [`pact_stats::LogHistogram`] for the
+    /// bucketing and quantile semantics).
+    pub fn histogram(&mut self, names: HistogramNames) -> MetricId {
         self.register(
-            name,
+            names.mean,
             Value::Histogram {
-                hist: Histogram::new(origin, width, bins),
+                hist: LogHistogram::new(),
+                names,
                 sum: 0.0,
                 n: 0,
             },
+            HIST_ENTRIES,
         )
     }
 
@@ -122,7 +160,9 @@ impl MetricsRegistry {
         }
     }
 
-    /// Records `v` into a histogram.
+    /// Records `v` into a histogram. Values are bucketed as rounded
+    /// non-negative integers (the simulator's cycle counts); negative
+    /// or non-finite values clamp to 0.
     ///
     /// # Panics
     ///
@@ -130,8 +170,13 @@ impl MetricsRegistry {
     #[inline]
     pub fn observe(&mut self, id: MetricId, v: f64) {
         match &mut self.metrics[id.0].value {
-            Value::Histogram { hist, sum, n } => {
-                hist.add(v);
+            Value::Histogram { hist, sum, n, .. } => {
+                let iv = if v.is_finite() && v > 0.0 {
+                    v.round() as u64
+                } else {
+                    0
+                };
+                hist.record(iv);
                 *sum += v;
                 *n += 1;
             }
@@ -166,60 +211,80 @@ impl MetricsRegistry {
         }
     }
 
+    /// Appends one histogram's five snapshot entries.
+    fn push_hist_entries(
+        out: &mut Vec<(&'static str, f64)>,
+        hist: &LogHistogram,
+        names: &HistogramNames,
+        sum: f64,
+        n: u64,
+    ) {
+        let mean = if n == 0 { 0.0 } else { sum / n as f64 };
+        out.push((names.mean, mean));
+        out.push((names.p50, hist.value_at_quantile(0.5) as f64));
+        out.push((names.p90, hist.value_at_quantile(0.9) as f64));
+        out.push((names.p99, hist.value_at_quantile(0.99) as f64));
+        out.push((names.p999, hist.value_at_quantile(0.999) as f64));
+    }
+
     /// Non-mutating preview of what [`snapshot_window`] would return
-    /// right now: one `(name, value)` per metric in registration order,
-    /// with no per-window state reset. The invariant checker uses this
-    /// to cross-check the snapshot actually embedded in a window record
+    /// right now: the same entries in the same order, with no
+    /// per-window state reset. The invariant checker uses this to
+    /// cross-check the snapshot actually embedded in a window record
     /// without perturbing the registry.
     ///
     /// [`snapshot_window`]: Self::snapshot_window
     pub fn peek_window(&self) -> Vec<(&'static str, f64)> {
-        let mut out = Vec::with_capacity(self.metrics.len());
+        let mut out = Vec::with_capacity(self.snapshot_width);
         for m in &self.metrics {
-            let v = match &m.value {
+            match &m.value {
                 Value::Counter {
                     total,
                     last_snapshot,
-                } => (*total - *last_snapshot) as f64,
-                Value::Gauge(g) => *g,
-                Value::Histogram { sum, n, .. } => {
-                    if *n == 0 {
-                        0.0
-                    } else {
-                        *sum / *n as f64
-                    }
+                } => out.push((m.name, (*total - *last_snapshot) as f64)),
+                Value::Gauge(g) => out.push((m.name, *g)),
+                Value::Histogram {
+                    hist,
+                    names,
+                    sum,
+                    n,
+                } => {
+                    Self::push_hist_entries(&mut out, hist, names, *sum, *n);
                 }
-            };
-            out.push((m.name, v));
+            }
         }
         out
     }
 
-    /// Closes the current window: returns one `(name, value)` per
-    /// metric in registration order (counter delta, gauge value,
-    /// histogram window mean) and resets per-window state.
+    /// Closes the current window: returns one entry per counter/gauge
+    /// (counter delta, gauge value) and five per histogram (window
+    /// mean, p50, p90, p99, p999), all in registration order, and
+    /// resets per-window state.
     pub fn snapshot_window(&mut self) -> Vec<(&'static str, f64)> {
-        let mut out = Vec::with_capacity(self.metrics.len());
+        let mut out = Vec::with_capacity(self.snapshot_width);
         for m in &mut self.metrics {
-            let v = match &mut m.value {
+            match &mut m.value {
                 Value::Counter {
                     total,
                     last_snapshot,
                 } => {
                     let delta = *total - *last_snapshot;
                     *last_snapshot = *total;
-                    delta as f64
+                    out.push((m.name, delta as f64));
                 }
-                Value::Gauge(g) => *g,
-                Value::Histogram { hist, sum, n } => {
-                    let mean = if *n == 0 { 0.0 } else { *sum / *n as f64 };
+                Value::Gauge(g) => out.push((m.name, *g)),
+                Value::Histogram {
+                    hist,
+                    names,
+                    sum,
+                    n,
+                } => {
+                    Self::push_hist_entries(&mut out, hist, names, *sum, *n);
                     hist.reset();
                     *sum = 0.0;
                     *n = 0;
-                    mean
                 }
-            };
-            out.push((m.name, v));
+            }
         }
         out
     }
@@ -228,6 +293,22 @@ impl MetricsRegistry {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    static LATENCY: HistogramNames = HistogramNames {
+        mean: "pebs/latency",
+        p50: "pebs/latency_p50",
+        p90: "pebs/latency_p90",
+        p99: "pebs/latency_p99",
+        p999: "pebs/latency_p999",
+    };
+
+    static H: HistogramNames = HistogramNames {
+        mean: "h",
+        p50: "h_p50",
+        p90: "h_p90",
+        p99: "h_p99",
+        p999: "h_p999",
+    };
 
     #[test]
     fn counters_snapshot_deltas() {
@@ -256,14 +337,25 @@ mod tests {
     }
 
     #[test]
-    fn histograms_report_window_mean_and_reset() {
+    fn histograms_report_window_mean_quantiles_and_reset() {
         let mut r = MetricsRegistry::new();
-        let h = r.histogram("pebs/latency", 0.0, 100.0, 16);
+        let h = r.histogram(LATENCY);
         r.observe(h, 200.0);
         r.observe(h, 400.0);
-        assert_eq!(r.snapshot_window(), vec![("pebs/latency", 300.0)]);
-        // Reset: an empty window reports 0.
-        assert_eq!(r.snapshot_window(), vec![("pebs/latency", 0.0)]);
+        let snap = r.snapshot_window();
+        assert_eq!(snap.len(), 5);
+        assert_eq!(snap[0], ("pebs/latency", 300.0));
+        assert_eq!(snap[1].0, "pebs/latency_p50");
+        // p50 of {200, 400} is the rank-1 bucket: within 1/16 of 200.
+        assert!((200.0..=214.0).contains(&snap[1].1), "p50 = {}", snap[1].1);
+        // The top quantiles land on the 400 observation's bucket.
+        for &(k, v) in &snap[2..5] {
+            assert!((400.0..=426.0).contains(&v), "{k} = {v}");
+        }
+        // Reset: an empty window reports 0 everywhere.
+        let quiet = r.snapshot_window();
+        assert_eq!(quiet.len(), 5);
+        assert!(quiet.iter().all(|&(_, v)| v == 0.0), "{quiet:?}");
         assert_eq!(r.kind(h), MetricKind::Histogram);
     }
 
@@ -283,6 +375,11 @@ mod tests {
         assert_eq!(snap[1].0, "b");
         assert_eq!(r.kind(a), MetricKind::Counter);
         assert_eq!(r.kind(b), MetricKind::Gauge);
+        // Re-registering a histogram does not double its width.
+        let h = r.histogram(H);
+        let h2 = r.histogram(H);
+        assert_eq!(h, h2);
+        assert_eq!(r.snapshot_window().len(), 7);
     }
 
     #[test]
@@ -290,7 +387,7 @@ mod tests {
         let mut r = MetricsRegistry::new();
         let c = r.counter("c");
         let g = r.gauge("g");
-        let h = r.histogram("h", 0.0, 10.0, 4);
+        let h = r.histogram(H);
         r.inc(c, 7);
         r.set(g, 2.5);
         r.observe(h, 4.0);
@@ -299,7 +396,30 @@ mod tests {
         assert_eq!(peek, r.peek_window(), "peeking must not mutate");
         assert_eq!(peek, r.snapshot_window());
         // After the snapshot reset, a fresh peek sees the new window.
-        assert_eq!(r.peek_window(), vec![("c", 0.0), ("g", 2.5), ("h", 0.0)]);
+        let quiet = r.peek_window();
+        assert_eq!(quiet[0], ("c", 0.0));
+        assert_eq!(quiet[1], ("g", 2.5));
+        assert_eq!(
+            &quiet[2..],
+            &[
+                ("h", 0.0),
+                ("h_p50", 0.0),
+                ("h_p90", 0.0),
+                ("h_p99", 0.0),
+                ("h_p999", 0.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn snapshot_capacity_is_exact() {
+        let mut r = MetricsRegistry::new();
+        r.counter("c");
+        r.gauge("g");
+        r.histogram(H);
+        let snap = r.snapshot_window();
+        assert_eq!(snap.len(), 7);
+        assert_eq!(snap.capacity(), 7, "snapshot must allocate exactly once");
     }
 
     #[test]

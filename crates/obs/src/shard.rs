@@ -138,6 +138,49 @@ mod tests {
     }
 
     #[test]
+    fn merge_of_an_empty_run_set_clears_out() {
+        // Edge: no shards at all — `out` must still be cleared, not
+        // left holding a previous merge's events.
+        let mut shards: Vec<Vec<(u64, u32)>> = Vec::new();
+        let mut out = vec![(99u64, 1u32)];
+        merge_runs(&mut shards, &mut out);
+        assert!(out.is_empty());
+        // Edge: shards present but all empty behaves the same.
+        let mut shards: Vec<Vec<(u64, u32)>> = vec![Vec::new(); 4];
+        out.push((7, 7));
+        merge_runs(&mut shards, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn merge_of_a_single_run_is_the_identity() {
+        let events: Vec<(u64, u32)> = (0..9u64).map(|s| (s, s as u32 + 100)).collect();
+        let mut shards = vec![events.clone()];
+        let mut out = Vec::new();
+        merge_runs(&mut shards, &mut out);
+        assert_eq!(out, events);
+        assert!(shards[0].is_empty());
+    }
+
+    #[test]
+    fn merge_with_all_equal_sequence_numbers_is_first_shard_wins() {
+        // The engine's one-global-counter invariant makes cross-shard
+        // seq ties impossible, but the merge itself must still be
+        // deterministic if fed them: the head scan takes the strictly
+        // smaller seq, so ties resolve to the lowest shard index.
+        let mut shards = vec![vec![(5u64, 'a'), (5, 'b')], vec![(5, 'c')], vec![(5, 'd')]];
+        let mut out = Vec::new();
+        merge_runs(&mut shards, &mut out);
+        let payloads: Vec<char> = out.iter().map(|&(_, p)| p).collect();
+        assert_eq!(payloads, vec!['a', 'b', 'c', 'd']);
+        // And repeatably so.
+        let mut shards = vec![vec![(5u64, 'a'), (5, 'b')], vec![(5, 'c')], vec![(5, 'd')]];
+        let mut again = Vec::new();
+        merge_runs(&mut shards, &mut again);
+        assert_eq!(out, again);
+    }
+
+    #[test]
     fn drain_visits_fixed_shard_order() {
         let mut shards = vec![vec![1, 2], vec![], vec![3]];
         let mut seen = Vec::new();

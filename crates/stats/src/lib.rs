@@ -29,6 +29,7 @@ mod cdf;
 mod ewma;
 mod histogram;
 mod linfit;
+mod loghist;
 mod pearson;
 mod quantile;
 mod rank;
@@ -40,6 +41,7 @@ pub use cdf::Ecdf;
 pub use ewma::Ewma;
 pub use histogram::{freedman_diaconis_width, Histogram};
 pub use linfit::{linear_fit, LinearFit};
+pub use loghist::LogHistogram;
 pub use pearson::pearson;
 pub use quantile::Quantiles;
 pub use rank::{gini, spearman, top_k_overlap};

@@ -599,6 +599,7 @@ mod tests {
             demotions: 0,
             failed_promotions: 0,
             dropped_orders: 0,
+            trace_dropped_events: 0,
             delta: PmuCounters::default(),
             telemetry: Vec::new(),
             metrics: Vec::new(),

@@ -48,6 +48,7 @@
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 #![allow(clippy::field_reassign_with_default)]
 
+mod attribution;
 mod cache;
 mod chmu;
 mod config;
@@ -64,6 +65,7 @@ mod trace;
 mod types;
 mod workload;
 
+pub use attribution::{CriticalityReport, DEFAULT_REPORT_TOPK};
 pub use cache::{line_of, Llc, StrideDetector};
 pub use chmu::{Chmu, SpaceSaving};
 pub use config::{

@@ -1,11 +1,30 @@
 //! The machine: orchestrates workload threads, the cache/tier substrate,
 //! the PMU, hint-fault scanning, the migration daemon, and the active
 //! tiering policy into one deterministic discrete-event run.
+//!
+//! # `page_stalls` semantics
+//!
+//! With [`MachineConfig::track_page_stalls`] armed, the run report
+//! carries the simulator-only criticality oracle: for every page, the
+//! pipeline-stall cycles *blamed on that page's misses*, split by the
+//! tier the miss was served from (`[fast, slow]`). Blame is assigned
+//! where the core actually waits — a dependent load stalls on the page
+//! of its producer miss, and an MSHR-full retirement stalls on the page
+//! of the oldest outstanding miss — so a page's stall total measures
+//! how *critical* its misses were to forward progress, not how
+//! frequently it was touched (the PACT thesis, Fig. 2). Stores never
+//! accrue stall blame (they retire through the write buffer), and
+//! overlapped miss latency is charged only once, to the miss the core
+//! waited for. The map is additive across windows and byte-identical
+//! for every `shards` setting: the sharded loop buffers attributions
+//! per page-shard and drains them in fixed shard order at window edges.
+//! The criticality report (`tierctl report`, DESIGN.md §13) folds this
+//! oracle into flamegraphs and top-K tables.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
-use pact_obs::{EventKind, MetricId, MetricsRegistry, Tracer};
+use pact_obs::{EventKind, HistogramNames, MetricId, MetricsRegistry, Tracer};
 use pact_stats::SplitMix64;
 
 use crate::cache::{line_of, Llc, StrideDetector};
@@ -41,6 +60,11 @@ pub struct WindowRecord {
     /// Migration orders dropped during this window on daemon-queue
     /// overflow.
     pub dropped_orders: u64,
+    /// Trace events evicted from the tracer's ring buffer during this
+    /// window (0 whenever the ring kept up — the common case). Lets
+    /// trace consumers localise ring overflow in time instead of
+    /// discovering it only in the run-level `overwritten` total.
+    pub trace_dropped_events: u64,
     /// Counter deltas over the window.
     pub delta: PmuCounters,
     /// Named values the policy reported via
@@ -84,12 +108,15 @@ pub struct RunReport {
     pub dropped_orders: u64,
     /// Per-window history.
     pub windows: Vec<WindowRecord>,
-    /// Ground-truth stall cycles attributed to each page's misses
-    /// (present only when `track_page_stalls` was configured). The
-    /// simulator-only oracle against which PAC estimates are validated.
-    /// Ordered map so consumers that iterate the oracle (reports,
-    /// diffs) see a deterministic sequence (det-hash-collections).
-    pub page_stalls: Option<std::collections::BTreeMap<PageId, u64>>,
+    /// Ground-truth stall cycles attributed to each page's misses,
+    /// split by the tier the blamed miss was served from (`[fast,
+    /// slow]`; present only when `track_page_stalls` was configured).
+    /// The simulator-only oracle against which PAC estimates are
+    /// validated and the criticality report is built (module docs,
+    /// "`page_stalls` semantics"). Ordered map so consumers that
+    /// iterate the oracle (reports, diffs) see a deterministic
+    /// sequence (det-hash-collections).
+    pub page_stalls: Option<std::collections::BTreeMap<PageId, [u64; 2]>>,
 }
 
 impl RunReport {
@@ -354,10 +381,11 @@ struct Sim<'a, 'w> {
     chmu_pending: Vec<Vec<(u64, PageId)>>,
     chmu_merge: Vec<(u64, PageId)>,
     chmu_seq: u64,
-    /// Per-page-shard buffered stall attributions `(page, cycles)`,
-    /// drained additively in fixed shard order at window edges. Empty
-    /// unless sharded *and* `track_page_stalls` is on.
-    stall_pending: Vec<Vec<(PageId, u64)>>,
+    /// Per-page-shard buffered stall attributions
+    /// `(page, blamed_tier_index, cycles)`, drained additively in fixed
+    /// shard order at window edges. Empty unless sharded *and*
+    /// `track_page_stalls` is on.
+    stall_pending: Vec<Vec<(PageId, u8, u64)>>,
     /// Reusable due-retry buffer for the window loop.
     retry_buf: Vec<RetryEntry>,
     procs: Vec<ProcState>,
@@ -382,8 +410,10 @@ struct Sim<'a, 'w> {
     // every sample/window so the hot path never allocates.
     order_buf: Vec<MigrationOrder>,
     telemetry_buf: Vec<(&'static str, f64)>,
-    // Migration state.
-    order_queue: VecDeque<MigrationOrder>,
+    // Migration state. Queue entries carry the enqueue cycle so the
+    // daemon can observe queue latency into `mig/latency_cycles` when
+    // it services an order.
+    order_queue: VecDeque<(u64, MigrationOrder)>,
     promotions: u64,
     demotions: u64,
     failed_promotions: u64,
@@ -392,7 +422,7 @@ struct Sim<'a, 'w> {
     window_dropped: u64,
     hint_scan_per_window: u64,
     foreground_threads: usize,
-    page_stalls: Option<std::collections::BTreeMap<PageId, u64>>,
+    page_stalls: Option<std::collections::BTreeMap<PageId, [u64; 2]>>,
     // Observability: structured event sink, metrics registry, and the
     // dense metric handles the substrate updates each window.
     tracer: &'a mut Tracer,
@@ -404,6 +434,11 @@ struct Sim<'a, 'w> {
     m_chan_lines: [MetricId; 2],
     m_chmu: Option<(MetricId, MetricId)>,
     m_pebs_latency: MetricId,
+    m_mig_latency: MetricId,
+    m_chan_occupancy: [MetricId; 2],
+    /// Tracer ring-overwrite total as of the last window edge; the
+    /// per-window delta becomes `WindowRecord::trace_dropped_events`.
+    overwritten_seen: u64,
     chan_lines_seen: [u64; 2],
     /// Start cycle of an ongoing channel-saturation episode, per tier.
     saturated_since: [Option<u64>; 2],
@@ -425,6 +460,44 @@ const ORDER_QUEUE_CAP: usize = 1 << 16;
 /// boundaries) beyond which the channel counts as saturated for
 /// episode tracing.
 const SATURATION_BACKLOG_CYCLES: f64 = 1_000.0;
+
+/// Per-window metric names for the PEBS sampled-load-latency histogram.
+static PEBS_LATENCY_H: HistogramNames = HistogramNames {
+    mean: "pebs/latency_cycles",
+    p50: "pebs/latency_cycles_p50",
+    p90: "pebs/latency_cycles_p90",
+    p99: "pebs/latency_cycles_p99",
+    p999: "pebs/latency_cycles_p999",
+};
+
+/// Per-window metric names for migration-order queue latency (cycles
+/// from enqueue to daemon service).
+static MIG_LATENCY_H: HistogramNames = HistogramNames {
+    mean: "mig/latency_cycles",
+    p50: "mig/latency_cycles_p50",
+    p90: "mig/latency_cycles_p90",
+    p99: "mig/latency_cycles_p99",
+    p999: "mig/latency_cycles_p999",
+};
+
+/// Per-window metric names for demand-miss channel queueing delay, one
+/// histogram per tier (indexed like every other `[fast, slow]` pair).
+static CHAN_OCCUPANCY_H: [HistogramNames; 2] = [
+    HistogramNames {
+        mean: "channel/fast/occupancy_cycles",
+        p50: "channel/fast/occupancy_cycles_p50",
+        p90: "channel/fast/occupancy_cycles_p90",
+        p99: "channel/fast/occupancy_cycles_p99",
+        p999: "channel/fast/occupancy_cycles_p999",
+    },
+    HistogramNames {
+        mean: "channel/slow/occupancy_cycles",
+        p50: "channel/slow/occupancy_cycles_p50",
+        p90: "channel/slow/occupancy_cycles_p90",
+        p99: "channel/slow/occupancy_cycles_p99",
+        p999: "channel/slow/occupancy_cycles_p999",
+    },
+];
 
 impl<'a, 'w> Sim<'a, 'w> {
     fn new(
@@ -520,7 +593,12 @@ impl<'a, 'w> Sim<'a, 'w> {
         ];
         let m_chmu = (cfg.chmu_counters > 0)
             .then(|| (registry.gauge("chmu/tracked"), registry.gauge("chmu/total")));
-        let m_pebs_latency = registry.histogram("pebs/latency_cycles", 0.0, 64.0, 32);
+        let m_pebs_latency = registry.histogram(PEBS_LATENCY_H);
+        let m_mig_latency = registry.histogram(MIG_LATENCY_H);
+        let m_chan_occupancy = [
+            registry.histogram(CHAN_OCCUPANCY_H[0]),
+            registry.histogram(CHAN_OCCUPANCY_H[1]),
+        ];
         // Fault metrics register only when a plan can actually inject,
         // so disabled (or inert) plans leave the per-window metric
         // snapshot — and therefore every exported byte — unchanged.
@@ -614,6 +692,9 @@ impl<'a, 'w> Sim<'a, 'w> {
             m_chan_lines,
             m_chmu,
             m_pebs_latency,
+            m_mig_latency,
+            m_chan_occupancy,
+            overwritten_seen: 0,
             chan_lines_seen: [0; 2],
             saturated_since: [None; 2],
             faults,
@@ -712,6 +793,7 @@ impl<'a, 'w> Sim<'a, 'w> {
     }
 
     fn run(mut self) -> Result<RunReport, SimError> {
+        let _prof = pact_obs::hostprof::span("run");
         if self.shard_heaps.is_empty() {
             self.run_serial()?;
         } else {
@@ -947,11 +1029,11 @@ impl<'a, 'w> Sim<'a, 'w> {
         let t = &mut self.threads[ti];
 
         // A dependent load cannot issue until its producer miss returns.
-        let mut blamed: Option<(u64, u64)> = None; // (page, stall)
+        let mut blamed: Option<(u64, u8, u64)> = None; // (page, tier, stall)
         if dep && t.last_miss_completion > now {
             let wait = t.last_miss_completion - now;
             self.counters.llc_stalls[t.last_miss_tier as usize] += wait;
-            blamed = Some((t.last_miss_page, wait));
+            blamed = Some((t.last_miss_page, t.last_miss_tier, wait));
             now = t.last_miss_completion;
         }
 
@@ -961,7 +1043,7 @@ impl<'a, 'w> Sim<'a, 'w> {
                 t.inflight.pop();
             } else if t.inflight.len() >= self.cfg.mshrs {
                 self.counters.llc_stalls[ct as usize] += c - now;
-                blamed = Some((cp, c - now));
+                blamed = Some((cp, ct, c - now));
                 now = c;
                 t.inflight.pop();
             } else {
@@ -971,6 +1053,8 @@ impl<'a, 'w> Sim<'a, 'w> {
 
         let issue = now;
         let queue_delay = self.channels[tidx].book(issue, 1);
+        self.registry
+            .observe(self.m_chan_occupancy[tidx], queue_delay);
         let completion = issue + queue_delay as u64 + self.latency[tidx];
         t.inflight.push(Reverse((completion, tidx as u8, page.0)));
         t.last_miss_completion = completion;
@@ -979,8 +1063,8 @@ impl<'a, 'w> Sim<'a, 'w> {
         // `now >= clock_offset`: miss completions are absolute times of
         // this live thread, which carries every shootdown bump.
         self.clock[ti] = now - self.clock_offset;
-        if let Some((bp, stall)) = blamed {
-            self.note_page_stall(PageId(bp), stall);
+        if let Some((bp, bt, stall)) = blamed {
+            self.note_page_stall(PageId(bp), bt, stall);
         }
 
         self.counters.demand_latency_sum[tidx] += completion - issue;
@@ -1025,17 +1109,18 @@ impl<'a, 'w> Sim<'a, 'w> {
         self.channels[tidx].book(now, 1);
     }
 
-    /// Attributes `stall` cycles to `page`'s misses. On the sharded
+    /// Attributes `stall` cycles to `page`'s misses, split by the tier
+    /// index `tidx` the blamed miss was served from. On the sharded
     /// path the hot loop only appends to a reused per-shard buffer; the
     /// BTreeMap (whose inserts allocate nodes) is updated at window
     /// edges. Attribution is additive, so any fixed merge order works.
     #[inline]
-    fn note_page_stall(&mut self, page: PageId, stall: u64) {
+    fn note_page_stall(&mut self, page: PageId, tidx: u8, stall: u64) {
         if !self.stall_pending.is_empty() {
             let s = page_shard(page, self.mem.unit_span(), self.stall_pending.len());
-            self.stall_pending[s].push((page, stall));
+            self.stall_pending[s].push((page, tidx, stall));
         } else if let Some(map) = self.page_stalls.as_mut() {
-            *map.entry(page).or_insert(0) += stall;
+            map.entry(page).or_insert([0; 2])[tidx as usize] += stall;
         }
     }
 
@@ -1047,17 +1132,25 @@ impl<'a, 'w> Sim<'a, 'w> {
     /// fixed shard order. No-op on the serial path (empty buffers).
     fn flush_page_events(&mut self) {
         if !self.chmu_pending.is_empty() {
-            pact_obs::shard::merge_runs(&mut self.chmu_pending, &mut self.chmu_merge);
+            {
+                let _prof = pact_obs::hostprof::span("shard_merge");
+                pact_obs::shard::merge_runs(&mut self.chmu_pending, &mut self.chmu_merge);
+            }
             if let Some(chmu) = self.chmu.as_mut() {
+                let _prof = pact_obs::hostprof::span("chmu_replay");
                 chmu.observe_batch(self.chmu_merge.iter().map(|(_, p)| p));
             }
             self.chmu_merge.clear();
         }
         if !self.stall_pending.is_empty() {
             if let Some(map) = self.page_stalls.as_mut() {
-                pact_obs::shard::drain_in_shard_order(&mut self.stall_pending, |(page, stall)| {
-                    *map.entry(page).or_insert(0) += stall;
-                });
+                let _prof = pact_obs::hostprof::span("shard_merge");
+                pact_obs::shard::drain_in_shard_order(
+                    &mut self.stall_pending,
+                    |(page, tidx, stall)| {
+                        map.entry(page).or_insert([0; 2])[tidx as usize] += stall;
+                    },
+                );
             }
         }
     }
@@ -1157,7 +1250,7 @@ impl<'a, 'w> Sim<'a, 'w> {
                 },
             );
         } else {
-            self.order_queue.push_back(order);
+            self.order_queue.push_back((cycle, order));
         }
     }
 
@@ -1288,6 +1381,7 @@ impl<'a, 'w> Sim<'a, 'w> {
     /// run the migration daemon, refresh hint-fault poison, and — when
     /// an [`crate::InvariantSet`] is armed — verify conservation laws.
     fn fire_window(&mut self) -> Result<(), SimError> {
+        let _prof = pact_obs::hostprof::span("window");
         // Merge the shards' buffered page events before anything — the
         // policy, CHMU gauges, and oracle below — can observe them.
         self.flush_page_events();
@@ -1310,7 +1404,10 @@ impl<'a, 'w> Sim<'a, 'w> {
             delta,
             cumulative: &self.counters,
         };
-        self.policy.on_window(&win, &mut ctx);
+        {
+            let _prof = pact_obs::hostprof::span("policy_step");
+            self.policy.on_window(&win, &mut ctx);
+        }
         self.window_telemetry.append(&mut telemetry);
         let edge = self.next_edge;
         for order in orders.drain(..) {
@@ -1391,10 +1488,14 @@ impl<'a, 'w> Sim<'a, 'w> {
         }
         self.retry_buf = due;
         while budget >= span {
-            let Some(order) = self.order_queue.pop_front() else {
+            let Some((enqueued, order)) = self.order_queue.pop_front() else {
                 break;
             };
             budget -= span;
+            // Queue latency: enqueue edge to the edge the daemon
+            // services the order at (0 for same-window service).
+            self.registry
+                .observe(self.m_mig_latency, edge.saturating_sub(enqueued) as f64);
             self.execute_order(order, None, 0);
         }
 
@@ -1475,6 +1576,11 @@ impl<'a, 'w> Sim<'a, 'w> {
             Some(c) if c.wants_window_records() => Some(self.registry.peek_window()),
             _ => None,
         };
+        // Ring-overwrite delta after every emit above, so events evicted
+        // *by this edge's own emissions* still count against this window.
+        let overwritten = self.tracer.overwritten();
+        let trace_dropped_events = overwritten - self.overwritten_seen;
+        self.overwritten_seen = overwritten;
         self.windows.push(WindowRecord {
             index: self.window_idx,
             end_cycles: self.next_edge,
@@ -1482,6 +1588,7 @@ impl<'a, 'w> Sim<'a, 'w> {
             demotions: self.window_demos,
             failed_promotions: self.window_failed,
             dropped_orders: self.window_dropped,
+            trace_dropped_events,
             delta,
             // Drain, not take: the per-window telemetry buffer keeps
             // its capacity across windows (the record gets an

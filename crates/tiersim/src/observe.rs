@@ -48,6 +48,7 @@ fn window_json(j: &mut JsonWriter, w: &WindowRecord) {
     j.field_u64("demotions", w.demotions);
     j.field_u64("failed_promotions", w.failed_promotions);
     j.field_u64("dropped_orders", w.dropped_orders);
+    j.field_u64("trace_dropped_events", w.trace_dropped_events);
     j.key("delta");
     counters_json(j, &w.delta);
     j.key("telemetry");
@@ -77,11 +78,12 @@ impl WindowRecord {
     /// The window's named series in export order: built-in migration
     /// counts, then policy telemetry, then metric snapshots.
     pub fn series(&self) -> Vec<(&'static str, f64)> {
-        let mut s = Vec::with_capacity(4 + self.telemetry.len() + self.metrics.len());
+        let mut s = Vec::with_capacity(5 + self.telemetry.len() + self.metrics.len());
         s.push(("promotions", self.promotions as f64));
         s.push(("demotions", self.demotions as f64));
         s.push(("failed_promotions", self.failed_promotions as f64));
         s.push(("dropped_orders", self.dropped_orders as f64));
+        s.push(("trace_dropped_events", self.trace_dropped_events as f64));
         s.extend_from_slice(&self.telemetry);
         s.extend_from_slice(&self.metrics);
         s
@@ -200,7 +202,9 @@ mod tests {
         let s = r.windows[0].series();
         assert_eq!(s[0].0, "promotions");
         assert_eq!(s[3].0, "dropped_orders");
+        assert_eq!(s[4].0, "trace_dropped_events");
         assert!(s.iter().any(|&(k, _)| k == "daemon/queue_len"));
+        assert!(s.iter().any(|&(k, _)| k == "pebs/latency_cycles_p99"));
     }
 
     #[test]

@@ -166,7 +166,9 @@ fn proportional_attribution_ranks_like_ground_truth() {
     for (page, e) in pact.store().iter() {
         if e.pac > 0.0 {
             est.push(e.pac);
-            tru.push(*truth.get(page).unwrap_or(&0) as f64);
+            // The oracle splits blame per serving tier; total
+            // criticality is the sum of both lanes.
+            tru.push(truth.get(page).map_or(0, |v| v[0] + v[1]) as f64);
         }
     }
     assert!(est.len() > 500, "too few profiled pages: {}", est.len());
