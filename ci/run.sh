@@ -14,7 +14,7 @@
 #     PACT_CI_STAGES="fmt lint" ci/run.sh
 #     PACT_CI_STAGES="build check" ci/run.sh
 #
-# Stages: fmt lint build test workspace perf machine-perf obs obs-report fault check
+# Stages: fmt lint build test workspace perf machine-perf obs obs-report fault snapshot check
 #
 # PACT_JOBS is pinned so sweep-shaped tests exercise the parallel
 # executor deterministically regardless of the runner's core count.
@@ -24,7 +24,7 @@ cd "$(dirname "$0")/.."
 export CARGO_NET_OFFLINE="${CARGO_NET_OFFLINE:-true}"
 export PACT_JOBS="${PACT_JOBS:-4}"
 
-STAGES="${PACT_CI_STAGES:-fmt lint build test workspace perf machine-perf obs obs-report fault check}"
+STAGES="${PACT_CI_STAGES:-fmt lint build test workspace perf machine-perf obs obs-report fault snapshot check}"
 TIMING_FILE="$(mktemp)"
 trap 'rm -f "$TIMING_FILE"' EXIT
 
@@ -149,6 +149,58 @@ stage_fault() {
     echo "    fault-injected traces byte-identical, nonzero failure totals"
 }
 
+# Crash-recovery gate (DESIGN.md §14): capture a fault-injected cell
+# with the retry/backoff machinery loaded, snapshotting under 1 shard;
+# resume every frame under PACT_SHARDS=4 and 7 and demand the
+# report:/digest: summary lines match the uninterrupted run's exactly.
+# A deliberately corrupted frame must be rejected with exit 2, and the
+# same fault plan must be set on resume — the plan is part of the
+# configuration fingerprint.
+stage_snapshot() {
+    snap_dir="target/ci-snap"
+    rm -rf "$snap_dir"
+    mkdir -p "$snap_dir"
+    fault_spec='drop=0.2,fail=0.6,retries=2,backoff=2,seed=7'
+    PACT_FAULTS="$fault_spec" PACT_SHARDS=1 \
+        cargo run --release -p pact-bench --bin tierctl -- snapshot \
+        --workload masim --policy pact --ratio 1:2 --seed 7 --every 8 \
+        --out "$snap_dir" | tee "$snap_dir/capture.out"
+    grep -E '^(report|digest):' "$snap_dir/capture.out" > "$snap_dir/want.txt"
+    frames=0
+    for snap in "$snap_dir"/snap_*.pactsnap; do
+        for shards in 4 7; do
+            PACT_FAULTS="$fault_spec" PACT_SHARDS="$shards" \
+                cargo run --release -p pact-bench --bin tierctl -- resume \
+                --from "$snap" | grep -E '^(report|digest):' > "$snap_dir/got.txt"
+            cmp "$snap_dir/want.txt" "$snap_dir/got.txt"
+        done
+        frames=$((frames + 1))
+    done
+    [ "$frames" -gt 0 ] || {
+        echo "    FAIL: capture run wrote no snapshots"
+        exit 1
+    }
+    echo "    kill-resume byte-identical across PACT_SHARDS={4,7} for $frames frames"
+    first=$(ls "$snap_dir"/snap_*.pactsnap | head -n 1)
+    cp "$first" "$snap_dir/corrupt.pactsnap"
+    printf '\377' | dd of="$snap_dir/corrupt.pactsnap" bs=1 seek=100 count=1 conv=notrunc 2> /dev/null
+    rc=0
+    PACT_FAULTS="$fault_spec" cargo run --release -p pact-bench --bin tierctl -- resume \
+        --from "$snap_dir/corrupt.pactsnap" > /dev/null 2>&1 || rc=$?
+    [ "$rc" -eq 2 ] || {
+        echo "    FAIL: corrupted snapshot exited $rc, want 2"
+        exit 1
+    }
+    rc=0
+    cargo run --release -p pact-bench --bin tierctl -- resume \
+        --from "$first" > /dev/null 2>&1 || rc=$?
+    [ "$rc" -eq 2 ] || {
+        echo "    FAIL: resume without the capture's fault plan exited $rc, want 2"
+        exit 1
+    }
+    echo "    corrupted and configuration-mismatched snapshots rejected with exit 2"
+}
+
 # Invariant & differential-oracle smoke: the config fuzzer with the
 # runtime checker armed, per-cell differential oracles, and the
 # sweep-level bit-identity oracle.
@@ -179,7 +231,7 @@ run_stage() {
     printf '%-12s %4ss\n' "$1" "$(($(date +%s) - stage_start))" >> "$TIMING_FILE"
 }
 
-for stage in fmt lint build test workspace perf machine-perf obs obs-report fault check; do
+for stage in fmt lint build test workspace perf machine-perf obs obs-report fault snapshot check; do
     run_stage "$stage"
 done
 

@@ -120,8 +120,12 @@ fn check_against(
 
 fn main() {
     let check_path = gate::check_path_from_args("probe_machine");
+    pact_bench::validate_fault_env();
     pact_bench::arm_hostprof_from_env();
-    let shards = pact_bench::env::shards_override().unwrap_or(8);
+    let shards = pact_bench::env::shards_override()
+        .ok()
+        .flatten()
+        .unwrap_or(8);
     eprintln!(
         "[probe_machine] fleet-random: {THREADS} threads x {ACCESSES_PER_THREAD} accesses \
          under '{POLICY}', serial vs {shards} shards"

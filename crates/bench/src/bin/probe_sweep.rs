@@ -49,8 +49,9 @@ fn check_against(baseline_json: &str, fresh_identical: bool, fresh_serial_cps: f
 
 fn main() {
     let check_path = gate::check_path_from_args("probe_sweep");
+    pact_bench::validate_fault_env();
     pact_bench::arm_hostprof_from_env();
-    let jobs = pact_bench::env::jobs_override().unwrap_or(4);
+    let jobs = pact_bench::env::jobs_override().ok().flatten().unwrap_or(4);
     let ratios = [
         TierRatio::new(4, 1),
         TierRatio::new(1, 1),

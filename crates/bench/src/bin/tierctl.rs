@@ -22,6 +22,19 @@
 //! # -> report_dir/report.md, report.json, flame.folded
 //! ```
 //!
+//! The `snapshot` subcommand runs one cell while capturing versioned
+//! crash-recovery snapshots at a fixed window cadence (DESIGN.md §14);
+//! `resume` restores one of those files and runs the cell to
+//! completion. A resumed run's report is byte-identical to the
+//! uninterrupted run — the `digest:` line pins it, and the CI
+//! `snapshot` stage and `pact-check`'s kill-resume oracle compare it
+//! across `PACT_SHARDS` values:
+//!
+//! ```text
+//! tierctl snapshot --workload gups --every 8 --out snaps
+//! tierctl resume --from snaps/snap_000008.pactsnap
+//! ```
+//!
 //! The `serve-metrics` subcommand runs one cell and serves its metrics
 //! as Prometheus text exposition plus a `/healthz` probe:
 //!
@@ -51,10 +64,14 @@
 //! Exit status: 0 all checks passed, 1 a check failed (or lint
 //! findings exist), 2 invalid usage or I/O error.
 
-use pact_bench::{count, experiment_machine, pct, serve, Harness, TierRatio, ALL_POLICIES};
+use pact_bench::snapfile::CellSnapshot;
+use pact_bench::{
+    count, experiment_machine, make_policy, pct, serve, Harness, TierRatio, ALL_POLICIES,
+};
 use pact_obs::{validate, DEFAULT_RING_CAPACITY};
 use pact_tiersim::{
-    export_trace, CriticalityReport, Tier, TraceFormat, Tracer, DEFAULT_REPORT_TOPK,
+    export_trace, CriticalityReport, Machine, MachineConfig, RunReport, Tier, TraceFormat, Tracer,
+    DEFAULT_REPORT_TOPK,
 };
 use pact_workloads::suite::{build, Scale, SUITE};
 
@@ -67,10 +84,13 @@ struct Args {
     seed: u64,
     windows: bool,
     trace_out: Option<String>,
-    // `trace` / `report` / `serve-metrics` subcommand state.
+    // `trace` / `report` / `serve-metrics` / `snapshot` / `resume`
+    // subcommand state.
     trace_cmd: bool,
     report_cmd: bool,
     serve_cmd: bool,
+    snapshot_cmd: bool,
+    resume_cmd: bool,
     out: Option<String>,
     format: TraceFormat,
     validate: bool,
@@ -78,6 +98,8 @@ struct Args {
     addr: Option<std::net::SocketAddr>,
     max_requests: Option<usize>,
     self_check: bool,
+    every: Option<u64>,
+    from: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -93,6 +115,8 @@ fn parse_args() -> Result<Args, String> {
         trace_cmd: false,
         report_cmd: false,
         serve_cmd: false,
+        snapshot_cmd: false,
+        resume_cmd: false,
         out: None,
         format: TraceFormat::Chrome,
         validate: false,
@@ -100,6 +124,8 @@ fn parse_args() -> Result<Args, String> {
         addr: None,
         max_requests: None,
         self_check: false,
+        every: None,
+        from: None,
     };
     let mut it = std::env::args().skip(1).peekable();
     // The inspection subcommands default to smoke scale: their runs
@@ -118,6 +144,16 @@ fn parse_args() -> Result<Args, String> {
         Some("serve-metrics") => {
             it.next();
             args.serve_cmd = true;
+            args.scale = Scale::Smoke;
+        }
+        Some("snapshot") => {
+            it.next();
+            args.snapshot_cmd = true;
+            args.scale = Scale::Smoke;
+        }
+        Some("resume") => {
+            it.next();
+            args.resume_cmd = true;
             args.scale = Scale::Smoke;
         }
         _ => {}
@@ -171,6 +207,14 @@ fn parse_args() -> Result<Args, String> {
                     Some(v.parse().map_err(|_| format!("bad request count '{v}'"))?);
             }
             "--self-check" => args.self_check = true,
+            "--every" => {
+                let v = it.next().ok_or("--every needs a window count")?;
+                args.every = match v.parse::<u64>() {
+                    Ok(n) if n > 0 => Some(n),
+                    _ => return Err(format!("bad cadence '{v}': expected a positive integer")),
+                };
+            }
+            "--from" => args.from = Some(it.next().ok_or("--from needs a snapshot file")?),
             "--list" => {
                 println!("workloads: {}", SUITE.join(", "));
                 println!("           masim, gups (motivation)");
@@ -190,6 +234,9 @@ fn parse_args() -> Result<Args, String> {
                      tierctl serve-metrics [--workload W] [--policy P] [--ratio F:S] \
                      [--scale smoke|paper] [--seed N] [--addr HOST:PORT] \
                      [--max-requests N] [--self-check]\n       \
+                     tierctl snapshot [--workload W] [--policy P] [--ratio F:S] [--thp] \
+                     [--scale smoke|paper] [--seed N] [--every N] [--out DIR]\n       \
+                     tierctl resume --from FILE\n       \
                      tierctl check [--fuzz N] [--seed S] [--case 0xHEX] [--oracle] \
                      [--workload W]...\n       \
                      tierctl lint [--root DIR] [--json] [--rule ID]... [--list-rules]"
@@ -462,6 +509,178 @@ fn run_serve_metrics(args: &Args) {
     });
 }
 
+/// FNV-1a over the report's full `Debug` rendering: an order-sensitive
+/// digest of every field the run produced (counters, window records,
+/// telemetry, metrics, the page-stall oracle). Equal digests between an
+/// uninterrupted run and a kill-resume replay are what the CI
+/// `snapshot` stage compares.
+fn report_digest(report: &RunReport) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in format!("{report:?}").bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The deterministic summary shared by `snapshot` and `resume`: the
+/// `report:`/`digest:` lines must be byte-identical between the
+/// uninterrupted run and every resumed replay.
+fn print_run_summary(label: &str, report: &RunReport) {
+    println!("cell {label}");
+    println!(
+        "report: windows={} cycles={} promotions={} demotions={} failed={} dropped={}",
+        report.windows.len(),
+        report.total_cycles,
+        report.promotions,
+        report.demotions,
+        report.failed_promotions,
+        report.dropped_orders
+    );
+    println!("digest: {:#018x}", report_digest(report));
+}
+
+/// Machine configuration for a snapshot/resume cell. Applies the
+/// already-validated `PACT_FAULTS` / `PACT_SHARDS` hooks the same way
+/// the `Harness` does, so a snapshot cell matches the equivalent
+/// `tierctl` run cell exactly.
+fn cell_machine_config(
+    fast_pages: u64,
+    thp: bool,
+    seed: u64,
+    track_stalls: bool,
+    every: u64,
+) -> MachineConfig {
+    let mut cfg = experiment_machine(fast_pages);
+    cfg.thp = thp;
+    cfg.seed = seed;
+    cfg.track_page_stalls = track_stalls;
+    cfg.snapshot_every = every;
+    if cfg.fault_plan.is_none() {
+        cfg.fault_plan = pact_bench::env::fault_plan().ok().flatten();
+    }
+    if let Some(n) = pact_bench::env::shards_override().ok().flatten() {
+        cfg.shards = n;
+    }
+    cfg
+}
+
+fn cell_policy(name: &str) -> Box<dyn pact_tiersim::TieringPolicy> {
+    make_policy(name).unwrap_or_else(|e| {
+        eprintln!("{e}; known policies: {}", ALL_POLICIES.join(", "));
+        std::process::exit(2);
+    })
+}
+
+/// The `snapshot` subcommand: one cell run to completion with the
+/// page-stall oracle armed, writing a versioned cell snapshot every
+/// `--every` windows (default from `PACT_SNAPSHOT`, else 16).
+fn run_snapshot(args: &Args) {
+    let every = args
+        .every
+        .or_else(|| pact_bench::env::snapshot_every().unwrap_or(None))
+        .unwrap_or(16);
+    let wl = build(&args.workload, args.scale, args.seed);
+    let fast_pages = args.ratio.fast_pages(wl.footprint_bytes());
+    let cfg = cell_machine_config(fast_pages, args.thp, args.seed, true, every);
+    let machine = Machine::new(cfg).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    let mut policy = cell_policy(&args.policy);
+    let dir = std::path::PathBuf::from(args.out.as_deref().unwrap_or("snapshots"));
+    std::fs::create_dir_all(&dir).unwrap_or_else(|e| {
+        eprintln!("cannot create {}: {e}", dir.display());
+        std::process::exit(1);
+    });
+    let scale_name = match args.scale {
+        Scale::Smoke => "smoke",
+        Scale::Paper => "paper",
+    };
+    let mut written = 0usize;
+    let mut write_err: Option<String> = None;
+    let mut tracer = Tracer::disabled();
+    let report = {
+        let mut sink = |frame: pact_tiersim::MachineSnapshot| {
+            let window = frame.window().unwrap_or(0);
+            let cell = CellSnapshot {
+                workload: args.workload.clone(),
+                policy: args.policy.clone(),
+                scale: scale_name.into(),
+                seed: args.seed,
+                fast_pages,
+                thp: args.thp,
+                track_stalls: true,
+                frame,
+            };
+            let path = dir.join(format!("snap_{window:06}.pactsnap"));
+            match std::fs::write(&path, cell.to_bytes()) {
+                Ok(()) => written += 1,
+                Err(e) => {
+                    write_err.get_or_insert(format!("cannot write {}: {e}", path.display()));
+                }
+            }
+        };
+        machine.try_run_snapshotting(&[wl.as_ref()], policy.as_mut(), &mut tracer, &mut sink)
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    if let Some(e) = write_err {
+        eprintln!("{e}");
+        std::process::exit(1);
+    }
+    let label = format!("{}/{}/{}", args.workload, args.policy, args.ratio);
+    print_run_summary(&label, &report);
+    println!(
+        "wrote {written} snapshots to {} (every {every} windows)",
+        dir.display()
+    );
+}
+
+/// The `resume` subcommand: restores a `tierctl snapshot` file and
+/// runs the cell to completion. Corrupt, version-bumped, or
+/// wrong-configuration snapshots are rejected with exit 2.
+fn run_resume(args: &Args) {
+    let Some(path) = &args.from else {
+        eprintln!("resume needs --from FILE");
+        std::process::exit(2);
+    };
+    let bytes = std::fs::read(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let cell = CellSnapshot::from_bytes(&bytes).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    let scale = match cell.scale.as_str() {
+        "smoke" => Scale::Smoke,
+        _ => Scale::Paper,
+    };
+    let wl = build(&cell.workload, scale, cell.seed);
+    let cfg = cell_machine_config(cell.fast_pages, cell.thp, cell.seed, cell.track_stalls, 0);
+    let machine = Machine::new(cfg).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    let mut policy = cell_policy(&cell.policy);
+    let mut tracer = Tracer::disabled();
+    let report = machine
+        .try_resume(&[wl.as_ref()], policy.as_mut(), &mut tracer, &cell.frame)
+        .unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        });
+    let window = cell.frame.window().unwrap_or(0);
+    let label = format!(
+        "{}/{} (resumed from window {window})",
+        cell.workload, cell.policy
+    );
+    print_run_summary(&label, &report);
+}
+
 struct LintArgs {
     root: Option<String>,
     json: bool,
@@ -580,6 +799,16 @@ fn main() {
     }
     if args.serve_cmd {
         run_serve_metrics(&args);
+        return;
+    }
+    if args.snapshot_cmd {
+        run_snapshot(&args);
+        pact_bench::emit_hostprof_summary();
+        return;
+    }
+    if args.resume_cmd {
+        run_resume(&args);
+        pact_bench::emit_hostprof_summary();
         return;
     }
     if let Some(path) = &args.trace_out {

@@ -15,6 +15,7 @@
 //! | `PACT_PROF`         | [`prof_enabled`]     | `1`/`true` arms the host self-profiler (`hostprof`) |
 //! | `PACT_METRICS_ADDR` | [`metrics_addr`]     | `host:port` bind address for `tierctl serve-metrics`|
 //! | `PACT_REPORT_TOPK`  | [`report_topk`]      | Rows in `tierctl report` top-K tables (integer ≥ 1) |
+//! | `PACT_SNAPSHOT`     | [`snapshot_every`]   | Crash-recovery snapshot cadence in windows (≥ 1)    |
 //! | `PACT_CI_STAGES`    | `ci/run.sh` only     | Space-separated CI stage subset                     |
 //!
 //! Library crates below `pact-bench` (`tiersim`, `obs`, …) never read
@@ -50,42 +51,77 @@ pub const METRICS_ADDR_ENV: &str = "PACT_METRICS_ADDR";
 /// top-K tables (`tierctl report`).
 pub const REPORT_TOPK_ENV: &str = "PACT_REPORT_TOPK";
 
+/// `PACT_SNAPSHOT`: crash-recovery snapshot cadence in completed
+/// windows (`tiersim::snapshot`, DESIGN.md §14). Resolved into
+/// [`MachineConfig::snapshot_every`](pact_tiersim::MachineConfig) by
+/// the binaries that install a snapshot sink (`tierctl snapshot`).
+pub const SNAPSHOT_ENV: &str = "PACT_SNAPSHOT";
+
 /// The one sanctioned environment read.
 fn read(name: &str) -> Option<String> {
     std::env::var(name).ok().filter(|v| !v.trim().is_empty())
 }
 
-/// The `PACT_JOBS` override: `Some(n)` for a positive integer, `None`
-/// when unset; warns and returns `None` on an unparseable value so
-/// callers fall back to their own default.
-pub fn jobs_override() -> Option<usize> {
-    let v = read(JOBS_ENV)?;
-    match v.trim().parse::<usize>() {
-        Ok(n) if n > 0 => Some(n),
-        _ => {
-            eprintln!("warning: ignoring invalid {JOBS_ENV}={v:?}; using the default worker count");
-            None
-        }
+/// The `PACT_JOBS` override: `Ok(Some(n))` for a positive integer,
+/// `Ok(None)` when unset.
+///
+/// # Errors
+///
+/// A non-integer or zero value is a configuration error naming the
+/// variable; binaries exit 2 (library callers may degrade with a
+/// warning since the binary already validated at startup).
+pub fn jobs_override() -> Result<Option<usize>, String> {
+    match read(JOBS_ENV) {
+        None => Ok(None),
+        Some(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n > 0 => Ok(Some(n)),
+            _ => Err(format!(
+                "invalid {JOBS_ENV}={v:?}: expected a positive integer worker count"
+            )),
+        },
     }
 }
 
-/// The `PACT_SHARDS` override: `Some(n)` for an integer in `1..=256`
-/// (the range `MachineConfig::validate` accepts), `None` when unset;
-/// warns and returns `None` on an invalid value so callers fall back
-/// to the configured shard count. Sharding is a pure scheduling choice
-/// — results are byte-identical for every value (pinned by
+/// The `PACT_SHARDS` override: `Ok(Some(n))` for an integer in
+/// `1..=256` (the range `MachineConfig::validate` accepts), `Ok(None)`
+/// when unset. Sharding is a pure scheduling choice — results are
+/// byte-identical for every value (pinned by
 /// `tests/shard_determinism.rs`) — so an operator override can never
 /// change an experiment's outcome, only its speed.
-pub fn shards_override() -> Option<usize> {
-    let v = read(SHARDS_ENV)?;
-    match v.trim().parse::<usize>() {
-        Ok(n) if (1..=256).contains(&n) => Some(n),
-        _ => {
-            eprintln!(
-                "warning: ignoring invalid {SHARDS_ENV}={v:?}; expected 1..=256, using the configured shard count"
-            );
-            None
-        }
+///
+/// # Errors
+///
+/// A value outside `1..=256` (including `0`) is a configuration error
+/// naming the variable; binaries exit 2.
+pub fn shards_override() -> Result<Option<usize>, String> {
+    match read(SHARDS_ENV) {
+        None => Ok(None),
+        Some(v) => match v.trim().parse::<usize>() {
+            Ok(n) if (1..=256).contains(&n) => Ok(Some(n)),
+            _ => Err(format!(
+                "invalid {SHARDS_ENV}={v:?}: expected a shard count in 1..=256"
+            )),
+        },
+    }
+}
+
+/// The `PACT_SNAPSHOT` crash-recovery snapshot cadence: `Ok(Some(n))`
+/// windows between captures, `Ok(None)` when unset (snapshotting off).
+///
+/// # Errors
+///
+/// A non-integer or zero value is a configuration error naming the
+/// variable; binaries exit 2. (`0` is rejected rather than treated as
+/// "off" so a typo'd cadence never silently disables recovery.)
+pub fn snapshot_every() -> Result<Option<u64>, String> {
+    match read(SNAPSHOT_ENV) {
+        None => Ok(None),
+        Some(v) => match v.trim().parse::<u64>() {
+            Ok(n) if n > 0 => Ok(Some(n)),
+            _ => Err(format!(
+                "invalid {SNAPSHOT_ENV}={v:?}: expected a positive window count"
+            )),
+        },
     }
 }
 
@@ -191,10 +227,13 @@ mod tests {
     #[test]
     fn unset_variables_resolve_to_none() {
         if std::env::var(JOBS_ENV).is_err() {
-            assert_eq!(jobs_override(), None);
+            assert_eq!(jobs_override(), Ok(None));
         }
         if std::env::var(SHARDS_ENV).is_err() {
-            assert_eq!(shards_override(), None);
+            assert_eq!(shards_override(), Ok(None));
+        }
+        if std::env::var(SNAPSHOT_ENV).is_err() {
+            assert_eq!(snapshot_every(), Ok(None));
         }
         if std::env::var(TRACE_ENV).is_err() {
             assert_eq!(trace_config(), None);

@@ -33,9 +33,18 @@ pub use crate::env::JOBS_ENV;
 /// Resolves the worker count: `PACT_JOBS` if set to a positive
 /// integer, else the machine's available parallelism, else 1. The
 /// environment read itself lives in [`crate::env`], the `PACT_*`
-/// registry.
+/// registry. An invalid value warns and falls back to the default —
+/// binaries reject it eagerly at startup (see
+/// [`crate::validate_fault_env`]).
 pub fn jobs_from_env() -> usize {
-    crate::env::jobs_override().unwrap_or_else(default_jobs)
+    match crate::env::jobs_override() {
+        Ok(Some(n)) => n,
+        Ok(None) => default_jobs(),
+        Err(e) => {
+            eprintln!("warning: ignoring {e}");
+            default_jobs()
+        }
+    }
 }
 
 /// The machine's available parallelism (1 if it cannot be queried).

@@ -26,6 +26,7 @@ pub mod gate;
 mod report;
 mod runner;
 pub mod serve;
+pub mod snapfile;
 
 pub use cli::{
     arm_hostprof_from_env, emit_hostprof_summary, exit_invalid_config, parse_options,

@@ -85,9 +85,17 @@ fn env_fault_plan() -> Option<&'static FaultPlan> {
 
 /// The process-wide `PACT_SHARDS` override, resolved once so every
 /// sweep cell — including those on worker threads — sees one value.
+/// An invalid value warns once and is ignored here — binaries reject
+/// it eagerly at startup (see [`crate::validate_fault_env`]).
 fn env_shards() -> Option<usize> {
     static SHARDS: OnceLock<Option<usize>> = OnceLock::new();
-    *SHARDS.get_or_init(crate::env::shards_override)
+    *SHARDS.get_or_init(|| match crate::env::shards_override() {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("warning: ignoring {e}");
+            None
+        }
+    })
 }
 
 /// Outcome of one policy run, normalized against the DRAM baseline.

@@ -15,6 +15,8 @@ fn tierctl(args: &[&str]) -> Command {
     cmd.env_remove("PACT_PROF");
     cmd.env_remove("PACT_METRICS_ADDR");
     cmd.env_remove("PACT_REPORT_TOPK");
+    cmd.env_remove("PACT_SHARDS");
+    cmd.env_remove("PACT_SNAPSHOT");
     cmd
 }
 
@@ -205,6 +207,120 @@ fn malformed_observability_env_exits_2() {
         );
         assert!(stderr_of(&out).contains(var), "{}", stderr_of(&out));
     }
+}
+
+#[test]
+fn malformed_scaling_env_exits_2_naming_the_variable() {
+    // Satellite of the snapshot PR: every PACT_* knob is validated at
+    // startup with a structured one-line error that names the variable.
+    for (var, value) in [
+        ("PACT_SHARDS", "0"),
+        ("PACT_SHARDS", "257"),
+        ("PACT_SHARDS", "lots"),
+        ("PACT_JOBS", "0"),
+        ("PACT_JOBS", "-3"),
+        ("PACT_SNAPSHOT", "0"),
+        ("PACT_SNAPSHOT", "abc"),
+        ("PACT_SNAPSHOT", "-1"),
+    ] {
+        let out = tierctl(&["--list"])
+            .env(var, value)
+            .output()
+            .expect("spawn tierctl");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{var}={value}: {}",
+            stderr_of(&out)
+        );
+        let err = stderr_of(&out);
+        assert!(err.contains(var), "{err}");
+        assert!(err.contains(value), "{err}");
+        assert_eq!(err.lines().count(), 1, "one-line error expected: {err}");
+    }
+}
+
+// --- tierctl snapshot / resume ---------------------------------------
+
+#[test]
+fn snapshot_then_resume_reproduces_the_digest() {
+    let dir = fixture_dir("snap_roundtrip");
+    std::fs::create_dir_all(&dir).expect("mkdir snapshot dir");
+    let out = run(&[
+        "snapshot",
+        "--workload",
+        "gups",
+        "--policy",
+        "pact",
+        "--seed",
+        "5",
+        "--every",
+        "1",
+        "--out",
+        dir.to_str().expect("utf8 path"),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr_of(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    let digest = stdout
+        .lines()
+        .find(|l| l.starts_with("digest:"))
+        .expect("snapshot run prints a digest line")
+        .to_string();
+    let mut snaps: Vec<_> = std::fs::read_dir(&dir)
+        .expect("read snapshot dir")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "pactsnap"))
+        .collect();
+    snaps.sort();
+    assert!(!snaps.is_empty(), "no snapshots written:\n{stdout}");
+    // Every snapshot point resumes to the same end-of-run digest.
+    for snap in &snaps {
+        let out = run(&["resume", "--from", snap.to_str().expect("utf8 path")]);
+        assert_eq!(out.status.code(), Some(0), "{}", stderr_of(&out));
+        let resumed = String::from_utf8_lossy(&out.stdout).into_owned();
+        assert!(
+            resumed.lines().any(|l| l == digest),
+            "resume from {} diverged:\n{resumed}\nwant {digest}",
+            snap.display()
+        );
+    }
+}
+
+#[test]
+fn resume_rejects_corrupt_and_missing_snapshots_with_2() {
+    let dir = fixture_dir("snap_corrupt");
+    std::fs::create_dir_all(&dir).expect("mkdir snapshot dir");
+    let out = run(&[
+        "snapshot",
+        "--workload",
+        "gups",
+        "--seed",
+        "2",
+        "--every",
+        "1",
+        "--out",
+        dir.to_str().expect("utf8 path"),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr_of(&out));
+    let snap = std::fs::read_dir(&dir)
+        .expect("read snapshot dir")
+        .map(|e| e.expect("dir entry").path())
+        .find(|p| p.extension().is_some_and(|x| x == "pactsnap"))
+        .expect("at least one snapshot");
+    // Flip a byte deep in the frame payload: checksum mismatch, not UB.
+    let mut bytes = std::fs::read(&snap).expect("read snapshot");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xff;
+    let corrupt = dir.join("corrupt.pactsnap");
+    std::fs::write(&corrupt, &bytes).expect("write corrupt snapshot");
+    let out = run(&["resume", "--from", corrupt.to_str().expect("utf8 path")]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr_of(&out));
+    // Missing file and missing --from are usage errors too.
+    let gone = dir.join("no_such.pactsnap");
+    let out = run(&["resume", "--from", gone.to_str().expect("utf8 path")]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr_of(&out));
+    let out = run(&["resume"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr_of(&out));
 }
 
 #[test]

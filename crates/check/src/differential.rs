@@ -15,15 +15,19 @@
 //!
 //! Separately, [`dominance_oracle`] pins a cross-configuration sanity
 //! law: with an identity policy, placing the whole footprint in the
-//! fast tier can never be slower than placing it all in the slow tier,
-//! and [`attribution_oracle`] pins the criticality-attribution
-//! artifacts (DESIGN.md §13) as byte-identical across shard counts on
-//! a fault-injected cell and invariant under the host-side profiler.
+//! fast tier can never be slower than placing it all in the slow tier;
+//! [`attribution_oracle`] pins the criticality-attribution artifacts
+//! (DESIGN.md §13) as byte-identical across shard counts on a
+//! fault-injected cell and invariant under the host-side profiler; and
+//! [`kill_resume_oracle`] pins crash recovery (DESIGN.md §14): a
+//! fault-injected cell killed at a snapshot boundary and resumed must
+//! finish byte-identically to the uninterrupted run, across shard
+//! counts, while tampered frames are rejected with structured errors.
 
 use pact_core::{PactConfig, PactPolicy};
 use pact_tiersim::{
-    CriticalityReport, FaultPlan, FirstTouch, InvariantSet, Machine, MachineConfig, RunReport,
-    SimError, Tracer, Workload, PAGE_BYTES,
+    CriticalityReport, FaultPlan, FirstTouch, InvariantSet, Machine, MachineConfig,
+    MachineSnapshot, RunReport, SimError, Tracer, Workload, PAGE_BYTES,
 };
 use pact_workloads::suite::{build, Scale};
 
@@ -178,7 +182,146 @@ pub fn check_cell(workload: &str, seed: u64) -> DiffLedger {
         attribution_oracle(wl.as_ref(), seed),
     ));
 
+    lines.push((
+        "kill-resume is byte-identical across shard counts".to_string(),
+        kill_resume_oracle(wl.as_ref(), seed),
+    ));
+
     DiffLedger { lines }
+}
+
+/// Kill-resume oracle (DESIGN.md §14): a fault-injected cell run to
+/// completion must be byte-identical to the same cell killed at a
+/// snapshot boundary and resumed from the frame — for every sampled
+/// snapshot point, under `shards ∈ {1, 4, 7}`. Both the serialized
+/// run report (windows + metrics) and the criticality-attribution
+/// artifacts derived from the `[fast, slow]` page-stall oracle are
+/// compared. The oracle also demands that a corrupted frame, a
+/// version-bumped frame, and a configuration-mismatched frame are all
+/// rejected with a structured snapshot error rather than silently
+/// resumed.
+///
+/// Snapshot points are sampled (first, middle, last) so the oracle's
+/// cost stays bounded on long cells while still covering cold-start,
+/// steady-state, and end-of-run machine state.
+///
+/// # Errors
+///
+/// Returns the first diverging snapshot point or wrongly-accepted
+/// frame with a byte-level hint.
+pub fn kill_resume_oracle(wl: &dyn Workload, seed: u64) -> Result<(), String> {
+    let total_pages = wl.footprint_bytes().div_ceil(PAGE_BYTES);
+    let mut cfg = MachineConfig::skylake_cxl((total_pages / 2).max(1));
+    cfg.seed = seed;
+    cfg.track_page_stalls = true;
+    cfg.snapshot_every = 1;
+    // The same active plan as the attribution oracle: mid-flight retry
+    // and backoff state is exactly what a snapshot must not lose.
+    cfg.fault_plan = Some(FaultPlan {
+        seed: seed ^ 0x9e37_79b9,
+        drop_order: 0.05,
+        fail_migration: 0.05,
+        pebs_loss: 0.02,
+        ..FaultPlan::default()
+    });
+
+    let artifacts = |report: &RunReport| -> Result<[String; 2], String> {
+        let crit = CriticalityReport::new(report, 10)
+            .ok_or_else(|| "run tracked no page stalls".to_string())?;
+        Ok([report.to_json(), crit.folded()])
+    };
+
+    // Invariant: skylake_cxl presets with validated-range edits always
+    // construct.
+    let machine = Machine::new(cfg.clone()).expect("kill-resume config is valid");
+    // Invariant: the default PactConfig passes its own validation.
+    let mut policy = PactPolicy::new(PactConfig::default()).expect("default config is valid");
+    let mut frames: Vec<MachineSnapshot> = Vec::new();
+    let mut tracer = Tracer::disabled();
+    let base = machine
+        .try_run_snapshotting(&[wl], &mut policy, &mut tracer, &mut |s| frames.push(s))
+        .map_err(|e| format!("capture run failed: {e}"))?;
+    let base_art = artifacts(&base)?;
+    if frames.is_empty() {
+        return Err("capture run produced no snapshot frames".to_string());
+    }
+
+    let mut picks = vec![0, frames.len() / 2, frames.len() - 1];
+    picks.dedup();
+    let resume = |frame: &MachineSnapshot, shards: usize| -> Result<RunReport, SimError> {
+        let mut rcfg = cfg.clone();
+        rcfg.shards = shards;
+        rcfg.snapshot_every = 0;
+        // Invariant: shards ∈ 1..=256 and the base config was valid.
+        let m = Machine::new(rcfg).expect("resume config is valid");
+        // Invariant: the default PactConfig passes its own validation.
+        let mut p = PactPolicy::new(PactConfig::default()).expect("default config is valid");
+        let mut t = Tracer::disabled();
+        m.try_resume(&[wl], &mut p, &mut t, frame)
+    };
+    for &i in &picks {
+        let window = frames[i]
+            .window()
+            .map_err(|e| format!("frame {i} has an unreadable header: {e}"))?;
+        for shards in [1usize, 4, 7] {
+            let resumed = resume(&frames[i], shards)
+                .map_err(|e| format!("resume from window {window} at {shards} shards: {e}"))?;
+            let got = artifacts(&resumed)?;
+            for (name, (want, have)) in ["report.json", "flame.folded"]
+                .iter()
+                .zip(base_art.iter().zip(got.iter()))
+            {
+                if want != have {
+                    return Err(format!(
+                        "{name} diverges after resume from window {window} at {shards} \
+                         shards: {}",
+                        diff_hint(want, have)
+                    ));
+                }
+            }
+        }
+    }
+
+    // Fail-closed checks: tampered frames must be rejected with a
+    // structured snapshot error, never silently resumed.
+    let last = frames.last().expect("frames is non-empty"); // Invariant: checked above
+    let mut corrupt = last.as_bytes().to_vec();
+    let mid = corrupt.len() / 2;
+    corrupt[mid] ^= 0xff;
+    match resume(&MachineSnapshot::from_bytes(corrupt), 1) {
+        Err(SimError::Snapshot(_)) => {}
+        Err(e) => return Err(format!("corrupt frame rejected with the wrong error: {e}")),
+        Ok(_) => return Err("corrupt frame was accepted".to_string()),
+    }
+    let mut bumped = last.as_bytes().to_vec();
+    bumped[8] = 0x7f; // format-version field (see tiersim::snapshot layout)
+    match resume(&MachineSnapshot::from_bytes(bumped), 1) {
+        Err(SimError::Snapshot(e)) if e.contains("version") => {}
+        Err(e) => {
+            return Err(format!(
+                "version-bumped frame rejected with the wrong error: {e}"
+            ))
+        }
+        Ok(_) => return Err("version-bumped frame was accepted".to_string()),
+    }
+    let mismatched = {
+        let mut mcfg = cfg.clone();
+        mcfg.fast_tier_pages += 1;
+        mcfg.snapshot_every = 0;
+        // Invariant: growing the fast tier by one page stays valid.
+        let m = Machine::new(mcfg).expect("mismatch config is valid");
+        // Invariant: the default PactConfig passes its own validation.
+        let mut p = PactPolicy::new(PactConfig::default()).expect("default config is valid");
+        let mut t = Tracer::disabled();
+        m.try_resume(&[wl], &mut p, &mut t, last)
+    };
+    match mismatched {
+        Err(SimError::Snapshot(_)) => Ok(()),
+        Err(e) => Err(format!(
+            "configuration-mismatched frame rejected with the wrong error: {e}"
+        )),
+        Ok(_) => Err("configuration-mismatched frame was accepted".to_string()),
+    }
 }
 
 /// Criticality-attribution oracle (DESIGN.md §13): the page-stall
@@ -300,7 +443,7 @@ mod tests {
     fn gups_cell_passes_every_oracle() {
         let ledger = check_cell("gups", 7);
         assert!(ledger.is_ok(), "\n{}", ledger.render());
-        assert_eq!(ledger.lines.len(), 7);
+        assert_eq!(ledger.lines.len(), 8);
         assert!(ledger.render().contains("ok   baseline"));
     }
 

@@ -15,7 +15,9 @@
 //!    under observation variants that must not change the answer —
 //!    tracing on/off, invariant checking on/off, an inert fault plan
 //!    on/off — byte-compared; plus cross-configuration dominance
-//!    (an all-local run must never lose to an all-remote run).
+//!    (an all-local run must never lose to an all-remote run) and
+//!    kill-resume crash recovery (a run killed at a snapshot boundary
+//!    and resumed must finish byte-identically across shard counts).
 //! 3. **A deterministic config fuzzer** ([`fuzz`]): SplitMix64-driven
 //!    generation of valid-but-adversarial machine configurations,
 //!    fault plans, and synthetic workloads, each run with the full
@@ -33,5 +35,7 @@
 pub mod differential;
 pub mod fuzz;
 
-pub use differential::{attribution_oracle, check_cell, dominance_oracle, DiffLedger};
+pub use differential::{
+    attribution_oracle, check_cell, dominance_oracle, kill_resume_oracle, DiffLedger,
+};
 pub use fuzz::{case_seed, run_case, run_fuzz, CaseSummary, FuzzLedger, FuzzOptions};

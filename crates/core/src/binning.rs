@@ -129,6 +129,59 @@ impl AdaptiveBins {
         self.scale
     }
 
+    /// Serializes the engine's run state (reservoir contents, RNG
+    /// cursor, width/scale/freeze) for a crash-recovery snapshot.
+    /// Configuration-derived fields (`mode`, `static_bins`, `t_scale`)
+    /// are rebuilt from the policy configuration on restore.
+    pub(crate) fn encode_state(&self, w: &mut pact_stats::ByteWriter) {
+        let samples = self.reservoir.as_slice();
+        w.put_u64(samples.len() as u64);
+        for &v in samples {
+            w.put_f64(v);
+        }
+        w.put_u64(self.reservoir.seen());
+        w.put_u64(self.rng.state());
+        w.put_f64(self.width);
+        w.put_f64(self.scale);
+        w.put_bool(self.frozen);
+    }
+
+    /// Restores the run state written by [`AdaptiveBins::encode_state`]
+    /// into an engine freshly built from the same configuration.
+    pub(crate) fn decode_state(
+        &mut self,
+        r: &mut pact_stats::ByteReader<'_>,
+    ) -> Result<(), String> {
+        let e = |e: pact_stats::CodecError| e.to_string();
+        let n = r.get_u64().map_err(e)? as usize;
+        if n > self.reservoir.capacity() {
+            return Err(format!(
+                "snapshot reservoir holds {n} samples but the configured capacity is {}",
+                self.reservoir.capacity()
+            ));
+        }
+        let mut samples = Vec::with_capacity(n);
+        for _ in 0..n {
+            samples.push(r.get_f64().map_err(e)?);
+        }
+        let seen = r.get_u64().map_err(e)?;
+        if (seen as usize) < n {
+            return Err(format!("reservoir saw {seen} values but holds {n}"));
+        }
+        self.reservoir.restore_state(&samples, seen);
+        self.rng = SplitMix64::new(r.get_u64().map_err(e)?);
+        self.width = r.get_f64().map_err(e)?;
+        self.scale = r.get_f64().map_err(e)?;
+        self.frozen = r.get_bool().map_err(e)?;
+        if !self.width.is_finite() || self.width < 0.0 {
+            return Err(format!("restored bin width is invalid: {}", self.width));
+        }
+        if !self.scale.is_finite() || self.scale <= 0.0 {
+            return Err(format!("restored bin scale is invalid: {}", self.scale));
+        }
+        Ok(())
+    }
+
     /// Selects the promotion candidates: the pages whose PAC falls in
     /// the highest non-empty bin among `pages`, which the caller has
     /// pre-filtered to slow-tier residents. Returns `(candidates,

@@ -1,5 +1,6 @@
 //! The PACT tiering policy (Algorithms 1–3 end to end).
 
+use pact_stats::{ByteReader, ByteWriter, CodecError};
 use pact_tiersim::{
     MachineInfo, PageId, PmuCounters, PolicyCtx, SampleEvent, Tier, TieringPolicy, WindowStats,
 };
@@ -273,6 +274,98 @@ impl PactPolicy {
         m.set(t, tracked);
     }
 
+    /// Canonical byte encoding of the policy configuration, embedded in
+    /// snapshots so a resume under a *different* PACT configuration is
+    /// rejected instead of silently diverging.
+    fn encode_config(cfg: &PactConfig, w: &mut ByteWriter) {
+        w.put_u8(match cfg.rank_by {
+            RankBy::Pac => 0,
+            RankBy::Frequency => 1,
+        });
+        w.put_u8(match cfg.sampling {
+            SamplingSource::Pebs => 0,
+            SamplingSource::Chmu => 1,
+        });
+        w.put_u8(match cfg.attribution {
+            Attribution::Proportional => 0,
+            Attribution::LatencyWeighted => 1,
+        });
+        w.put_u8(match cfg.binning {
+            crate::config::BinningMode::Static => 0,
+            crate::config::BinningMode::Adaptive => 1,
+            crate::config::BinningMode::AdaptiveScaled => 2,
+        });
+        w.put_u32(cfg.period_windows);
+        w.put_f64(cfg.alpha);
+        w.put_u8(match cfg.cooling {
+            crate::config::Cooling::None => 0,
+            crate::config::Cooling::Halve => 1,
+            crate::config::Cooling::Reset => 2,
+        });
+        w.put_u64(cfg.cooling_distance);
+        w.put_u64(cfg.eager_demotion_margin);
+        w.put_u64(cfg.reservoir as u64);
+        w.put_u64(cfg.static_bins as u64);
+        w.put_f64(cfg.t_scale);
+        w.put_u64(cfg.max_promotions_per_period as u64);
+        w.put_bool(cfg.k_override.is_some());
+        w.put_f64(cfg.k_override.unwrap_or(0.0));
+        w.put_u64(cfg.seed);
+    }
+
+    fn encode_pmu(c: &PmuCounters, w: &mut ByteWriter) {
+        for v in [
+            c.accesses,
+            c.loads,
+            c.stores,
+            c.llc_hits,
+            c.hint_faults,
+            c.pebs_samples,
+        ] {
+            w.put_u64(v);
+        }
+        for pair in [
+            c.llc_misses,
+            c.llc_stalls,
+            c.tor_occupancy,
+            c.tor_busy,
+            c.demand_latency_sum,
+            c.bytes,
+            c.prefetches,
+        ] {
+            w.put_u64(pair[0]);
+            w.put_u64(pair[1]);
+        }
+    }
+
+    fn decode_pmu(r: &mut ByteReader<'_>) -> Result<PmuCounters, String> {
+        let e = |e: CodecError| e.to_string();
+        let mut c = PmuCounters::default();
+        for v in [
+            &mut c.accesses,
+            &mut c.loads,
+            &mut c.stores,
+            &mut c.llc_hits,
+            &mut c.hint_faults,
+            &mut c.pebs_samples,
+        ] {
+            *v = r.get_u64().map_err(e)?;
+        }
+        for pair in [
+            &mut c.llc_misses,
+            &mut c.llc_stalls,
+            &mut c.tor_occupancy,
+            &mut c.tor_busy,
+            &mut c.demand_latency_sum,
+            &mut c.bytes,
+            &mut c.prefetches,
+        ] {
+            pair[0] = r.get_u64().map_err(e)?;
+            pair[1] = r.get_u64().map_err(e)?;
+        }
+        Ok(c)
+    }
+
     fn store_decay_unit(&mut self, head: PageId, span: u64) {
         for off in 0..span {
             let page = PageId(head.0 + off);
@@ -326,6 +419,39 @@ impl TieringPolicy for PactPolicy {
         if self.windows_seen.is_multiple_of(self.cfg.period_windows) {
             self.run_period(win, ctx);
         }
+    }
+
+    fn save_state(&self, out: &mut Vec<u8>) -> bool {
+        let mut w = ByteWriter::new();
+        let mut cfg_bytes = ByteWriter::new();
+        Self::encode_config(&self.cfg, &mut cfg_bytes);
+        w.put_bytes(&cfg_bytes.into_bytes());
+        w.put_f64(self.k);
+        w.put_u32(self.windows_seen);
+        w.put_u64(self.failures_seen);
+        Self::encode_pmu(&self.last_period_snapshot, &mut w);
+        self.store.encode_state(&mut w);
+        self.bins.encode_state(&mut w);
+        out.extend_from_slice(&w.into_bytes());
+        true
+    }
+
+    fn restore_state(&mut self, state: &[u8]) -> Result<(), String> {
+        let e = |e: CodecError| e.to_string();
+        let mut r = ByteReader::new(state);
+        let snap_cfg = r.get_bytes().map_err(e)?;
+        let mut own_cfg = ByteWriter::new();
+        Self::encode_config(&self.cfg, &mut own_cfg);
+        if snap_cfg != own_cfg.into_bytes().as_slice() {
+            return Err("snapshot was captured under a different PACT configuration".into());
+        }
+        self.k = r.get_f64().map_err(e)?;
+        self.windows_seen = r.get_u32().map_err(e)?;
+        self.failures_seen = r.get_u64().map_err(e)?;
+        self.last_period_snapshot = Self::decode_pmu(&mut r)?;
+        self.store.decode_state(&mut r)?;
+        self.bins.decode_state(&mut r)?;
+        r.finish().map_err(e)
     }
 }
 
@@ -490,6 +616,51 @@ mod tests {
         p.audit().unwrap(); // fresh policy is consistent
         m.run(&wl, &mut p);
         p.audit().unwrap();
+    }
+
+    #[test]
+    fn pact_survives_kill_resume_byte_identically() {
+        let wl = mixed_workload();
+        let mut mcfg = small_cfg(128);
+        mcfg.snapshot_every = 3;
+        mcfg.track_page_stalls = true;
+        let m = Machine::new(mcfg).unwrap();
+        let mut snaps = Vec::new();
+        let mut tracer = pact_tiersim::Tracer::disabled();
+        let reference = m
+            .try_run_snapshotting(
+                &[&wl],
+                &mut PactPolicy::new(PactConfig::default()).unwrap(),
+                &mut tracer,
+                &mut |s| snaps.push(s),
+            )
+            .unwrap();
+        assert!(!snaps.is_empty());
+        assert!(reference.promotions > 0);
+        let ref_dbg = format!("{reference:?}");
+        for snap in &snaps {
+            let mut p = PactPolicy::new(PactConfig::default()).unwrap();
+            let mut tr = pact_tiersim::Tracer::disabled();
+            let resumed = m.try_resume(&[&wl], &mut p, &mut tr, snap).unwrap();
+            assert_eq!(
+                format!("{resumed:?}"),
+                ref_dbg,
+                "divergence resuming from window {:?}",
+                snap.window()
+            );
+            p.audit().unwrap();
+        }
+        // Resuming under a different PACT configuration is rejected.
+        let other = PactConfig {
+            period_windows: 2,
+            ..PactConfig::default()
+        };
+        let mut p = PactPolicy::new(other).unwrap();
+        let mut tr = pact_tiersim::Tracer::disabled();
+        let err = m
+            .try_resume(&[&wl], &mut p, &mut tr, &snaps[0])
+            .unwrap_err();
+        assert!(err.to_string().contains("configuration"), "{err}");
     }
 
     #[test]

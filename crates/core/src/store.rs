@@ -207,6 +207,67 @@ impl PacStore {
         self.ids.iter().map(|p| (p, &self.entries[p.0 as usize]))
     }
 
+    /// Serializes the store for a crash-recovery snapshot. Only tracked
+    /// entries are written (first-touch order); the dense table is
+    /// rebuilt on restore.
+    pub(crate) fn encode_state(&self, w: &mut pact_stats::ByteWriter) {
+        w.put_u64(self.ids.len() as u64);
+        for page in &self.ids {
+            let e = &self.entries[page.0 as usize];
+            w.put_u64(page.0);
+            w.put_f64(e.pac);
+            w.put_u32(e.period_samples);
+            w.put_u64(e.period_latency_sum);
+            w.put_u64(e.total_samples);
+            w.put_u64(e.last_capture);
+        }
+        w.put_u64(self.active.len() as u64);
+        for page in &self.active {
+            w.put_u64(page.0);
+        }
+        w.put_u64(self.period_total);
+        w.put_u64(self.global_samples);
+    }
+
+    /// Restores the store from [`PacStore::encode_state`] bytes,
+    /// replacing all current contents. The restored bookkeeping is
+    /// re-checked with [`PacStore::debug_validate`].
+    pub(crate) fn decode_state(
+        &mut self,
+        r: &mut pact_stats::ByteReader<'_>,
+    ) -> Result<(), String> {
+        let e = |e: pact_stats::CodecError| e.to_string();
+        *self = PacStore::default();
+        let tracked = r.get_u64().map_err(e)?;
+        for _ in 0..tracked {
+            let page = PageId(r.get_u64().map_err(e)?);
+            let idx = page.0 as usize;
+            if idx >= self.entries.len() {
+                self.entries.resize(idx + 1, PageEntry::default());
+                self.tracked.resize(idx + 1, false);
+            }
+            if self.tracked[idx] {
+                return Err(format!("pac store lists page {} twice", page.0));
+            }
+            self.tracked[idx] = true;
+            self.ids.push(page);
+            let slot = &mut self.entries[idx];
+            slot.pac = r.get_f64().map_err(e)?;
+            slot.period_samples = r.get_u32().map_err(e)?;
+            slot.period_latency_sum = r.get_u64().map_err(e)?;
+            slot.total_samples = r.get_u64().map_err(e)?;
+            slot.last_capture = r.get_u64().map_err(e)?;
+        }
+        let active = r.get_u64().map_err(e)?;
+        for _ in 0..active {
+            self.active.push(PageId(r.get_u64().map_err(e)?));
+        }
+        self.period_total = r.get_u64().map_err(e)?;
+        self.global_samples = r.get_u64().map_err(e)?;
+        self.debug_validate()
+            .map_err(|err| format!("restored pac store is inconsistent: {err}"))
+    }
+
     /// Approximate bytes of tracking state per page (the paper claims
     /// 25 B/page; ours is the same order).
     pub fn bytes_per_page() -> usize {

@@ -1,0 +1,47 @@
+//! `&'static str` interning for snapshot restore.
+//!
+//! Trace events and metric names carry `&'static str` labels. In a
+//! normal run those are string literals; a run restored from a
+//! crash-recovery snapshot has to reconstruct them from serialized
+//! bytes. [`intern`] leaks each distinct string once into a
+//! process-global table and hands back the `'static` reference, so a
+//! restored run's labels compare and export exactly like the
+//! originals. The table is append-only and searched linearly — the set
+//! of distinct labels is tiny (metric names, telemetry keys, fault
+//! class names) and restore runs once per process, so determinism and
+//! simplicity beat lookup speed here.
+
+use std::sync::Mutex;
+
+static TABLE: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+
+/// Returns a `'static` string equal to `s`, leaking at most one copy
+/// per distinct value for the life of the process.
+pub fn intern(s: &str) -> &'static str {
+    // Invariant: the interner mutex is never poisoned — no code path
+    // inside the critical section can panic.
+    let mut table = TABLE.lock().unwrap();
+    if let Some(&hit) = table.iter().find(|&&t| t == s) {
+        return hit;
+    }
+    let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+    table.push(leaked);
+    leaked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interns_each_distinct_string_once() {
+        let a = intern("snapshot/test/alpha");
+        let b = intern("snapshot/test/alpha");
+        assert_eq!(a, "snapshot/test/alpha");
+        // Same pointer: the second call found the first entry.
+        assert!(std::ptr::eq(a, b));
+        let c = intern("snapshot/test/beta");
+        assert_eq!(c, "snapshot/test/beta");
+        assert!(!std::ptr::eq(a, c));
+    }
+}

@@ -42,6 +42,7 @@
 pub mod attribution;
 pub mod export;
 pub mod hostprof;
+mod intern;
 pub mod json;
 mod metrics;
 pub mod shard;
@@ -51,6 +52,7 @@ pub use attribution::{top_k_desc, FoldedStacks};
 pub use export::{
     chrome_trace, jsonl, TraceConfig, TraceFormat, WindowRow, TRACE_ENV, TRACE_FORMAT_ENV,
 };
+pub use intern::intern;
 pub use json::{validate, JsonError, JsonWriter};
 pub use metrics::{HistogramNames, MetricId, MetricKind, MetricsRegistry};
 pub use tracer::{EventKind, TraceEvent, Tracer, DEFAULT_RING_CAPACITY};

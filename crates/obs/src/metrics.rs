@@ -15,7 +15,10 @@
 //! per window. Snapshot order is registration order, so reports are
 //! deterministic.
 
+use pact_stats::codec::{ByteReader, ByteWriter};
 use pact_stats::LogHistogram;
+
+use crate::intern::intern;
 
 /// Dense handle to a registered metric.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -256,6 +259,180 @@ impl MetricsRegistry {
         out
     }
 
+    /// Serializes the full registry — names, kinds, counter totals and
+    /// window baselines, gauge values, histogram buckets and window
+    /// sums — into `out`, in registration order. The inverse is
+    /// [`decode_state`](Self::decode_state).
+    pub fn encode_state(&self, out: &mut ByteWriter) {
+        out.put_usize(self.metrics.len());
+        for m in &self.metrics {
+            out.put_str(m.name);
+            match &m.value {
+                Value::Counter {
+                    total,
+                    last_snapshot,
+                } => {
+                    out.put_u8(0);
+                    out.put_u64(*total);
+                    out.put_u64(*last_snapshot);
+                }
+                Value::Gauge(g) => {
+                    out.put_u8(1);
+                    out.put_f64(*g);
+                }
+                Value::Histogram {
+                    hist,
+                    names,
+                    sum,
+                    n,
+                } => {
+                    out.put_u8(2);
+                    out.put_str(names.p50);
+                    out.put_str(names.p90);
+                    out.put_str(names.p99);
+                    out.put_str(names.p999);
+                    let (counts, total, max) = hist.to_parts();
+                    // Sparse: most of the ~1000 buckets are empty.
+                    let nonzero = counts.iter().filter(|&&c| c != 0).count();
+                    out.put_usize(counts.len());
+                    out.put_usize(nonzero);
+                    for (i, &c) in counts.iter().enumerate() {
+                        if c != 0 {
+                            out.put_usize(i);
+                            out.put_u64(c);
+                        }
+                    }
+                    out.put_u64(total);
+                    out.put_u64(max);
+                    out.put_f64(*sum);
+                    out.put_u64(*n);
+                }
+            }
+        }
+    }
+
+    /// Restores registry state captured by [`encode_state`]
+    /// (Self::encode_state) into this registry.
+    ///
+    /// Import is by position: entries already registered (the machine
+    /// re-registers its metrics during construction, in the same order
+    /// as the captured run) must match the serialized name and kind and
+    /// have their values overwritten; serialized entries beyond the
+    /// current length — metrics a policy registered mid-run — are
+    /// appended with interned names. After a successful decode the
+    /// registry's registration order is identical to the uninterrupted
+    /// run's, so snapshots and reports stay byte-identical.
+    pub fn decode_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), String> {
+        let count = r.get_usize().map_err(|e| e.to_string())?;
+        if count < self.metrics.len() {
+            return Err(format!(
+                "metrics registry snapshot has {count} entries but {} are already registered",
+                self.metrics.len()
+            ));
+        }
+        for i in 0..count {
+            let name = r.get_str().map_err(|e| e.to_string())?;
+            let tag = r.get_u8().map_err(|e| e.to_string())?;
+            if let Some(m) = self.metrics.get(i) {
+                if m.name != name {
+                    return Err(format!(
+                        "metrics registry mismatch at slot {i}: registered {:?}, snapshot has {name:?}",
+                        m.name
+                    ));
+                }
+            }
+            match tag {
+                0 => {
+                    let total = r.get_u64().map_err(|e| e.to_string())?;
+                    let last_snapshot = r.get_u64().map_err(|e| e.to_string())?;
+                    let value = Value::Counter {
+                        total,
+                        last_snapshot,
+                    };
+                    self.restore_slot(i, name, value, 1)?;
+                }
+                1 => {
+                    let g = r.get_f64().map_err(|e| e.to_string())?;
+                    self.restore_slot(i, name, Value::Gauge(g), 1)?;
+                }
+                2 => {
+                    let p50 = r.get_str().map_err(|e| e.to_string())?;
+                    let p90 = r.get_str().map_err(|e| e.to_string())?;
+                    let p99 = r.get_str().map_err(|e| e.to_string())?;
+                    let p999 = r.get_str().map_err(|e| e.to_string())?;
+                    let bucket_count = r.get_usize().map_err(|e| e.to_string())?;
+                    let nonzero = r.get_usize().map_err(|e| e.to_string())?;
+                    let mut counts = vec![0u64; bucket_count];
+                    for _ in 0..nonzero {
+                        let idx = r.get_usize().map_err(|e| e.to_string())?;
+                        let c = r.get_u64().map_err(|e| e.to_string())?;
+                        *counts.get_mut(idx).ok_or_else(|| {
+                            format!("histogram {name:?}: bucket index {idx} out of range")
+                        })? = c;
+                    }
+                    let total = r.get_u64().map_err(|e| e.to_string())?;
+                    let max = r.get_u64().map_err(|e| e.to_string())?;
+                    let sum = r.get_f64().map_err(|e| e.to_string())?;
+                    let n = r.get_u64().map_err(|e| e.to_string())?;
+                    let hist = LogHistogram::from_parts(counts, total, max)
+                        .ok_or_else(|| format!("histogram {name:?}: inconsistent bucket state"))?;
+                    let names = HistogramNames {
+                        mean: intern(name),
+                        p50: intern(p50),
+                        p90: intern(p90),
+                        p99: intern(p99),
+                        p999: intern(p999),
+                    };
+                    let value = Value::Histogram {
+                        hist,
+                        names,
+                        sum,
+                        n,
+                    };
+                    self.restore_slot(i, name, value, HIST_ENTRIES)?;
+                }
+                other => return Err(format!("unknown metric kind tag {other}")),
+            }
+        }
+        Ok(())
+    }
+
+    /// Overwrites slot `i`'s value (kind must match) or appends a new
+    /// metric when `i` is one past the end.
+    fn restore_slot(
+        &mut self,
+        i: usize,
+        name: &str,
+        value: Value,
+        width: usize,
+    ) -> Result<(), String> {
+        match self.metrics.get_mut(i) {
+            Some(m) => {
+                let same_kind = matches!(
+                    (&m.value, &value),
+                    (Value::Counter { .. }, Value::Counter { .. })
+                        | (Value::Gauge(_), Value::Gauge(_))
+                        | (Value::Histogram { .. }, Value::Histogram { .. })
+                );
+                if !same_kind {
+                    return Err(format!(
+                        "metric {name:?}: snapshot kind differs from registered kind"
+                    ));
+                }
+                m.value = value;
+                Ok(())
+            }
+            None => {
+                self.metrics.push(Metric {
+                    name: intern(name),
+                    value,
+                });
+                self.snapshot_width += width;
+                Ok(())
+            }
+        }
+    }
+
     /// Closes the current window: returns one entry per counter/gauge
     /// (counter delta, gauge value) and five per histogram (window
     /// mean, p50, p90, p99, p999), all in registration order, and
@@ -428,5 +605,73 @@ mod tests {
         let mut r = MetricsRegistry::new();
         let c = r.counter("c");
         r.set(c, 1.0);
+    }
+
+    #[test]
+    fn state_round_trips_into_a_rebuilt_registry() {
+        let mut r = MetricsRegistry::new();
+        let c = r.counter("c");
+        let g = r.gauge("g");
+        let h = r.histogram(H);
+        r.inc(c, 12);
+        r.snapshot_window(); // establish a non-zero counter baseline
+        r.inc(c, 3);
+        r.set(g, -1.25);
+        r.observe(h, 100.0);
+        r.observe(h, 5000.0);
+        let mut w = pact_stats::ByteWriter::new();
+        r.encode_state(&mut w);
+        let bytes = w.into_bytes();
+        // The resumed machine re-registers c and g during construction;
+        // the policy-registered histogram is appended by the decode.
+        let mut fresh = MetricsRegistry::new();
+        fresh.counter("c");
+        fresh.gauge("g");
+        fresh
+            .decode_state(&mut pact_stats::ByteReader::new(&bytes))
+            .unwrap();
+        assert_eq!(fresh.len(), r.len());
+        assert_eq!(fresh.counter_total(c), 15);
+        assert_eq!(fresh.peek_window(), r.peek_window());
+        assert_eq!(fresh.snapshot_window(), r.snapshot_window());
+        // Post-reset windows stay in lockstep too (snapshot_width and
+        // histogram reset behave identically).
+        assert_eq!(fresh.snapshot_window(), r.snapshot_window());
+    }
+
+    #[test]
+    fn decode_rejects_mismatched_registration() {
+        let mut r = MetricsRegistry::new();
+        r.counter("c");
+        let mut w = pact_stats::ByteWriter::new();
+        r.encode_state(&mut w);
+        let bytes = w.into_bytes();
+        // Different name in slot 0.
+        let mut other = MetricsRegistry::new();
+        other.counter("different");
+        let err = other
+            .decode_state(&mut pact_stats::ByteReader::new(&bytes))
+            .unwrap_err();
+        assert!(err.contains("slot 0"), "{err}");
+        // Same name, different kind.
+        let mut gauge = MetricsRegistry::new();
+        gauge.gauge("c");
+        let err = gauge
+            .decode_state(&mut pact_stats::ByteReader::new(&bytes))
+            .unwrap_err();
+        assert!(err.contains("kind"), "{err}");
+        // More live registrations than the snapshot has.
+        let mut extra = MetricsRegistry::new();
+        extra.counter("c");
+        extra.counter("d");
+        assert!(extra
+            .decode_state(&mut pact_stats::ByteReader::new(&bytes))
+            .is_err());
+        // Truncated payload.
+        let mut ok = MetricsRegistry::new();
+        ok.counter("c");
+        assert!(ok
+            .decode_state(&mut pact_stats::ByteReader::new(&bytes[..4]))
+            .is_err());
     }
 }

@@ -15,6 +15,10 @@
 //! counted), which bounds memory for arbitrarily long runs while
 //! keeping the most recent — usually most interesting — history.
 
+use pact_stats::codec::{ByteReader, ByteWriter, CodecError};
+
+use crate::intern::intern;
+
 /// Tier index used by events (`0 = fast`, `1 = slow`); avoids a
 /// dependency on `pact-tiersim`, which sits above this crate.
 pub type TierIdx = u8;
@@ -144,6 +148,144 @@ impl EventKind {
     }
 }
 
+impl EventKind {
+    /// Serializes the event kind as a tag byte plus its fields.
+    fn encode(&self, w: &mut ByteWriter) {
+        match *self {
+            EventKind::WindowBoundary {
+                index,
+                promotions,
+                demotions,
+                failed_promotions,
+                dropped_orders,
+            } => {
+                w.put_u8(0);
+                w.put_u64(index);
+                w.put_u64(promotions);
+                w.put_u64(demotions);
+                w.put_u64(failed_promotions);
+                w.put_u64(dropped_orders);
+            }
+            EventKind::OrderIssued { page, to, sync } => {
+                w.put_u8(1);
+                w.put_u64(page);
+                w.put_u8(to);
+                w.put_bool(sync);
+            }
+            EventKind::OrderCompleted { page, to, moved } => {
+                w.put_u8(2);
+                w.put_u64(page);
+                w.put_u8(to);
+                w.put_u64(moved);
+            }
+            EventKind::OrderDropped { page, to } => {
+                w.put_u8(3);
+                w.put_u64(page);
+                w.put_u8(to);
+            }
+            EventKind::PromotionRejected { page } => {
+                w.put_u8(4);
+                w.put_u64(page);
+            }
+            EventKind::ChannelSaturated {
+                tier,
+                backlog_cycles,
+            } => {
+                w.put_u8(5);
+                w.put_u8(tier);
+                w.put_u64(backlog_cycles);
+            }
+            EventKind::ChannelRecovered {
+                tier,
+                episode_cycles,
+            } => {
+                w.put_u8(6);
+                w.put_u8(tier);
+                w.put_u64(episode_cycles);
+            }
+            EventKind::SampleBatch { pebs, hint_faults } => {
+                w.put_u8(7);
+                w.put_u64(pebs);
+                w.put_u64(hint_faults);
+            }
+            EventKind::PolicyTelemetry { key, value } => {
+                w.put_u8(8);
+                w.put_str(key);
+                w.put_f64(value);
+            }
+            EventKind::FaultInjected { kind, arg } => {
+                w.put_u8(9);
+                w.put_str(kind);
+                w.put_u64(arg);
+            }
+            EventKind::OrderRetried { page, to, attempt } => {
+                w.put_u8(10);
+                w.put_u64(page);
+                w.put_u8(to);
+                w.put_u32(attempt);
+            }
+        }
+    }
+
+    /// Decodes one event kind; string fields are interned back to
+    /// `&'static str`.
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, String> {
+        let e = |e: CodecError| e.to_string();
+        Ok(match r.get_u8().map_err(e)? {
+            0 => EventKind::WindowBoundary {
+                index: r.get_u64().map_err(e)?,
+                promotions: r.get_u64().map_err(e)?,
+                demotions: r.get_u64().map_err(e)?,
+                failed_promotions: r.get_u64().map_err(e)?,
+                dropped_orders: r.get_u64().map_err(e)?,
+            },
+            1 => EventKind::OrderIssued {
+                page: r.get_u64().map_err(e)?,
+                to: r.get_u8().map_err(e)?,
+                sync: r.get_bool().map_err(e)?,
+            },
+            2 => EventKind::OrderCompleted {
+                page: r.get_u64().map_err(e)?,
+                to: r.get_u8().map_err(e)?,
+                moved: r.get_u64().map_err(e)?,
+            },
+            3 => EventKind::OrderDropped {
+                page: r.get_u64().map_err(e)?,
+                to: r.get_u8().map_err(e)?,
+            },
+            4 => EventKind::PromotionRejected {
+                page: r.get_u64().map_err(e)?,
+            },
+            5 => EventKind::ChannelSaturated {
+                tier: r.get_u8().map_err(e)?,
+                backlog_cycles: r.get_u64().map_err(e)?,
+            },
+            6 => EventKind::ChannelRecovered {
+                tier: r.get_u8().map_err(e)?,
+                episode_cycles: r.get_u64().map_err(e)?,
+            },
+            7 => EventKind::SampleBatch {
+                pebs: r.get_u64().map_err(e)?,
+                hint_faults: r.get_u64().map_err(e)?,
+            },
+            8 => EventKind::PolicyTelemetry {
+                key: intern(r.get_str().map_err(e)?),
+                value: r.get_f64().map_err(e)?,
+            },
+            9 => EventKind::FaultInjected {
+                kind: intern(r.get_str().map_err(e)?),
+                arg: r.get_u64().map_err(e)?,
+            },
+            10 => EventKind::OrderRetried {
+                page: r.get_u64().map_err(e)?,
+                to: r.get_u8().map_err(e)?,
+                attempt: r.get_u32().map_err(e)?,
+            },
+            other => return Err(format!("unknown trace event tag {other}")),
+        })
+    }
+}
+
 /// Human-readable tier name for a [`TierIdx`].
 pub(crate) fn tier_name(t: TierIdx) -> &'static str {
     if t == 0 {
@@ -242,6 +384,59 @@ impl Tracer {
         self.cap
     }
 
+    /// Serializes the sink's configuration and full ring contents into
+    /// `out`; the inverse is [`decode_state`](Self::decode_state).
+    pub fn encode_state(&self, out: &mut ByteWriter) {
+        out.put_bool(self.enabled);
+        out.put_usize(self.cap);
+        out.put_usize(self.head);
+        out.put_u64(self.overwritten);
+        out.put_usize(self.events.len());
+        for ev in &self.events {
+            out.put_u64(ev.cycle);
+            ev.kind.encode(out);
+        }
+    }
+
+    /// Restores ring contents captured by [`encode_state`]
+    /// (Self::encode_state) into this sink.
+    ///
+    /// The sink must have been constructed with the same enablement and
+    /// capacity as the captured one (a resumed run re-creates its
+    /// tracer from the same settings); a mismatch is an error rather
+    /// than a silent trace divergence.
+    pub fn decode_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), String> {
+        let e = |e: CodecError| e.to_string();
+        let enabled = r.get_bool().map_err(e)?;
+        let cap = r.get_usize().map_err(e)?;
+        if enabled != self.enabled || cap != self.cap {
+            return Err(format!(
+                "tracer snapshot was enabled={enabled} cap={cap}, this run has enabled={} cap={}",
+                self.enabled, self.cap
+            ));
+        }
+        let head = r.get_usize().map_err(e)?;
+        let overwritten = r.get_u64().map_err(e)?;
+        let len = r.get_usize().map_err(e)?;
+        // The head is meaningful only once the ring has wrapped
+        // (len == cap); before that it must still be 0.
+        if len > cap || (head != 0 && (len < cap || head >= cap)) {
+            return Err(format!(
+                "tracer snapshot ring shape is invalid: len={len} head={head} cap={cap}"
+            ));
+        }
+        let mut events = Vec::with_capacity(self.cap.max(len));
+        for _ in 0..len {
+            let cycle = r.get_u64().map_err(e)?;
+            let kind = EventKind::decode(r)?;
+            events.push(TraceEvent { cycle, kind });
+        }
+        self.events = events;
+        self.head = head;
+        self.overwritten = overwritten;
+        Ok(())
+    }
+
     /// The held events in chronological (emission) order.
     pub fn events_in_order(&self) -> Vec<TraceEvent> {
         let mut out = Vec::with_capacity(self.events.len());
@@ -298,6 +493,73 @@ mod tests {
         assert_eq!(t.overwritten(), 0);
         let cycles: Vec<u64> = t.events_in_order().iter().map(|e| e.cycle).collect();
         assert_eq!(cycles, vec![0, 100, 200, 300, 400]);
+    }
+
+    #[test]
+    fn state_round_trips_through_encode_decode() {
+        let mut t = Tracer::ring(4);
+        // One of every string-carrying event plus a wrap.
+        t.emit(
+            10,
+            EventKind::PolicyTelemetry {
+                key: "bin_width",
+                value: 2.5,
+            },
+        );
+        t.emit(
+            20,
+            EventKind::FaultInjected {
+                kind: "order_drop",
+                arg: 7,
+            },
+        );
+        for i in 0..4u64 {
+            t.emit(
+                30 + i,
+                EventKind::OrderRetried {
+                    page: i,
+                    to: 1,
+                    attempt: 2,
+                },
+            );
+        }
+        assert_eq!(t.overwritten(), 2);
+        let mut w = ByteWriter::new();
+        t.encode_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut fresh = Tracer::ring(4);
+        fresh.decode_state(&mut ByteReader::new(&bytes)).unwrap();
+        assert_eq!(fresh.events_in_order(), t.events_in_order());
+        assert_eq!(fresh.overwritten(), t.overwritten());
+        // Continuing both in lockstep keeps them identical.
+        t.emit(99, EventKind::PromotionRejected { page: 9 });
+        fresh.emit(99, EventKind::PromotionRejected { page: 9 });
+        assert_eq!(fresh.events_in_order(), t.events_in_order());
+        // Re-encoding yields the same bytes.
+        let mut w2 = ByteWriter::new();
+        fresh.encode_state(&mut w2);
+        let mut w3 = ByteWriter::new();
+        t.encode_state(&mut w3);
+        assert_eq!(w2.into_bytes(), w3.into_bytes());
+    }
+
+    #[test]
+    fn decode_rejects_mismatched_sink_shape() {
+        let t = Tracer::ring(8);
+        let mut w = ByteWriter::new();
+        t.encode_state(&mut w);
+        let bytes = w.into_bytes();
+        // Wrong capacity.
+        let mut other = Tracer::ring(4);
+        assert!(other.decode_state(&mut ByteReader::new(&bytes)).is_err());
+        // Wrong enablement.
+        let mut off = Tracer::disabled();
+        assert!(off.decode_state(&mut ByteReader::new(&bytes)).is_err());
+        // Truncated payload.
+        let mut same = Tracer::ring(8);
+        assert!(same
+            .decode_state(&mut ByteReader::new(&bytes[..3]))
+            .is_err());
     }
 
     #[test]

@@ -25,6 +25,8 @@
 
 #![warn(missing_docs)]
 
+pub mod codec;
+
 mod cdf;
 mod ewma;
 mod histogram;
@@ -38,6 +40,7 @@ mod rng;
 mod summary;
 
 pub use cdf::Ecdf;
+pub use codec::{ByteReader, ByteWriter, CodecError};
 pub use ewma::Ewma;
 pub use histogram::{freedman_diaconis_width, Histogram};
 pub use linfit::{linear_fit, LinearFit};

@@ -121,6 +121,37 @@ impl LogHistogram {
         self.max = 0;
     }
 
+    /// The raw state `(counts, total, max)` for crash-recovery
+    /// snapshots; feed it back through [`from_parts`](Self::from_parts).
+    pub fn to_parts(&self) -> (&[u64], u64, u64) {
+        (&self.counts, self.total, self.max)
+    }
+
+    /// Rebuilds a histogram from [`to_parts`](Self::to_parts) output.
+    /// Returns `None` if the parts are inconsistent (wrong bucket count,
+    /// counts that do not sum to `total`, or a `max` outside its
+    /// bucket's range), so a corrupted snapshot is rejected instead of
+    /// producing quantiles from impossible state.
+    pub fn from_parts(counts: Vec<u64>, total: u64, max: u64) -> Option<Self> {
+        if counts.len() != BUCKETS {
+            return None;
+        }
+        let mut sum = 0u64;
+        for &c in &counts {
+            sum = sum.checked_add(c)?;
+        }
+        if sum != total {
+            return None;
+        }
+        if total > 0 && counts[Self::bucket_of(max)] == 0 {
+            return None;
+        }
+        if total == 0 && max != 0 {
+            return None;
+        }
+        Some(Self { counts, total, max })
+    }
+
     /// The value at quantile `q` in `[0, 1]`: the upper bound of the
     /// bucket holding the observation of rank `ceil(q · n)` (rank
     /// clamped to `[1, n]`), clamped to the recorded maximum. Returns 0
@@ -245,6 +276,72 @@ mod tests {
         assert!(h.is_empty());
         assert_eq!(h.max(), 0);
         assert_eq!(h.value_at_quantile(0.5), 0);
+    }
+
+    #[test]
+    fn quantiles_never_exceed_recorded_max_at_power_of_two_edges() {
+        // Regression guard for the upper-edge reconstruction: a value
+        // just past a power of two lands in a bucket whose raw upper
+        // bound overshoots it, so without the `.min(max)` clamp the
+        // reported p999/max would exceed anything actually recorded.
+        for shift in 4..60u64 {
+            for v in [(1u64 << shift) - 1, 1u64 << shift, (1u64 << shift) + 1] {
+                let mut h = LogHistogram::new();
+                for _ in 0..1000 {
+                    h.record(v);
+                }
+                for q in [0.5, 0.99, 0.999, 1.0] {
+                    let got = h.value_at_quantile(q);
+                    assert!(got <= v, "q{q} over-reports at 2^{shift}: {got} > {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn top_quantile_is_clamped_to_max_with_mixed_buckets() {
+        // Mixed-magnitude boundary case: the rank-1.0 walk ends in the
+        // outlier's bucket, whose upper edge exceeds the outlier itself.
+        let mut h = LogHistogram::new();
+        for _ in 0..100 {
+            h.record(100);
+        }
+        h.record((1 << 30) + 1); // bucket upper edge is far above this
+        assert_eq!(h.value_at_quantile(1.0), (1 << 30) + 1);
+        assert_eq!(h.value_at_quantile(1.0), h.max());
+    }
+
+    #[test]
+    fn parts_round_trip_preserves_quantiles() {
+        let mut h = LogHistogram::new();
+        for i in 0..5_000u64 {
+            h.record(i * 37 % 100_003);
+        }
+        let (counts, total, max) = h.to_parts();
+        let back = LogHistogram::from_parts(counts.to_vec(), total, max).unwrap();
+        assert_eq!(back.total(), h.total());
+        assert_eq!(back.max(), h.max());
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(back.value_at_quantile(q), h.value_at_quantile(q));
+        }
+    }
+
+    #[test]
+    fn from_parts_rejects_inconsistent_state() {
+        let mut h = LogHistogram::new();
+        h.record(1000);
+        let (counts, total, max) = h.to_parts();
+        let counts = counts.to_vec();
+        // Wrong bucket count.
+        assert!(LogHistogram::from_parts(vec![0; 3], 0, 0).is_none());
+        // Counts do not sum to total.
+        assert!(LogHistogram::from_parts(counts.clone(), total + 1, max).is_none());
+        // Max claims a bucket with zero count.
+        assert!(LogHistogram::from_parts(counts.clone(), total, 5).is_none());
+        // Non-zero max on an empty histogram.
+        assert!(LogHistogram::from_parts(vec![0; BUCKETS], 0, 9).is_none());
+        // The untampered parts are accepted.
+        assert!(LogHistogram::from_parts(counts, total, max).is_some());
     }
 
     #[test]

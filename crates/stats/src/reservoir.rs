@@ -109,6 +109,24 @@ impl Reservoir {
         self.samples.clear();
         self.seen = 0;
     }
+
+    /// Overwrites the reservoir contents with a previously captured
+    /// sample (insertion order, from [`as_slice`](Self::as_slice)) and
+    /// observation count — the restore half of a crash-recovery
+    /// snapshot. The capacity stays as constructed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` exceeds the configured capacity.
+    pub fn restore_state(&mut self, samples: &[f64], seen: u64) {
+        assert!(
+            samples.len() <= self.capacity,
+            "restored sample exceeds reservoir capacity"
+        );
+        self.samples.clear();
+        self.samples.extend_from_slice(samples);
+        self.seen = seen;
+    }
 }
 
 #[cfg(test)]
@@ -161,6 +179,36 @@ mod tests {
         r.reset();
         assert!(r.is_empty());
         assert_eq!(r.seen(), 0);
+    }
+
+    #[test]
+    fn restore_state_round_trips() {
+        let mut rng = SplitMix64::seed_from_u64(11);
+        let mut r = Reservoir::new(8);
+        for i in 0..300 {
+            r.offer((i % 41) as f64, &mut rng);
+        }
+        let samples = r.as_slice().to_vec();
+        let seen = r.seen();
+        let mut fresh = Reservoir::new(8);
+        fresh.restore_state(&samples, seen);
+        assert_eq!(fresh.as_slice(), &samples[..]);
+        assert_eq!(fresh.seen(), seen);
+        // Continuing both with the same RNG stays in lockstep.
+        let mut rng2 = rng;
+        for i in 300..400 {
+            r.offer(i as f64, &mut rng);
+            fresh.offer(i as f64, &mut rng2);
+        }
+        assert_eq!(fresh.as_slice(), r.as_slice());
+        assert_eq!(fresh.seen(), r.seen());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn restore_state_rejects_oversized_sample() {
+        let mut r = Reservoir::new(2);
+        r.restore_state(&[1.0, 2.0, 3.0], 3);
     }
 
     #[test]

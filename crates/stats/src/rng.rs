@@ -40,6 +40,13 @@ impl SplitMix64 {
         Self::new(seed)
     }
 
+    /// The raw generator state. `SplitMix64::new(rng.state())` yields a
+    /// generator that continues the exact same output sequence — the
+    /// round-trip crash-recovery snapshots rely on.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
     fn step(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.state;
@@ -182,6 +189,18 @@ mod tests {
         a.next_u64();
         let mut b = a;
         assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn state_round_trips_the_sequence() {
+        let mut a = SplitMix64::new(0xDEAD_BEEF);
+        for _ in 0..17 {
+            a.next_u64();
+        }
+        let mut b = SplitMix64::new(a.state());
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Set-associative last-level cache and stride prefetcher.
 
+use pact_stats::codec::{ByteReader, ByteWriter, CodecError};
+
 use crate::config::{LlcConfig, PrefetchConfig};
 use crate::types::LINE_BYTES;
 
@@ -95,6 +97,36 @@ impl Llc {
     pub fn misses(&self) -> u64 {
         self.misses
     }
+
+    /// Serializes the tag array and hit/miss counters (geometry comes
+    /// from the configuration on restore).
+    pub(crate) fn encode_state(&self, w: &mut ByteWriter) {
+        w.put_usize(self.tags.len());
+        for &t in &self.tags {
+            w.put_u64(t);
+        }
+        w.put_u64(self.hits);
+        w.put_u64(self.misses);
+    }
+
+    /// Restores state captured by [`encode_state`](Self::encode_state)
+    /// into a cache built with the same geometry.
+    pub(crate) fn decode_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), String> {
+        let e = |e: CodecError| format!("llc state: {e}");
+        let n = r.get_usize().map_err(e)?;
+        if n != self.tags.len() {
+            return Err(format!(
+                "llc state: snapshot has {n} tag slots, machine has {}",
+                self.tags.len()
+            ));
+        }
+        for t in &mut self.tags {
+            *t = r.get_u64().map_err(e)?;
+        }
+        self.hits = r.get_u64().map_err(e)?;
+        self.misses = r.get_u64().map_err(e)?;
+        Ok(())
+    }
 }
 
 /// Multi-stream stride detector driving the hardware prefetcher model.
@@ -173,6 +205,29 @@ impl StrideDetector {
         victim.streak = 0;
         victim.last_use = self.clock;
         0..0
+    }
+
+    /// Serializes the stream table and detector clock (trigger/degree/
+    /// enablement come from the configuration on restore).
+    pub(crate) fn encode_state(&self, w: &mut ByteWriter) {
+        for e in &self.streams {
+            w.put_u64(e.last_line);
+            w.put_u32(e.streak);
+            w.put_u64(e.last_use);
+        }
+        w.put_u64(self.clock);
+    }
+
+    /// Restores state captured by [`encode_state`](Self::encode_state).
+    pub(crate) fn decode_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), String> {
+        let e = |e: CodecError| format!("stride detector state: {e}");
+        for entry in &mut self.streams {
+            entry.last_line = r.get_u64().map_err(e)?;
+            entry.streak = r.get_u32().map_err(e)?;
+            entry.last_use = r.get_u64().map_err(e)?;
+        }
+        self.clock = r.get_u64().map_err(e)?;
+        Ok(())
     }
 }
 

@@ -12,6 +12,8 @@
 //! the access stream with bounded overestimation error (at most the
 //! minimum counter value).
 
+use pact_stats::codec::{ByteReader, ByteWriter, CodecError};
+
 use crate::types::PageId;
 
 /// One occupied counter slot.
@@ -172,6 +174,56 @@ impl SpaceSaving {
         self.heap.clear();
         self.total = 0;
     }
+
+    /// Serializes the counter table (heap order and totals; the dense
+    /// position index is rebuilt on restore).
+    pub(crate) fn encode_state(&self, w: &mut ByteWriter) {
+        w.put_usize(self.capacity);
+        w.put_usize(self.heap.len());
+        for s in &self.heap {
+            w.put_u64(s.page.0);
+            w.put_u64(s.count);
+            w.put_u64(s.err);
+        }
+        w.put_u64(self.total);
+    }
+
+    /// Restores state captured by [`encode_state`](Self::encode_state)
+    /// into a table constructed with the same capacity.
+    pub(crate) fn decode_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), String> {
+        let e = |e: CodecError| format!("chmu state: {e}");
+        let capacity = r.get_usize().map_err(e)?;
+        if capacity != self.capacity {
+            return Err(format!(
+                "chmu state: snapshot capacity {capacity} differs from configured {}",
+                self.capacity
+            ));
+        }
+        let len = r.get_usize().map_err(e)?;
+        if len > capacity {
+            return Err("chmu state: more slots than capacity".to_string());
+        }
+        let mut heap = Vec::with_capacity(capacity);
+        for _ in 0..len {
+            let page = PageId(r.get_u64().map_err(e)?);
+            let count = r.get_u64().map_err(e)?;
+            let err = r.get_u64().map_err(e)?;
+            heap.push(Slot { page, count, err });
+        }
+        let total = r.get_u64().map_err(e)?;
+        // Rebuild the dense position index from the restored heap order.
+        self.reset();
+        self.heap = heap;
+        self.total = total;
+        for i in 0..self.heap.len() {
+            let page = self.heap[i].page;
+            if self.pos.get(page.0 as usize).copied().unwrap_or(0) != 0 {
+                return Err(format!("chmu state: page {} tracked twice", page.0));
+            }
+            self.set_pos(page, i);
+        }
+        Ok(())
+    }
 }
 
 /// The device-side hotness monitoring unit: a Space-Saving table fed by
@@ -232,6 +284,16 @@ impl Chmu {
     /// Host reset after reading.
     pub fn reset(&mut self) {
         self.table.reset();
+    }
+
+    /// Serializes the device counter table for the snapshot.
+    pub(crate) fn encode_state(&self, w: &mut ByteWriter) {
+        self.table.encode_state(w);
+    }
+
+    /// Restores the device counter table from a snapshot.
+    pub(crate) fn decode_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), String> {
+        self.table.decode_state(r)
     }
 }
 

@@ -175,6 +175,13 @@ pub struct MachineConfig {
     /// Seed for all randomized machine behaviour (prefetch coverage,
     /// hint-fault scan sampling). Runs are deterministic given the seed.
     pub seed: u64,
+    /// Capture a crash-recovery snapshot every N completed windows when
+    /// a snapshot sink is installed (`0` disables capture, the zero-cost
+    /// default). The field is *excluded* from the snapshot
+    /// configuration fingerprint, so a run may be resumed under a
+    /// different capture cadence. Binaries resolve `PACT_SNAPSHOT` into
+    /// this field at the edge.
+    pub snapshot_every: u64,
     /// Deterministic fault-injection plan ([`crate::fault`]); `None`
     /// disables injection entirely (the zero-cost default).
     pub fault_plan: Option<FaultPlan>,
@@ -232,6 +239,7 @@ impl MachineConfig {
             shards: 1,
             track_page_stalls: false,
             seed: 0x9ac7_1357,
+            snapshot_every: 0,
             fault_plan: None,
             invariants: None,
         }

@@ -35,6 +35,10 @@ pub enum SimError {
     /// [`MachineConfig::invariants`](crate::MachineConfig::invariants)
     /// failed at a window boundary.
     Invariant(InvariantViolation),
+    /// A crash-recovery snapshot could not be captured or restored
+    /// (corrupt frame, version/configuration mismatch, or a policy
+    /// without snapshot support).
+    Snapshot(String),
     /// A workload stream emitted an address beyond its declared
     /// footprint.
     AddressOutOfRange {
@@ -60,6 +64,7 @@ impl std::fmt::Display for SimError {
                 write!(f, "at least one foreground workload is required")
             }
             SimError::Invariant(v) => write!(f, "{v}"),
+            SimError::Snapshot(reason) => write!(f, "snapshot error: {reason}"),
             SimError::AddressOutOfRange {
                 workload,
                 vaddr,

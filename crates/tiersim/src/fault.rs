@@ -401,6 +401,54 @@ impl FaultState {
     pub fn pending_retries(&self) -> usize {
         self.retries.len()
     }
+
+    /// Serializes the fault RNG cursor and the retry/backoff queue (the
+    /// plan itself comes from the configuration on restore; the metric
+    /// handles are re-registered).
+    pub fn encode_state(&self, w: &mut pact_stats::ByteWriter) {
+        w.put_u64(self.rng.state());
+        w.put_usize(self.retries.len());
+        for e in &self.retries {
+            w.put_u64(e.order.page.0);
+            w.put_u8(e.order.to.index() as u8);
+            w.put_bool(e.order.sync);
+            w.put_u64(e.due_window);
+            w.put_u32(e.attempt);
+        }
+    }
+
+    /// Restores state captured by [`encode_state`](Self::encode_state)
+    /// into a fault state built from the same plan.
+    pub fn decode_state(&mut self, r: &mut pact_stats::ByteReader<'_>) -> Result<(), String> {
+        let e = |e: pact_stats::CodecError| format!("fault state: {e}");
+        self.rng = SplitMix64::new(r.get_u64().map_err(e)?);
+        let n = r.get_usize().map_err(e)?;
+        let mut retries = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            let page = crate::types::PageId(r.get_u64().map_err(e)?);
+            let to = match r.get_u8().map_err(e)? {
+                0 => Tier::Fast,
+                1 => Tier::Slow,
+                t => return Err(format!("fault state: invalid tier index {t}")),
+            };
+            let sync = r.get_bool().map_err(e)?;
+            let due_window = r.get_u64().map_err(e)?;
+            let attempt = r.get_u32().map_err(e)?;
+            if attempt == 0 || attempt > self.plan.max_retries {
+                return Err(format!(
+                    "fault state: retry attempt {attempt} outside 1..={}",
+                    self.plan.max_retries
+                ));
+            }
+            retries.push_back(RetryEntry {
+                order: MigrationOrder { page, to, sync },
+                due_window,
+                attempt,
+            });
+        }
+        self.retries = retries;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

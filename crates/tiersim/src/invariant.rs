@@ -463,6 +463,56 @@ impl InvariantChecker {
         Ok(())
     }
 
+    /// Serializes the ledgers and monotonicity state (the armed set
+    /// comes from the configuration on restore).
+    pub fn encode_state(&self, w: &mut pact_stats::ByteWriter) {
+        for v in [
+            self.issued,
+            self.executed,
+            self.noops,
+            self.shed,
+            self.abandoned,
+            self.pages_moved,
+            self.stall_lines[0],
+            self.stall_lines[1],
+            self.last_mapped,
+            self.next_window,
+            self.sum_promotions,
+            self.sum_demotions,
+            self.sum_failed,
+            self.sum_dropped,
+            self.sum_accesses,
+        ] {
+            w.put_u64(v);
+        }
+        w.put_bool(self.last_edge.is_some());
+        w.put_u64(self.last_edge.unwrap_or(0));
+    }
+
+    /// Restores state captured by [`encode_state`](Self::encode_state).
+    pub fn decode_state(&mut self, r: &mut pact_stats::ByteReader<'_>) -> Result<(), String> {
+        let e = |e: pact_stats::CodecError| format!("invariant checker state: {e}");
+        let mut get = || r.get_u64().map_err(e);
+        self.issued = get()?;
+        self.executed = get()?;
+        self.noops = get()?;
+        self.shed = get()?;
+        self.abandoned = get()?;
+        self.pages_moved = get()?;
+        self.stall_lines = [get()?, get()?];
+        self.last_mapped = get()?;
+        self.next_window = get()?;
+        self.sum_promotions = get()?;
+        self.sum_demotions = get()?;
+        self.sum_failed = get()?;
+        self.sum_dropped = get()?;
+        self.sum_accesses = get()?;
+        let has_edge = r.get_bool().map_err(e)?;
+        let edge = r.get_u64().map_err(e)?;
+        self.last_edge = has_edge.then_some(edge);
+        Ok(())
+    }
+
     /// End-of-run reconciliation: window-record sums must equal the run
     /// totals the report carries.
     pub fn check_final(

@@ -60,6 +60,7 @@ mod mem;
 mod observe;
 mod pmu;
 mod policy;
+mod snapshot;
 mod tier;
 mod trace;
 mod types;
@@ -83,6 +84,7 @@ pub use pact_obs::{
 };
 pub use pmu::{PebsSampler, PmuCounters, SampleEvent};
 pub use policy::{FirstTouch, MachineInfo, MigrationOrder, PolicyCtx, TieringPolicy, WindowStats};
+pub use snapshot::{config_fingerprint, MachineSnapshot, FORMAT_VERSION, MAGIC};
 pub use tier::Channel;
 pub use trace::{read_trace, write_trace, write_workload_trace};
 pub use types::{

@@ -25,6 +25,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
 use pact_obs::{EventKind, HistogramNames, MetricId, MetricsRegistry, Tracer};
+use pact_stats::codec::{ByteReader, ByteWriter, CodecError};
 use pact_stats::SplitMix64;
 
 use crate::cache::{line_of, Llc, StrideDetector};
@@ -38,6 +39,7 @@ use crate::pmu::{PebsSampler, PmuCounters, SampleEvent};
 use crate::policy::{
     CtxTotals, MachineInfo, MigrationOrder, PolicyCtx, TieringPolicy, WindowStats,
 };
+use crate::snapshot::{self, MachineSnapshot};
 use crate::tier::Channel;
 use crate::types::{page_shard, AccessKind, PageId, Tier, HUGE_PAGE_SPAN, LINE_BYTES, PAGE_BYTES};
 use crate::workload::{AccessStream, Workload};
@@ -318,6 +320,63 @@ impl Machine {
         }
         Sim::new(&self.cfg, workloads, policy, tracer)?.run()
     }
+
+    /// [`try_run_colocated_traced`](Self::try_run_colocated_traced)
+    /// with crash-recovery snapshot capture: after every
+    /// [`MachineConfig::snapshot_every`] completed windows, the
+    /// complete machine state is sealed into a [`MachineSnapshot`] and
+    /// handed to `sink`. With `snapshot_every == 0` this is exactly a
+    /// plain run. The capture does not perturb the simulation: the
+    /// report is byte-identical to an uncaptured run.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`try_run_colocated`](Self::try_run_colocated)
+    /// returns, plus [`SimError::Snapshot`] when the active policy does
+    /// not implement
+    /// [`TieringPolicy::save_state`](crate::TieringPolicy::save_state).
+    pub fn try_run_snapshotting(
+        &self,
+        workloads: &[&dyn Workload],
+        policy: &mut dyn TieringPolicy,
+        tracer: &mut Tracer,
+        sink: &mut dyn FnMut(MachineSnapshot),
+    ) -> Result<RunReport, SimError> {
+        if workloads.is_empty() {
+            return Err(SimError::NoWorkloads);
+        }
+        let mut sim = Sim::new(&self.cfg, workloads, policy, tracer)?;
+        sim.snap_sink = Some(sink);
+        sim.run()
+    }
+
+    /// Resumes a run from `snapshot` and drives it to completion: the
+    /// returned report (and every trace/metrics byte) is identical to
+    /// the uninterrupted run's. The workloads must be the ones the
+    /// snapshot was captured under; the machine configuration must
+    /// match the snapshot's fingerprint, except `shards` and
+    /// `snapshot_every`, which may differ freely.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Snapshot`] for corrupt, truncated, version- or
+    /// configuration-mismatched frames (never undefined behaviour),
+    /// plus everything [`try_run_colocated`](Self::try_run_colocated)
+    /// returns.
+    pub fn try_resume(
+        &self,
+        workloads: &[&dyn Workload],
+        policy: &mut dyn TieringPolicy,
+        tracer: &mut Tracer,
+        snapshot: &MachineSnapshot,
+    ) -> Result<RunReport, SimError> {
+        if workloads.is_empty() {
+            return Err(SimError::NoWorkloads);
+        }
+        let mut sim = Sim::new(&self.cfg, workloads, policy, tracer)?;
+        sim.restore(snapshot)?;
+        sim.run()
+    }
 }
 
 /// Cold per-thread state. The scheduler-hot fields — the thread clock,
@@ -329,6 +388,11 @@ struct ThreadState<'w> {
     proc: usize,
     base_page: u64,
     footprint_bytes: u64,
+    /// Accesses consumed from `stream` so far. Snapshot restore
+    /// fast-forwards a fresh stream by this many accesses — sound
+    /// because [`Workload::streams`] contractually returns identical
+    /// streams on every call.
+    consumed: u64,
     /// Outstanding miss completions:
     /// `Reverse((completion_cycle, tier_index, page))`.
     inflight: BinaryHeap<Reverse<(u64, u8, u64)>>,
@@ -451,6 +515,10 @@ struct Sim<'a, 'w> {
     /// dead `Option` branches to the migration path and keeps output
     /// byte-identical to a build without the checking layer.
     checker: Option<Box<InvariantChecker>>,
+    /// Crash-recovery snapshot sink; when set and
+    /// `cfg.snapshot_every > 0`, sealed frames are handed to it every
+    /// `snapshot_every` completed windows.
+    snap_sink: Option<&'a mut dyn FnMut(MachineSnapshot)>,
 }
 
 /// Maximum pending async migration orders before new ones are dropped.
@@ -521,6 +589,7 @@ impl<'a, 'w> Sim<'a, 'w> {
                 proc: pi,
                 base_page,
                 footprint_bytes: fp_bytes,
+                consumed: 0,
                 inflight: BinaryHeap::with_capacity(cfg.mshrs + 1),
                 write_buffer: BinaryHeap::with_capacity(WRITE_BUFFER + 1),
                 last_miss_completion: 0,
@@ -701,6 +770,7 @@ impl<'a, 'w> Sim<'a, 'w> {
             checker: cfg
                 .invariants
                 .map(|set| Box::new(InvariantChecker::new(set))),
+            snap_sink: None,
             cfg,
         })
     }
@@ -755,7 +825,7 @@ impl<'a, 'w> Sim<'a, 'w> {
             let Some(ti) = best else { break };
             // Fire any window boundaries the whole machine has passed.
             while self.clock[ti] + self.clock_offset >= self.next_edge {
-                self.fire_window()?;
+                self.fire_window(true)?;
             }
             self.step_thread(ti)?;
         }
@@ -781,7 +851,7 @@ impl<'a, 'w> Sim<'a, 'w> {
             let Some((_, ti, si)) = best else { break };
             let ti = ti as usize;
             while self.clock[ti] + self.clock_offset >= self.next_edge {
-                self.fire_window()?;
+                self.fire_window(true)?;
             }
             self.shard_heaps[si].pop();
             self.step_thread(ti)?;
@@ -810,7 +880,10 @@ impl<'a, 'w> Sim<'a, 'w> {
             }
         }
         // Close the final partial window so its activity is recorded.
-        self.fire_window()?;
+        // Snapshot capture is suppressed here: the frame would describe
+        // a run with no live foreground threads, which resume could
+        // never continue (and whose outputs are already final).
+        self.fire_window(false)?;
         if let Some(c) = self.checker.as_ref() {
             c.check_final(
                 self.promotions,
@@ -882,6 +955,7 @@ impl<'a, 'w> Sim<'a, 'w> {
             }
             return Ok(());
         };
+        self.threads[ti].consumed += 1;
         let (proc, base_page, fp_bytes) = {
             let t = &self.threads[ti];
             (t.proc, t.base_page, t.footprint_bytes)
@@ -1380,7 +1454,11 @@ impl<'a, 'w> Sim<'a, 'w> {
     /// Ends the current window: snapshot counters, consult the policy,
     /// run the migration daemon, refresh hint-fault poison, and — when
     /// an [`crate::InvariantSet`] is armed — verify conservation laws.
-    fn fire_window(&mut self) -> Result<(), SimError> {
+    ///
+    /// `allow_snapshot` gates crash-recovery capture: the in-run window
+    /// edges pass `true`; the final partial window fired from
+    /// [`run`](Self::run) passes `false` (nothing is left to resume).
+    fn fire_window(&mut self, allow_snapshot: bool) -> Result<(), SimError> {
         let _prof = pact_obs::hostprof::span("window");
         // Merge the shards' buffered page events before anything — the
         // policy, CHMU gauges, and oracle below — can observe them.
@@ -1645,8 +1723,443 @@ impl<'a, 'w> Sim<'a, 'w> {
         self.last_snapshot = self.counters;
         self.window_idx += 1;
         self.next_edge += self.cfg.window_cycles;
+        if allow_snapshot
+            && self.cfg.snapshot_every > 0
+            && self.snap_sink.is_some()
+            && self.window_idx.is_multiple_of(self.cfg.snapshot_every)
+        {
+            let snap = self.capture_snapshot()?;
+            if let Some(sink) = self.snap_sink.as_mut() {
+                sink(snap);
+            }
+        }
         Ok(())
     }
+
+    /// Seals the complete mutable run state into a versioned frame.
+    ///
+    /// Only called at a window edge (end of [`fire_window`]
+    /// (Self::fire_window)), where the per-shard event buffers and the
+    /// reusable policy sinks are provably empty — which is what makes
+    /// the frame valid to resume under *any* shard count.
+    fn capture_snapshot(&self) -> Result<MachineSnapshot, SimError> {
+        let _prof = pact_obs::hostprof::span("snapshot_capture");
+        debug_assert!(self.chmu_pending.iter().all(|v| v.is_empty()));
+        debug_assert!(self.stall_pending.iter().all(|v| v.is_empty()));
+        debug_assert!(self.order_buf.is_empty());
+        debug_assert!(self.telemetry_buf.is_empty());
+        debug_assert!(self.window_telemetry.is_empty());
+        let mut blob = Vec::new();
+        if !self.policy.save_state(&mut blob) {
+            return Err(SimError::Snapshot(format!(
+                "policy '{}' does not support snapshot capture",
+                self.policy.name()
+            )));
+        }
+        let mut w = ByteWriter::new();
+        // Threads. Heap contents are written sorted so the frame bytes
+        // do not depend on heap-internal layout; pop order of *values*
+        // is layout-independent either way (ties are identical tuples).
+        w.put_usize(self.threads.len());
+        for t in &self.threads {
+            w.put_u64(t.consumed);
+            let mut inflight: Vec<(u64, u8, u64)> = t.inflight.iter().map(|r| r.0).collect();
+            inflight.sort_unstable();
+            w.put_usize(inflight.len());
+            for (c, tier, page) in inflight {
+                w.put_u64(c);
+                w.put_u8(tier);
+                w.put_u64(page);
+            }
+            let mut wb: Vec<u64> = t.write_buffer.iter().map(|r| r.0).collect();
+            wb.sort_unstable();
+            w.put_usize(wb.len());
+            for h in wb {
+                w.put_u64(h);
+            }
+            w.put_u64(t.last_miss_completion);
+            w.put_u8(t.last_miss_tier);
+            w.put_u64(t.last_miss_page);
+            t.detector.encode_state(&mut w);
+        }
+        // Scheduler state (struct-of-arrays).
+        for &c in &self.clock {
+            w.put_u64(c);
+        }
+        for &d in &self.done {
+            w.put_bool(d);
+        }
+        for g in &self.gated_by {
+            w.put_bool(g.is_some());
+            w.put_u32(g.unwrap_or(0));
+        }
+        w.put_u64(self.clock_offset);
+        // Processes (names and background flags are rebuilt from the
+        // workloads on resume).
+        w.put_usize(self.procs.len());
+        for p in &self.procs {
+            w.put_u64(p.accesses);
+            w.put_u64(p.finish);
+        }
+        // Substrate.
+        self.counters.encode_state(&mut w);
+        self.last_snapshot.encode_state(&mut w);
+        self.mem.encode_state(&mut w);
+        self.llc.encode_state(&mut w);
+        for ch in &self.channels {
+            ch.encode_state(&mut w);
+        }
+        for &v in &self.tor_covered {
+            w.put_u64(v);
+        }
+        for &v in &self.chan_lines_seen {
+            w.put_u64(v);
+        }
+        for s in &self.saturated_since {
+            w.put_bool(s.is_some());
+            w.put_u64(s.unwrap_or(0));
+        }
+        w.put_u64(self.pebs.countdown());
+        w.put_u64(self.rng.state());
+        if let Some(chmu) = &self.chmu {
+            chmu.encode_state(&mut w);
+        }
+        // Window bookkeeping and the full per-window history.
+        w.put_u64(self.window_idx);
+        w.put_u64(self.next_edge);
+        w.put_usize(self.windows.len());
+        for rec in &self.windows {
+            encode_window_record(rec, &mut w);
+        }
+        w.put_u64(self.promotions);
+        w.put_u64(self.demotions);
+        w.put_u64(self.failed_promotions);
+        w.put_u64(self.dropped_orders);
+        w.put_u64(self.hint_scan_per_window);
+        // Migration order queue with enqueue timestamps.
+        w.put_usize(self.order_queue.len());
+        for (cycle, o) in &self.order_queue {
+            w.put_u64(*cycle);
+            w.put_u64(o.page.0);
+            w.put_u8(o.to.index() as u8);
+            w.put_bool(o.sync);
+        }
+        // The ground-truth stall oracle (presence follows the config).
+        if let Some(map) = &self.page_stalls {
+            w.put_usize(map.len());
+            for (p, [f, s]) in map {
+                w.put_u64(p.0);
+                w.put_u64(*f);
+                w.put_u64(*s);
+            }
+        }
+        if let Some(f) = &self.faults {
+            f.encode_state(&mut w);
+        }
+        if let Some(c) = &self.checker {
+            c.encode_state(&mut w);
+        }
+        self.registry.encode_state(&mut w);
+        w.put_u64(self.overwritten_seen);
+        self.tracer.encode_state(&mut w);
+        w.put_str(self.policy.name());
+        w.put_bytes(&blob);
+        Ok(MachineSnapshot::from_bytes(snapshot::seal_frame(
+            self.window_idx,
+            snapshot::config_fingerprint(self.cfg),
+            &w.into_bytes(),
+        )))
+    }
+
+    /// Restores this freshly constructed simulation from `snap` so that
+    /// [`run`](Self::run) continues it byte-identically to the
+    /// uninterrupted execution.
+    fn restore(&mut self, snap: &MachineSnapshot) -> Result<(), SimError> {
+        let _prof = pact_obs::hostprof::span("snapshot_restore");
+        let fp = snapshot::config_fingerprint(self.cfg);
+        let (window, payload) =
+            snapshot::open_frame(snap.as_bytes(), fp).map_err(SimError::Snapshot)?;
+        let mut r = ByteReader::new(payload);
+        self.decode_payload(&mut r, window)
+            .map_err(SimError::Snapshot)?;
+        Ok(())
+    }
+
+    /// Payload decode behind [`restore`](Self::restore): mirrors
+    /// [`capture_snapshot`](Self::capture_snapshot) field for field and
+    /// validates every cross-component consistency constraint.
+    fn decode_payload(&mut self, r: &mut ByteReader<'_>, window: u64) -> Result<(), String> {
+        let e = |e: CodecError| format!("machine state: {e}");
+        let tier_of = |t: u8| -> Result<Tier, String> {
+            match t {
+                0 => Ok(Tier::Fast),
+                1 => Ok(Tier::Slow),
+                t => Err(format!("machine state: invalid tier index {t}")),
+            }
+        };
+        // Threads.
+        let n = r.get_usize().map_err(e)?;
+        if n != self.threads.len() {
+            return Err(format!(
+                "snapshot has {n} threads, this workload set has {}",
+                self.threads.len()
+            ));
+        }
+        for ti in 0..n {
+            let t = &mut self.threads[ti];
+            t.consumed = r.get_u64().map_err(e)?;
+            let m = r.get_usize().map_err(e)?;
+            if m > self.cfg.mshrs {
+                return Err(format!(
+                    "thread {ti} has {m} in-flight misses, machine has {} MSHRs",
+                    self.cfg.mshrs
+                ));
+            }
+            t.inflight.clear();
+            for _ in 0..m {
+                let c = r.get_u64().map_err(e)?;
+                let tier = r.get_u8().map_err(e)?;
+                tier_of(tier)?;
+                let page = r.get_u64().map_err(e)?;
+                t.inflight.push(Reverse((c, tier, page)));
+            }
+            let m = r.get_usize().map_err(e)?;
+            if m > WRITE_BUFFER {
+                return Err(format!(
+                    "thread {ti} has {m} buffered stores, write buffer holds {WRITE_BUFFER}"
+                ));
+            }
+            t.write_buffer.clear();
+            for _ in 0..m {
+                t.write_buffer.push(Reverse(r.get_u64().map_err(e)?));
+            }
+            t.last_miss_completion = r.get_u64().map_err(e)?;
+            t.last_miss_tier = r.get_u8().map_err(e)?;
+            tier_of(t.last_miss_tier)?;
+            t.last_miss_page = r.get_u64().map_err(e)?;
+            t.detector.decode_state(r)?;
+        }
+        // Scheduler state.
+        for c in &mut self.clock {
+            *c = r.get_u64().map_err(e)?;
+        }
+        for d in &mut self.done {
+            *d = r.get_bool().map_err(e)?;
+        }
+        for ti in 0..n {
+            let has = r.get_bool().map_err(e)?;
+            let v = r.get_u32().map_err(e)?;
+            if has && v as usize >= n {
+                return Err(format!("thread {ti} gated by out-of-range thread {v}"));
+            }
+            self.gated_by[ti] = has.then_some(v);
+        }
+        self.clock_offset = r.get_u64().map_err(e)?;
+        // Processes.
+        let np = r.get_usize().map_err(e)?;
+        if np != self.procs.len() {
+            return Err(format!(
+                "snapshot has {np} processes, this workload set has {}",
+                self.procs.len()
+            ));
+        }
+        for p in &mut self.procs {
+            p.accesses = r.get_u64().map_err(e)?;
+            p.finish = r.get_u64().map_err(e)?;
+        }
+        // Substrate.
+        self.counters = PmuCounters::decode_state(r)?;
+        self.last_snapshot = PmuCounters::decode_state(r)?;
+        self.mem.decode_state(r)?;
+        self.llc.decode_state(r)?;
+        for ch in &mut self.channels {
+            ch.decode_state(r)?;
+        }
+        for v in &mut self.tor_covered {
+            *v = r.get_u64().map_err(e)?;
+        }
+        for v in &mut self.chan_lines_seen {
+            *v = r.get_u64().map_err(e)?;
+        }
+        for s in &mut self.saturated_since {
+            let has = r.get_bool().map_err(e)?;
+            let v = r.get_u64().map_err(e)?;
+            *s = has.then_some(v);
+        }
+        self.pebs.set_countdown(r.get_u64().map_err(e)?)?;
+        self.rng = SplitMix64::new(r.get_u64().map_err(e)?);
+        if let Some(chmu) = self.chmu.as_mut() {
+            chmu.decode_state(r)?;
+        }
+        // Window bookkeeping and history.
+        self.window_idx = r.get_u64().map_err(e)?;
+        if self.window_idx != window {
+            return Err(format!(
+                "frame header says {window} completed windows, payload says {}",
+                self.window_idx
+            ));
+        }
+        self.next_edge = r.get_u64().map_err(e)?;
+        let nw = r.get_usize().map_err(e)?;
+        self.windows.clear();
+        for _ in 0..nw {
+            self.windows.push(decode_window_record(r)?);
+        }
+        self.promotions = r.get_u64().map_err(e)?;
+        self.demotions = r.get_u64().map_err(e)?;
+        self.failed_promotions = r.get_u64().map_err(e)?;
+        self.dropped_orders = r.get_u64().map_err(e)?;
+        self.hint_scan_per_window = r.get_u64().map_err(e)?;
+        let nq = r.get_usize().map_err(e)?;
+        if nq > ORDER_QUEUE_CAP {
+            return Err(format!(
+                "snapshot order queue holds {nq} entries, cap is {ORDER_QUEUE_CAP}"
+            ));
+        }
+        self.order_queue.clear();
+        for _ in 0..nq {
+            let cycle = r.get_u64().map_err(e)?;
+            let page = PageId(r.get_u64().map_err(e)?);
+            let to = tier_of(r.get_u8().map_err(e)?)?;
+            let sync = r.get_bool().map_err(e)?;
+            self.order_queue
+                .push_back((cycle, MigrationOrder { page, to, sync }));
+        }
+        if let Some(map) = self.page_stalls.as_mut() {
+            map.clear();
+            let nm = r.get_usize().map_err(e)?;
+            for _ in 0..nm {
+                let p = PageId(r.get_u64().map_err(e)?);
+                let fast = r.get_u64().map_err(e)?;
+                let slow = r.get_u64().map_err(e)?;
+                map.insert(p, [fast, slow]);
+            }
+        }
+        if let Some(f) = self.faults.as_mut() {
+            f.decode_state(r)?;
+        }
+        if let Some(c) = self.checker.as_mut() {
+            c.decode_state(r)?;
+        }
+        self.registry.decode_state(r)?;
+        self.overwritten_seen = r.get_u64().map_err(e)?;
+        self.tracer.decode_state(r)?;
+        let name = r.get_str().map_err(e)?;
+        if name != self.policy.name() {
+            return Err(format!(
+                "snapshot was captured under policy '{name}', resuming with '{}'",
+                self.policy.name()
+            ));
+        }
+        let blob = r.get_bytes().map_err(e)?;
+        r.finish().map_err(e)?;
+        // `prepare` already ran in `Sim::new`; the restore overwrites
+        // whatever it reset.
+        self.policy
+            .restore_state(blob)
+            .map_err(|err| format!("policy '{name}': {err}"))?;
+        // Live threads re-read their (contractually repeatable) streams
+        // from the start; fast-forward past the consumed prefix.
+        for ti in 0..n {
+            if self.done[ti] {
+                continue;
+            }
+            let t = &mut self.threads[ti];
+            for k in 0..t.consumed {
+                if t.stream.next_access().is_none() {
+                    return Err(format!(
+                        "thread {ti}'s stream ended after {k} accesses while fast-forwarding \
+                         to {}; workload streams must be repeatable",
+                        t.consumed
+                    ));
+                }
+            }
+        }
+        // Rebuild the per-shard ready-heaps for *this* run's shard
+        // count: live, ungated threads at their restored clocks. (A
+        // still-gated thread implies a live prologue — the release path
+        // clears the gate the moment the prologue finishes.)
+        let ns = self.shard_heaps.len();
+        for h in &mut self.shard_heaps {
+            h.clear();
+        }
+        if ns > 0 {
+            for ti in 0..n {
+                if !self.done[ti] && self.gated_by[ti].is_none() {
+                    // pact-lint: allow(counter-truncation) — thread
+                    // indices are far below u32::MAX.
+                    self.shard_heaps[ti % ns].push(Reverse((self.clock[ti], ti as u32)));
+                }
+            }
+        }
+        self.foreground_threads = (0..n)
+            .filter(|&ti| !self.done[ti] && !self.procs[self.threads[ti].proc].background)
+            .count();
+        if self.foreground_threads == 0 {
+            return Err("snapshot has no live foreground threads to resume".into());
+        }
+        Ok(())
+    }
+}
+
+/// Serializes one [`WindowRecord`] for the crash-recovery snapshot.
+fn encode_window_record(rec: &WindowRecord, w: &mut ByteWriter) {
+    w.put_u64(rec.index);
+    w.put_u64(rec.end_cycles);
+    w.put_u64(rec.promotions);
+    w.put_u64(rec.demotions);
+    w.put_u64(rec.failed_promotions);
+    w.put_u64(rec.dropped_orders);
+    w.put_u64(rec.trace_dropped_events);
+    rec.delta.encode_state(w);
+    w.put_usize(rec.telemetry.len());
+    for (k, v) in &rec.telemetry {
+        w.put_str(k);
+        w.put_f64(*v);
+    }
+    w.put_usize(rec.metrics.len());
+    for (k, v) in &rec.metrics {
+        w.put_str(k);
+        w.put_f64(*v);
+    }
+}
+
+/// Mirror of [`encode_window_record`]; names come back as interned
+/// `&'static str`s.
+fn decode_window_record(r: &mut ByteReader<'_>) -> Result<WindowRecord, String> {
+    let e = |e: CodecError| format!("window record: {e}");
+    let index = r.get_u64().map_err(e)?;
+    let end_cycles = r.get_u64().map_err(e)?;
+    let promotions = r.get_u64().map_err(e)?;
+    let demotions = r.get_u64().map_err(e)?;
+    let failed_promotions = r.get_u64().map_err(e)?;
+    let dropped_orders = r.get_u64().map_err(e)?;
+    let trace_dropped_events = r.get_u64().map_err(e)?;
+    let delta = PmuCounters::decode_state(r)?;
+    let nt = r.get_usize().map_err(e)?;
+    let mut telemetry = Vec::with_capacity(nt);
+    for _ in 0..nt {
+        let k = pact_obs::intern(r.get_str().map_err(e)?);
+        telemetry.push((k, r.get_f64().map_err(e)?));
+    }
+    let nm = r.get_usize().map_err(e)?;
+    let mut metrics = Vec::with_capacity(nm);
+    for _ in 0..nm {
+        let k = pact_obs::intern(r.get_str().map_err(e)?);
+        metrics.push((k, r.get_f64().map_err(e)?));
+    }
+    Ok(WindowRecord {
+        index,
+        end_cycles,
+        promotions,
+        demotions,
+        failed_promotions,
+        dropped_orders,
+        trace_dropped_events,
+        delta,
+        telemetry,
+        metrics,
+    })
 }
 
 #[cfg(test)]
@@ -1892,6 +2405,186 @@ mod tests {
             "loaded latency should inflate under contention: {} vs {}",
             r16.counters.avg_demand_latency(Tier::Slow),
             r1.counters.avg_demand_latency(Tier::Slow)
+        );
+    }
+
+    /// Stateful test policy for the kill-resume round trip: promotes
+    /// sampled slow pages, demotes under pressure, carries counters
+    /// across snapshots, and registers its own metric.
+    #[derive(Default)]
+    struct HotPromote {
+        samples: u64,
+        windows: u64,
+    }
+
+    impl TieringPolicy for HotPromote {
+        fn name(&self) -> &str {
+            "hotprom"
+        }
+
+        fn on_sample(&mut self, ev: &SampleEvent, ctx: &mut PolicyCtx) {
+            self.samples += 1;
+            if let SampleEvent::Pebs {
+                page,
+                tier: Tier::Slow,
+                ..
+            } = ev
+            {
+                ctx.promote(*page);
+            }
+        }
+
+        fn on_window(&mut self, _win: &WindowStats, ctx: &mut PolicyCtx) {
+            self.windows += 1;
+            ctx.telemetry("hotprom/samples", self.samples as f64);
+            if ctx.fast_free() < 16 {
+                for head in ctx.cold_fast_units(8) {
+                    ctx.demote(head);
+                }
+            }
+            let c = ctx.metrics().counter("hotprom/windows");
+            ctx.metrics().inc(c, 1);
+        }
+
+        fn save_state(&self, out: &mut Vec<u8>) -> bool {
+            let mut w = ByteWriter::new();
+            w.put_u64(self.samples);
+            w.put_u64(self.windows);
+            out.extend_from_slice(&w.into_bytes());
+            true
+        }
+
+        fn restore_state(&mut self, state: &[u8]) -> Result<(), String> {
+            let e = |e: CodecError| e.to_string();
+            let mut r = ByteReader::new(state);
+            self.samples = r.get_u64().map_err(e)?;
+            self.windows = r.get_u64().map_err(e)?;
+            r.finish().map_err(e)
+        }
+    }
+
+    fn snapshotty_cfg() -> MachineConfig {
+        let mut cfg = small_cfg(100);
+        cfg.track_page_stalls = true;
+        cfg.snapshot_every = 4;
+        cfg.fault_plan = Some(crate::FaultPlan {
+            drop_order: 0.1,
+            fail_migration: 0.2,
+            pebs_loss: 0.05,
+            ..crate::FaultPlan::default()
+        });
+        cfg
+    }
+
+    #[test]
+    fn snapshot_capture_does_not_perturb_the_run() {
+        let wl = TraceWorkload::new("chase", 1 << 22, chasing_trace(400, 8_000));
+        let m = Machine::new(snapshotty_cfg()).unwrap();
+        let plain = m.run(&wl, &mut HotPromote::default());
+        let mut snaps = Vec::new();
+        let mut tracer = Tracer::disabled();
+        let snapped = m
+            .try_run_snapshotting(&[&wl], &mut HotPromote::default(), &mut tracer, &mut |s| {
+                snaps.push(s)
+            })
+            .unwrap();
+        assert!(!snaps.is_empty());
+        assert_eq!(format!("{plain:?}"), format!("{snapped:?}"));
+    }
+
+    #[test]
+    fn kill_resume_is_byte_identical_across_shard_counts() {
+        let wl = TraceWorkload::new("chase", 1 << 22, chasing_trace(400, 8_000));
+        let cfg = snapshotty_cfg();
+        let m = Machine::new(cfg.clone()).unwrap();
+        let mut snaps = Vec::new();
+        let mut tracer = Tracer::disabled();
+        let reference = m
+            .try_run_snapshotting(&[&wl], &mut HotPromote::default(), &mut tracer, &mut |s| {
+                snaps.push(s)
+            })
+            .unwrap();
+        assert!(snaps.len() >= 2, "only {} snapshots captured", snaps.len());
+        assert!(reference.promotions > 0, "test policy must migrate");
+        let ref_dbg = format!("{reference:?}");
+        for shards in [1usize, 4, 7] {
+            let mut rcfg = cfg.clone();
+            rcfg.shards = shards;
+            let rm = Machine::new(rcfg).unwrap();
+            for snap in &snaps {
+                let mut tr = Tracer::disabled();
+                let resumed = rm
+                    .try_resume(&[&wl], &mut HotPromote::default(), &mut tr, snap)
+                    .unwrap();
+                assert_eq!(
+                    format!("{resumed:?}"),
+                    ref_dbg,
+                    "divergence resuming window {:?} under {shards} shards",
+                    snap.window()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_or_mismatched_snapshots_are_rejected() {
+        let wl = TraceWorkload::new("chase", 1 << 22, chasing_trace(400, 8_000));
+        let cfg = snapshotty_cfg();
+        let m = Machine::new(cfg.clone()).unwrap();
+        let mut snaps = Vec::new();
+        let mut tracer = Tracer::disabled();
+        m.try_run_snapshotting(&[&wl], &mut HotPromote::default(), &mut tracer, &mut |s| {
+            snaps.push(s)
+        })
+        .unwrap();
+        let good = snaps.remove(0);
+        let resume = |mm: &Machine, snap: &MachineSnapshot| {
+            let mut tr = Tracer::disabled();
+            mm.try_resume(&[&wl], &mut HotPromote::default(), &mut tr, snap)
+        };
+        // Pristine frame resumes.
+        assert!(resume(&m, &good).is_ok());
+        // A flipped payload byte is caught by the checksum.
+        let mut corrupt = good.as_bytes().to_vec();
+        let mid = corrupt.len() / 2;
+        corrupt[mid] ^= 0x10;
+        let err = resume(&m, &MachineSnapshot::from_bytes(corrupt)).unwrap_err();
+        assert!(matches!(err, SimError::Snapshot(_)), "{err}");
+        // A truncated frame is rejected, not UB.
+        let cut = good.as_bytes()[..good.as_bytes().len() / 2].to_vec();
+        let err = resume(&m, &MachineSnapshot::from_bytes(cut)).unwrap_err();
+        assert!(matches!(err, SimError::Snapshot(_)), "{err}");
+        // A different machine configuration is rejected by fingerprint.
+        let mut other = cfg.clone();
+        other.fast_tier_pages += 1;
+        let om = Machine::new(other).unwrap();
+        let err = resume(&om, &good).unwrap_err();
+        assert!(err.to_string().contains("fingerprint"), "{err}");
+        // A different policy is rejected by name.
+        let mut tr = Tracer::disabled();
+        let err = m
+            .try_resume(&[&wl], &mut FirstTouch::new(), &mut tr, &good)
+            .unwrap_err();
+        assert!(err.to_string().contains("hotprom"), "{err}");
+    }
+
+    #[test]
+    fn snapshot_capture_fails_loudly_for_unsupported_policies() {
+        struct NoSnap;
+        impl TieringPolicy for NoSnap {
+            fn name(&self) -> &str {
+                "nosnap"
+            }
+        }
+        let wl = TraceWorkload::new("chase", 1 << 22, chasing_trace(400, 8_000));
+        let m = Machine::new(snapshotty_cfg()).unwrap();
+        let mut tracer = Tracer::disabled();
+        let err = m
+            .try_run_snapshotting(&[&wl], &mut NoSnap, &mut tracer, &mut |_| {})
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("does not support snapshot"),
+            "{err}"
         );
     }
 }

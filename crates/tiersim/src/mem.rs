@@ -3,6 +3,8 @@
 
 use std::collections::VecDeque;
 
+use pact_stats::codec::{ByteReader, ByteWriter, CodecError};
+
 use crate::types::{PageId, Tier};
 
 const FLAG_REF: u8 = 1 << 0;
@@ -334,6 +336,88 @@ impl Memory {
     #[inline]
     pub fn unpoison(&mut self, page: PageId) {
         self.flags[page.0 as usize] &= !FLAG_POISON;
+    }
+
+    /// Serializes the full memory state — page table, flags, recency
+    /// stamps, residency bookkeeping, CLOCK list, and slow-scan list —
+    /// for the crash-recovery snapshot.
+    pub(crate) fn encode_state(&self, w: &mut ByteWriter) {
+        w.put_bytes(&self.tier);
+        w.put_bytes(&self.flags);
+        w.put_usize(self.last_window.len());
+        for &lw in &self.last_window {
+            w.put_u32(lw);
+        }
+        w.put_u64(self.fast_used);
+        w.put_usize(self.fast_clock.len());
+        for &p in &self.fast_clock {
+            w.put_u64(p.0);
+        }
+        w.put_usize(self.slow_scan.len());
+        for &p in &self.slow_scan {
+            w.put_u64(p.0);
+        }
+        w.put_usize(self.slow_cursor);
+    }
+
+    /// Restores state captured by [`encode_state`](Self::encode_state)
+    /// into a memory freshly constructed from the same configuration.
+    pub(crate) fn decode_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), String> {
+        let e = |e: CodecError| format!("memory state: {e}");
+        let tier = r.get_bytes().map_err(e)?;
+        if tier.len() != self.tier.len() {
+            return Err(format!(
+                "memory state: snapshot has {} pages, machine has {}",
+                tier.len(),
+                self.tier.len()
+            ));
+        }
+        if let Some(bad) = tier.iter().find(|&&t| t > NOT_PRESENT) {
+            return Err(format!("memory state: invalid residency code {bad}"));
+        }
+        let flags = r.get_bytes().map_err(e)?;
+        if flags.len() != self.flags.len() {
+            return Err("memory state: flags length mismatch".to_string());
+        }
+        let n_windows = r.get_usize().map_err(e)?;
+        if n_windows != self.last_window.len() {
+            return Err("memory state: recency-stamp length mismatch".to_string());
+        }
+        let mut last_window = Vec::with_capacity(n_windows);
+        for _ in 0..n_windows {
+            last_window.push(r.get_u32().map_err(e)?);
+        }
+        let fast_used = r.get_u64().map_err(e)?;
+        if fast_used > self.fast_capacity {
+            return Err("memory state: fast_used exceeds capacity".to_string());
+        }
+        let n_clock = r.get_usize().map_err(e)?;
+        let mut fast_clock = VecDeque::with_capacity(n_clock);
+        for _ in 0..n_clock {
+            fast_clock.push_back(PageId(r.get_u64().map_err(e)?));
+        }
+        let n_scan = r.get_usize().map_err(e)?;
+        let mut slow_scan = Vec::with_capacity(n_scan);
+        for _ in 0..n_scan {
+            slow_scan.push(PageId(r.get_u64().map_err(e)?));
+        }
+        let slow_cursor = r.get_usize().map_err(e)?;
+        let total = self.tier.len() as u64;
+        if fast_clock
+            .iter()
+            .chain(slow_scan.iter())
+            .any(|p| p.0 >= total)
+        {
+            return Err("memory state: list entry beyond page table".to_string());
+        }
+        self.tier.copy_from_slice(tier);
+        self.flags.copy_from_slice(flags);
+        self.last_window = last_window;
+        self.fast_used = fast_used;
+        self.fast_clock = fast_clock;
+        self.slow_scan = slow_scan;
+        self.slow_cursor = slow_cursor;
+        Ok(())
     }
 }
 

@@ -126,6 +126,54 @@ impl PmuCounters {
     pub fn total_stalls(&self) -> u64 {
         self.llc_stalls[0] + self.llc_stalls[1]
     }
+
+    /// Serializes every counter field, in declaration order.
+    pub(crate) fn encode_state(&self, w: &mut pact_stats::ByteWriter) {
+        for v in [
+            self.accesses,
+            self.loads,
+            self.stores,
+            self.llc_hits,
+            self.llc_misses[0],
+            self.llc_misses[1],
+            self.llc_stalls[0],
+            self.llc_stalls[1],
+            self.tor_occupancy[0],
+            self.tor_occupancy[1],
+            self.tor_busy[0],
+            self.tor_busy[1],
+            self.demand_latency_sum[0],
+            self.demand_latency_sum[1],
+            self.bytes[0],
+            self.bytes[1],
+            self.prefetches[0],
+            self.prefetches[1],
+            self.hint_faults,
+            self.pebs_samples,
+        ] {
+            w.put_u64(v);
+        }
+    }
+
+    /// Restores counters captured by [`encode_state`](Self::encode_state).
+    pub(crate) fn decode_state(r: &mut pact_stats::ByteReader<'_>) -> Result<Self, String> {
+        let mut get = || r.get_u64().map_err(|e| format!("pmu counters: {e}"));
+        Ok(PmuCounters {
+            accesses: get()?,
+            loads: get()?,
+            stores: get()?,
+            llc_hits: get()?,
+            llc_misses: [get()?, get()?],
+            llc_stalls: [get()?, get()?],
+            tor_occupancy: [get()?, get()?],
+            tor_busy: [get()?, get()?],
+            demand_latency_sum: [get()?, get()?],
+            bytes: [get()?, get()?],
+            prefetches: [get()?, get()?],
+            hint_faults: get()?,
+            pebs_samples: get()?,
+        })
+    }
 }
 
 /// A sampled memory event delivered to the active tiering policy.
@@ -205,6 +253,24 @@ impl PebsSampler {
     /// Per-sample overhead charged to the sampled thread.
     pub fn overhead_cycles(&self) -> u32 {
         self.cfg.sample_overhead_cycles
+    }
+
+    /// Current sampling countdown (for the crash-recovery snapshot).
+    pub(crate) fn countdown(&self) -> u64 {
+        self.countdown
+    }
+
+    /// Restores the sampling countdown. Rejects values outside
+    /// `1..=rate`, which a fresh or mid-stream sampler can never hold.
+    pub(crate) fn set_countdown(&mut self, v: u64) -> Result<(), String> {
+        if v == 0 || v > self.cfg.rate {
+            return Err(format!(
+                "pebs sampler: countdown {v} outside 1..={}",
+                self.cfg.rate
+            ));
+        }
+        self.countdown = v;
+        Ok(())
     }
 }
 

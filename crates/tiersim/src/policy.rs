@@ -317,6 +317,29 @@ pub trait TieringPolicy {
 
     /// Called at every sampling-window boundary with counter deltas.
     fn on_window(&mut self, _win: &WindowStats, _ctx: &mut PolicyCtx) {}
+
+    /// Serializes the policy's mutable state into `out` for a
+    /// crash-recovery snapshot, returning `true` if the policy supports
+    /// snapshotting. Stateless policies return `true` with an empty
+    /// blob; the default `false` makes snapshot capture fail loudly for
+    /// policies that carry state but have not implemented the hook
+    /// (silently resuming with reset state would diverge).
+    fn save_state(&self, _out: &mut Vec<u8>) -> bool {
+        false
+    }
+
+    /// Restores state previously produced by
+    /// [`save_state`](Self::save_state). Called after
+    /// [`prepare`](Self::prepare), so implementations overwrite any
+    /// state `prepare` reset.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the mismatch when the blob cannot be
+    /// decoded into this policy.
+    fn restore_state(&mut self, _state: &[u8]) -> Result<(), String> {
+        Err("policy does not support snapshot restore".into())
+    }
 }
 
 /// The no-op policy: first-touch placement, no migration. This is the
@@ -335,6 +358,21 @@ impl FirstTouch {
 impl TieringPolicy for FirstTouch {
     fn name(&self) -> &str {
         "notier"
+    }
+
+    fn save_state(&self, _out: &mut Vec<u8>) -> bool {
+        true // stateless: nothing to capture
+    }
+
+    fn restore_state(&mut self, state: &[u8]) -> Result<(), String> {
+        if state.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "notier snapshot blob should be empty, got {} bytes",
+                state.len()
+            ))
+        }
     }
 }
 

@@ -144,6 +144,33 @@ impl Channel {
         t / EPOCH_CYCLES
     }
 
+    /// Serializes the epoch ring, carry, and lifetime booking counter
+    /// (transfer time and capacity come from construction on restore).
+    pub(crate) fn encode_state(&self, w: &mut pact_stats::ByteWriter) {
+        for &l in &self.lines {
+            w.put_f64(l);
+        }
+        w.put_u64(self.base);
+        w.put_f64(self.carry);
+        w.put_u64(self.booked);
+    }
+
+    /// Restores state captured by [`encode_state`](Self::encode_state)
+    /// into a channel constructed with the same transfer time.
+    pub(crate) fn decode_state(
+        &mut self,
+        r: &mut pact_stats::ByteReader<'_>,
+    ) -> Result<(), String> {
+        let e = |e: pact_stats::CodecError| format!("channel state: {e}");
+        for l in &mut self.lines {
+            *l = r.get_f64().map_err(e)?;
+        }
+        self.base = r.get_u64().map_err(e)?;
+        self.carry = r.get_f64().map_err(e)?;
+        self.booked = r.get_u64().map_err(e)?;
+        Ok(())
+    }
+
     /// Current backlog at cycle `t`, in cycles of channel time (used by
     /// the prefetcher to yield under load).
     pub fn backlog_cycles(&mut self, t: u64) -> f64 {
