@@ -14,7 +14,10 @@
 #     PACT_CI_STAGES="fmt lint" ci/run.sh
 #     PACT_CI_STAGES="build check" ci/run.sh
 #
-# Stages: fmt lint build test workspace perf machine-perf obs obs-report fault snapshot check
+# Stage names are validated against the roster below — a typo exits 2
+# naming the bad stage instead of silently skipping everything.
+#
+# Stages: fmt lint build test workspace perf machine-perf obs obs-report fault snapshot check fleet fleet-perf
 #
 # PACT_JOBS is pinned so sweep-shaped tests exercise the parallel
 # executor deterministically regardless of the runner's core count.
@@ -24,9 +27,24 @@ cd "$(dirname "$0")/.."
 export CARGO_NET_OFFLINE="${CARGO_NET_OFFLINE:-true}"
 export PACT_JOBS="${PACT_JOBS:-4}"
 
-STAGES="${PACT_CI_STAGES:-fmt lint build test workspace perf machine-perf obs obs-report fault snapshot check}"
+ROSTER="fmt lint build test workspace perf machine-perf obs obs-report fault snapshot check fleet fleet-perf"
+STAGES="${PACT_CI_STAGES:-$ROSTER}"
+for s in $STAGES; do
+    case " $ROSTER " in
+    *" $s "*) ;;
+    *)
+        echo "error: unknown CI stage '$s' in PACT_CI_STAGES (valid: $ROSTER)" >&2
+        exit 2
+        ;;
+    esac
+done
+
 TIMING_FILE="$(mktemp)"
-trap 'rm -f "$TIMING_FILE"' EXIT
+PREV_TIMINGS="$(mktemp)"
+trap 'rm -f "$TIMING_FILE" "$PREV_TIMINGS"' EXIT
+# Last run's wall times (persisted below) drive a soft slowdown warning.
+TIMINGS_PATH="target/ci-timings.txt"
+[ -f "$TIMINGS_PATH" ] && cp "$TIMINGS_PATH" "$PREV_TIMINGS"
 
 # --- stage bodies ----------------------------------------------------
 
@@ -49,6 +67,21 @@ stage_build() {
 
 stage_test() {
     cargo test -q
+    # Pin the stage-roster validation above: an unknown stage name must
+    # fail fast with exit 2 and name the offender — the old behaviour
+    # (silently skipping every stage and printing "CI OK") let a typo'd
+    # PACT_CI_STAGES pass a broken tree.
+    rc=0
+    roster_out=$(PACT_CI_STAGES="no-such-stage" sh ci/run.sh 2>&1) || rc=$?
+    [ "$rc" -eq 2 ] || {
+        echo "    FAIL: unknown PACT_CI_STAGES stage exited $rc, want 2"
+        exit 1
+    }
+    echo "$roster_out" | grep -q "no-such-stage" || {
+        echo "    FAIL: roster error did not name the bad stage"
+        exit 1
+    }
+    echo "    PACT_CI_STAGES roster validation rejects unknown stages with exit 2"
 }
 
 stage_workspace() {
@@ -210,6 +243,45 @@ stage_check() {
     cargo run --release -p pact-bench --bin check_sweep
 }
 
+# Fleet gate (DESIGN.md §15): the three-tenant noisy-neighbor cell
+# (PACT app + mlc-hog antagonist + zipf-drift store) under migration
+# admission control must print byte-identical output across event-loop
+# shard counts and job-pool widths, and the admission controller must
+# actually reject something — a fleet run with zero rejections is not
+# exercising backpressure. Artifacts stay in target/ci-fleet for the
+# workflow's upload step.
+stage_fleet() {
+    fleet_dir="target/ci-fleet"
+    rm -rf "$fleet_dir"
+    mkdir -p "$fleet_dir"
+    for shards in 1 4; do
+        for jobs in 2 4; do
+            PACT_SHARDS="$shards" PACT_JOBS="$jobs" \
+                cargo run --release -p pact-bench --bin tierctl -- fleet \
+                --seed 7 > "$fleet_dir/s${shards}j${jobs}.txt"
+        done
+    done
+    for f in s1j4 s4j2 s4j4; do
+        cmp "$fleet_dir/s1j2.txt" "$fleet_dir/$f.txt"
+    done
+    grep -q '^admission: admitted=' "$fleet_dir/s1j2.txt"
+    grep -q 'rejected=0$' "$fleet_dir/s1j2.txt" && {
+        echo "    FAIL: fleet cell never rejected a migration order"
+        exit 1
+    }
+    echo "    fleet byte-identical across PACT_SHARDS={1,4} x PACT_JOBS={2,4}, nonzero rejections"
+}
+
+# Fleet perf-regression gate: the probe's serial and sharded runs must
+# stay bit-identical with nonzero rejections, and the sharded
+# sim_cycles_per_sec must stay within 20% of the committed baseline.
+# (Refresh with `cargo run --release -p pact-bench --bin probe_fleet`
+# and commit the new BENCH_fleet.json.)
+stage_fleet_perf() {
+    cargo run --release -p pact-bench --bin probe_fleet -- \
+        --check-against BENCH_fleet.json
+}
+
 # --- driver ----------------------------------------------------------
 
 wants() {
@@ -228,13 +300,32 @@ run_stage() {
     stage_start=$(date +%s)
     # POSIX function names cannot contain dashes; stage names can.
     "stage_$(echo "$1" | tr '-' '_')"
-    printf '%-12s %4ss\n' "$1" "$(($(date +%s) - stage_start))" >> "$TIMING_FILE"
+    elapsed=$(($(date +%s) - stage_start))
+    printf '%-12s %4ss\n' "$1" "$elapsed" >> "$TIMING_FILE"
+    # Soft slowdown warning against the last persisted run: never fails
+    # the build (runner load varies), but makes creeping stage cost
+    # visible in the log.
+    prev=$(awk -v s="$1" '$1 == s { t = $2; sub(/s$/, "", t); print t; exit }' \
+        "$PREV_TIMINGS" 2> /dev/null || true)
+    if [ -n "${prev:-}" ] && [ "$prev" -gt 0 ] && [ "$elapsed" -gt $((prev * 3 / 2)) ]; then
+        echo "    warning: stage $1 took ${elapsed}s, >50% over recorded ${prev}s"
+    fi
 }
 
-for stage in fmt lint build test workspace perf machine-perf obs obs-report fault snapshot check; do
+for stage in $ROSTER; do
     run_stage "$stage"
 done
 
 echo "==> stage wall times"
 cat "$TIMING_FILE"
+# Persist the table for the next run's slowdown warnings and the
+# workflow's artifact upload; stages skipped this run carry forward
+# their previously recorded times.
+mkdir -p target
+cp "$TIMING_FILE" "$TIMINGS_PATH.tmp"
+while IFS= read -r line; do
+    name=${line%% *}
+    grep -q "^$name " "$TIMING_FILE" || echo "$line" >> "$TIMINGS_PATH.tmp"
+done < "$PREV_TIMINGS"
+mv "$TIMINGS_PATH.tmp" "$TIMINGS_PATH"
 echo "CI OK"

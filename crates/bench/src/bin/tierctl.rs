@@ -35,6 +35,17 @@
 //! tierctl resume --from snaps/snap_000008.pactsnap
 //! ```
 //!
+//! The `fleet` subcommand runs a multi-tenant cell (DESIGN.md §15):
+//! N colocated workloads with per-tenant QoS weights share one
+//! machine's tiers under migration admission control, and the summary
+//! prints one accounting row per tenant plus a greppable
+//! `admission:` line and a deterministic digest (byte-identical
+//! across `PACT_SHARDS`/`PACT_JOBS`; the CI `fleet` stage pins it):
+//!
+//! ```text
+//! tierctl fleet --tenants app:gups:4,hog:mlc-hog:1,zd:zipf-drift:2
+//! ```
+//!
 //! The `serve-metrics` subcommand runs one cell and serves its metrics
 //! as Prometheus text exposition plus a `/healthz` probe:
 //!
@@ -100,6 +111,10 @@ struct Args {
     self_check: bool,
     every: Option<u64>,
     from: Option<String>,
+    // `fleet` subcommand state.
+    fleet_cmd: bool,
+    tenants: Option<String>,
+    budget: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -126,6 +141,9 @@ fn parse_args() -> Result<Args, String> {
         self_check: false,
         every: None,
         from: None,
+        fleet_cmd: false,
+        tenants: None,
+        budget: None,
     };
     let mut it = std::env::args().skip(1).peekable();
     // The inspection subcommands default to smoke scale: their runs
@@ -154,6 +172,11 @@ fn parse_args() -> Result<Args, String> {
         Some("resume") => {
             it.next();
             args.resume_cmd = true;
+            args.scale = Scale::Smoke;
+        }
+        Some("fleet") => {
+            it.next();
+            args.fleet_cmd = true;
             args.scale = Scale::Smoke;
         }
         _ => {}
@@ -215,6 +238,19 @@ fn parse_args() -> Result<Args, String> {
                 };
             }
             "--from" => args.from = Some(it.next().ok_or("--from needs a snapshot file")?),
+            "--tenants" => {
+                args.tenants = Some(
+                    it.next()
+                        .ok_or("--tenants needs name:workload:weight,...")?,
+                )
+            }
+            "--budget" => {
+                let v = it.next().ok_or("--budget needs an order count")?;
+                args.budget = match v.parse::<u64>() {
+                    Ok(n) if n > 0 => Some(n),
+                    _ => return Err(format!("bad budget '{v}': expected a positive integer")),
+                };
+            }
             "--list" => {
                 println!("workloads: {}", SUITE.join(", "));
                 println!("           masim, gups (motivation)");
@@ -237,6 +273,8 @@ fn parse_args() -> Result<Args, String> {
                      tierctl snapshot [--workload W] [--policy P] [--ratio F:S] [--thp] \
                      [--scale smoke|paper] [--seed N] [--every N] [--out DIR]\n       \
                      tierctl resume --from FILE\n       \
+                     tierctl fleet [--tenants NAME:WORKLOAD:WEIGHT,...] [--policy P] \
+                     [--ratio F:S] [--scale smoke|paper] [--seed N] [--budget N]\n       \
                      tierctl check [--fuzz N] [--seed S] [--case 0xHEX] [--oracle] \
                      [--workload W]...\n       \
                      tierctl lint [--root DIR] [--json] [--rule ID]... [--list-rules]"
@@ -681,6 +719,110 @@ fn run_resume(args: &Args) {
     print_run_summary(&label, &report);
 }
 
+/// The `fleet` subcommand: a multi-tenant cell under migration
+/// admission control (DESIGN.md §15). Prints one accounting row per
+/// tenant, a greppable `admission:` line, and the same deterministic
+/// digest `snapshot`/`resume` print — byte-identical across
+/// `PACT_SHARDS`/`PACT_JOBS`, which the CI `fleet` stage pins with
+/// `cmp`.
+fn run_fleet(args: &Args) {
+    let tenants = match &args.tenants {
+        Some(spec) => pact_bench::env::parse_tenants(spec).unwrap_or_else(|e| {
+            eprintln!("invalid --tenants: {e}");
+            std::process::exit(2);
+        }),
+        None => pact_bench::env::tenants_spec()
+            .unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(2);
+            })
+            .unwrap_or_else(|| {
+                // The default noisy-neighbor cell from EXPERIMENTS.md:
+                // a latency-sensitive app, a bandwidth hog, and a
+                // skew-drift store.
+                pact_bench::env::parse_tenants("app:gups:4,hog:mlc-hog:1,store:zipf-drift:2")
+                    .expect("default tenant list is valid") // Invariant: literal parses
+            }),
+    };
+    let workloads: Vec<Box<dyn pact_tiersim::Workload>> = tenants
+        .iter()
+        .map(|t| build(&t.workload, args.scale, args.seed))
+        .collect();
+    let refs: Vec<&dyn pact_tiersim::Workload> = workloads.iter().map(|w| w.as_ref()).collect();
+    let total_footprint: u64 = refs.iter().map(|w| w.footprint_bytes()).sum();
+    let fast_pages = args.ratio.fast_pages(total_footprint);
+    let mut cfg = experiment_machine(fast_pages);
+    cfg.seed = args.seed;
+    cfg.track_page_stalls = true;
+    cfg.tenants = tenants
+        .iter()
+        .map(|t| pact_tiersim::TenantSpec::new(t.name.clone(), t.qos_weight))
+        .collect();
+    cfg.admission = Some(pact_tiersim::AdmissionControl {
+        budget_per_window: args.budget.unwrap_or(4),
+        ..pact_tiersim::AdmissionControl::default()
+    });
+    if cfg.fault_plan.is_none() {
+        cfg.fault_plan = pact_bench::env::fault_plan().ok().flatten();
+    }
+    if let Some(n) = pact_bench::env::shards_override().ok().flatten() {
+        cfg.shards = n;
+    }
+    let machine = Machine::new(cfg).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    let mut policy = cell_policy(&args.policy);
+    let report = machine
+        .try_run_colocated(&refs, policy.as_mut())
+        .unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        });
+
+    let label = format!(
+        "fleet[{}]/{}/{}",
+        tenants
+            .iter()
+            .map(|t| t.name.as_str())
+            .collect::<Vec<_>>()
+            .join("+"),
+        args.policy,
+        args.ratio
+    );
+    println!("cell {label}");
+    println!(
+        "tenant            weight    accesses  promoted  demoted  admitted  rejected     stalls"
+    );
+    for t in &report.tenants {
+        println!(
+            "{:<16} {:>7} {:>11} {:>9} {:>8} {:>9} {:>9} {:>10}",
+            t.name,
+            t.qos_weight,
+            t.counters.accesses,
+            t.promotions,
+            t.demotions,
+            t.admitted_orders,
+            t.rejected_orders,
+            t.stall_cycles[0] + t.stall_cycles[1],
+        );
+    }
+    let admitted: u64 = report.tenants.iter().map(|t| t.admitted_orders).sum();
+    let rejected: u64 = report.tenants.iter().map(|t| t.rejected_orders).sum();
+    // Greppable one-liner the CI fleet stage asserts on.
+    println!("admission: admitted={admitted} rejected={rejected}");
+    println!(
+        "report: windows={} cycles={} promotions={} demotions={} failed={} dropped={}",
+        report.windows.len(),
+        report.total_cycles,
+        report.promotions,
+        report.demotions,
+        report.failed_promotions,
+        report.dropped_orders
+    );
+    println!("digest: {:#018x}", report_digest(&report));
+}
+
 struct LintArgs {
     root: Option<String>,
     json: bool,
@@ -808,6 +950,11 @@ fn main() {
     }
     if args.resume_cmd {
         run_resume(&args);
+        pact_bench::emit_hostprof_summary();
+        return;
+    }
+    if args.fleet_cmd {
+        run_fleet(&args);
         pact_bench::emit_hostprof_summary();
         return;
     }

@@ -16,7 +16,8 @@
 //! | `PACT_METRICS_ADDR` | [`metrics_addr`]     | `host:port` bind address for `tierctl serve-metrics`|
 //! | `PACT_REPORT_TOPK`  | [`report_topk`]      | Rows in `tierctl report` top-K tables (integer ≥ 1) |
 //! | `PACT_SNAPSHOT`     | [`snapshot_every`]   | Crash-recovery snapshot cadence in windows (≥ 1)    |
-//! | `PACT_CI_STAGES`    | `ci/run.sh` only     | Space-separated CI stage subset                     |
+//! | `PACT_TENANTS`      | [`tenants_spec`]     | Fleet tenant list: `name:workload:weight,...`       |
+//! | `PACT_CI_STAGES`    | `ci/run.sh` only     | Space-separated CI stage subset (validated roster)  |
 //!
 //! Library crates below `pact-bench` (`tiersim`, `obs`, …) never read
 //! the environment: they take parsed values (a [`FaultPlan`], a
@@ -57,9 +58,88 @@ pub const REPORT_TOPK_ENV: &str = "PACT_REPORT_TOPK";
 /// the binaries that install a snapshot sink (`tierctl snapshot`).
 pub const SNAPSHOT_ENV: &str = "PACT_SNAPSHOT";
 
+/// `PACT_TENANTS`: fleet tenant list for `tierctl fleet`, as
+/// comma-separated `name:workload:weight` triples (see
+/// [`tenants_spec`]). The `--tenants` flag takes precedence.
+pub const TENANTS_ENV: &str = "PACT_TENANTS";
+
 /// The one sanctioned environment read.
 fn read(name: &str) -> Option<String> {
     std::env::var(name).ok().filter(|v| !v.trim().is_empty())
+}
+
+/// One fleet tenant parsed from a `name:workload:weight` triple.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantArg {
+    /// Tenant name as it appears in reports and metric names.
+    pub name: String,
+    /// Suite workload name (see [`pact_workloads::suite::build`]).
+    pub workload: String,
+    /// QoS weight (≥ 1) for the admission-control budget split.
+    pub qos_weight: u32,
+}
+
+/// Parses a fleet tenant list: comma-separated `name:workload:weight`
+/// triples, e.g. `a:gups:4,hog:mlc-hog:1,zd:zipf-drift:2`. Used by
+/// both the `--tenants` flag and the `PACT_TENANTS` variable.
+///
+/// # Errors
+///
+/// Returns a message naming the offending fragment for an empty list,
+/// a malformed triple, an empty field, a zero/invalid weight, or a
+/// duplicate tenant name.
+pub fn parse_tenants(spec: &str) -> Result<Vec<TenantArg>, String> {
+    let mut out: Vec<TenantArg> = Vec::new();
+    for frag in spec.split(',') {
+        let frag = frag.trim();
+        if frag.is_empty() {
+            return Err(format!("empty tenant entry in {spec:?}"));
+        }
+        let parts: Vec<&str> = frag.split(':').collect();
+        if parts.len() != 3 {
+            return Err(format!(
+                "invalid tenant {frag:?}: expected name:workload:weight"
+            ));
+        }
+        let (name, workload) = (parts[0].trim(), parts[1].trim());
+        if name.is_empty() || workload.is_empty() {
+            return Err(format!("invalid tenant {frag:?}: empty name or workload"));
+        }
+        let qos_weight = match parts[2].trim().parse::<u32>() {
+            Ok(w) if w >= 1 => w,
+            _ => {
+                return Err(format!(
+                    "invalid tenant {frag:?}: weight must be a positive integer"
+                ))
+            }
+        };
+        if out.iter().any(|t| t.name == name) {
+            return Err(format!("duplicate tenant name {name:?} in {spec:?}"));
+        }
+        out.push(TenantArg {
+            name: name.to_string(),
+            workload: workload.to_string(),
+            qos_weight,
+        });
+    }
+    if out.is_empty() {
+        return Err("tenant list is empty".to_string());
+    }
+    Ok(out)
+}
+
+/// The `PACT_TENANTS` fleet tenant list: `Ok(None)` when unset.
+///
+/// # Errors
+///
+/// See [`parse_tenants`]; binaries exit 2 on a malformed list.
+pub fn tenants_spec() -> Result<Option<Vec<TenantArg>>, String> {
+    match read(TENANTS_ENV) {
+        None => Ok(None),
+        Some(v) => parse_tenants(v.trim())
+            .map(Some)
+            .map_err(|e| format!("invalid {TENANTS_ENV}: {e}")),
+    }
 }
 
 /// The `PACT_JOBS` override: `Ok(Some(n))` for a positive integer,
@@ -250,5 +330,22 @@ mod tests {
         if std::env::var(REPORT_TOPK_ENV).is_err() {
             assert_eq!(report_topk(), Ok(None));
         }
+        if std::env::var(TENANTS_ENV).is_err() {
+            assert_eq!(tenants_spec(), Ok(None));
+        }
+    }
+
+    #[test]
+    fn tenant_list_parses_and_validates() {
+        let ts = parse_tenants("a:gups:4, hog:mlc-hog:1 ,zd:zipf-drift:2").unwrap();
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts[0].name, "a");
+        assert_eq!(ts[1].workload, "mlc-hog");
+        assert_eq!(ts[2].qos_weight, 2);
+        assert!(parse_tenants("").is_err());
+        assert!(parse_tenants("a:gups").is_err());
+        assert!(parse_tenants("a:gups:0").is_err());
+        assert!(parse_tenants(":gups:1").is_err());
+        assert!(parse_tenants("a:gups:1,a:silo:2").is_err());
     }
 }

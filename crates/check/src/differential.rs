@@ -26,8 +26,8 @@
 
 use pact_core::{PactConfig, PactPolicy};
 use pact_tiersim::{
-    CriticalityReport, FaultPlan, FirstTouch, InvariantSet, Machine, MachineConfig,
-    MachineSnapshot, RunReport, SimError, Tracer, Workload, PAGE_BYTES,
+    AdmissionControl, CriticalityReport, FaultPlan, FirstTouch, InvariantSet, Machine,
+    MachineConfig, MachineSnapshot, RunReport, SimError, TenantSpec, Tracer, Workload, PAGE_BYTES,
 };
 use pact_workloads::suite::{build, Scale};
 
@@ -187,7 +187,217 @@ pub fn check_cell(workload: &str, seed: u64) -> DiffLedger {
         kill_resume_oracle(wl.as_ref(), seed),
     ));
 
+    lines.push((
+        "fleet tenant lanes conserve and are shard-invariant".to_string(),
+        tenant_conservation_oracle(workload, seed),
+    ));
+
     DiffLedger { lines }
+}
+
+/// Fleet conservation oracle (DESIGN.md §15): colocates the cell's
+/// workload with the `mlc-hog` bandwidth antagonist and the
+/// `zipf-drift` skew tenant under migration admission control, then
+/// demands that the per-tenant lanes are an *exact partition* of the
+/// global totals — every PMU counter, the migration/admission stats,
+/// and the `[fast, slow]` page-stall lanes each sum to the run's
+/// globals — and that the whole fleet report is byte-identical across
+/// event-loop shard counts.
+///
+/// # Errors
+///
+/// Returns the first non-conserving quantity or shard divergence.
+pub fn tenant_conservation_oracle(workload: &str, seed: u64) -> Result<(), String> {
+    let cell = build(workload, Scale::Smoke, seed);
+    let hog = build("mlc-hog", Scale::Smoke, seed);
+    let zipf = build("zipf-drift", Scale::Smoke, seed);
+    let tenants: [&dyn Workload; 3] = [cell.as_ref(), hog.as_ref(), zipf.as_ref()];
+    let total_pages: u64 = tenants
+        .iter()
+        .map(|w| w.footprint_bytes().div_ceil(PAGE_BYTES))
+        .sum();
+    let mut cfg = MachineConfig::skylake_cxl((total_pages / 2).max(1));
+    cfg.seed = seed;
+    cfg.track_page_stalls = true;
+    cfg.tenants = vec![
+        TenantSpec::new(cell.name(), 4),
+        TenantSpec::new("mlc-hog", 1),
+        TenantSpec::new("zipf-drift", 2),
+    ];
+    // A deliberately tight budget so the admission path (tokens,
+    // deferrals, backpressure) actually runs on a smoke-scale cell.
+    cfg.admission = Some(AdmissionControl {
+        budget_per_window: 4,
+        ..AdmissionControl::default()
+    });
+
+    let run = |cfg: &MachineConfig| -> Result<RunReport, String> {
+        // Invariant: the preset plus validated-range edits construct.
+        let m = Machine::new(cfg.clone()).expect("fleet config is valid");
+        // Invariant: the default PactConfig passes its own validation.
+        let mut p = PactPolicy::new(PactConfig::default()).expect("default config is valid");
+        m.try_run_colocated(&tenants, &mut p)
+            .map_err(|e| format!("fleet run failed: {e}"))
+    };
+    let base = run(&cfg)?;
+    if base.tenants.len() != 3 {
+        return Err(format!(
+            "expected 3 tenant lanes, report has {}",
+            base.tenants.len()
+        ));
+    }
+
+    // Exact partition of the PMU counters.
+    let lane = |f: &dyn Fn(&pact_tiersim::TenantReport) -> u64| -> u64 {
+        base.tenants.iter().map(f).sum()
+    };
+    let scalar_checks: [(&str, u64, u64); 6] = [
+        (
+            "accesses",
+            base.counters.accesses,
+            lane(&|t| t.counters.accesses),
+        ),
+        ("loads", base.counters.loads, lane(&|t| t.counters.loads)),
+        ("stores", base.counters.stores, lane(&|t| t.counters.stores)),
+        (
+            "llc_hits",
+            base.counters.llc_hits,
+            lane(&|t| t.counters.llc_hits),
+        ),
+        (
+            "hint_faults",
+            base.counters.hint_faults,
+            lane(&|t| t.counters.hint_faults),
+        ),
+        (
+            "pebs_samples",
+            base.counters.pebs_samples,
+            lane(&|t| t.counters.pebs_samples),
+        ),
+    ];
+    for (name, global, sum) in scalar_checks {
+        if global != sum {
+            return Err(format!(
+                "tenant {name} lanes sum to {sum}, global is {global}"
+            ));
+        }
+    }
+    for lane_idx in 0..2usize {
+        let pair_checks: [(&str, u64, u64); 7] = [
+            (
+                "llc_misses",
+                base.counters.llc_misses[lane_idx],
+                lane(&|t| t.counters.llc_misses[lane_idx]),
+            ),
+            (
+                "tor_occupancy",
+                base.counters.tor_occupancy[lane_idx],
+                lane(&|t| t.counters.tor_occupancy[lane_idx]),
+            ),
+            (
+                "llc_stalls",
+                base.counters.llc_stalls[lane_idx],
+                lane(&|t| t.counters.llc_stalls[lane_idx]),
+            ),
+            (
+                "tor_busy",
+                base.counters.tor_busy[lane_idx],
+                lane(&|t| t.counters.tor_busy[lane_idx]),
+            ),
+            (
+                "demand_latency_sum",
+                base.counters.demand_latency_sum[lane_idx],
+                lane(&|t| t.counters.demand_latency_sum[lane_idx]),
+            ),
+            (
+                "bytes",
+                base.counters.bytes[lane_idx],
+                lane(&|t| t.counters.bytes[lane_idx]),
+            ),
+            (
+                "prefetches",
+                base.counters.prefetches[lane_idx],
+                lane(&|t| t.counters.prefetches[lane_idx]),
+            ),
+        ];
+        for (name, global, sum) in pair_checks {
+            if global != sum {
+                return Err(format!(
+                    "tenant {name}[{lane_idx}] lanes sum to {sum}, global is {global}"
+                ));
+            }
+        }
+    }
+
+    // Exact partition of the migration ledger.
+    let stats_checks: [(&str, u64, u64); 4] = [
+        ("promotions", base.promotions, lane(&|t| t.promotions)),
+        ("demotions", base.demotions, lane(&|t| t.demotions)),
+        (
+            "failed_promotions",
+            base.failed_promotions,
+            lane(&|t| t.failed_promotions),
+        ),
+        (
+            "dropped_orders",
+            base.dropped_orders,
+            lane(&|t| t.dropped_orders),
+        ),
+    ];
+    for (name, global, sum) in stats_checks {
+        if global != sum {
+            return Err(format!(
+                "tenant {name} lanes sum to {sum}, global is {global}"
+            ));
+        }
+    }
+
+    // Exact partition of the page-stall oracle.
+    let mut oracle_totals = [0u64; 2];
+    for lanes in base
+        .page_stalls
+        .as_ref()
+        // Invariant: this oracle's config sets track_page_stalls.
+        .expect("track_page_stalls is on")
+        .values()
+    {
+        oracle_totals[0] += lanes[0];
+        oracle_totals[1] += lanes[1];
+    }
+    for (i, &total) in oracle_totals.iter().enumerate() {
+        let sum = lane(&|t| t.stall_cycles[i]);
+        if total != sum {
+            return Err(format!(
+                "tenant stall lane {i} sums to {sum}, oracle total is {total}"
+            ));
+        }
+    }
+
+    // The admission controller must have engaged on this cell: three
+    // tenants against a 4-orders/window budget cannot all be admitted.
+    let rejected = lane(&|t| t.rejected_orders);
+    let admitted = lane(&|t| t.admitted_orders);
+    if admitted == 0 {
+        return Err("admission controller admitted no orders".to_string());
+    }
+    if rejected == 0 {
+        return Err("admission controller never rejected an order".to_string());
+    }
+
+    // Shard-invariance of the whole fleet report.
+    let base_json = base.to_json();
+    for shards in [4usize, 7] {
+        let mut sharded = cfg.clone();
+        sharded.shards = shards;
+        let got = run(&sharded)?.to_json();
+        if got != base_json {
+            return Err(format!(
+                "fleet report diverges at {shards} shards: {}",
+                diff_hint(&base_json, &got)
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// Kill-resume oracle (DESIGN.md §14): a fault-injected cell run to
@@ -443,7 +653,7 @@ mod tests {
     fn gups_cell_passes_every_oracle() {
         let ledger = check_cell("gups", 7);
         assert!(ledger.is_ok(), "\n{}", ledger.render());
-        assert_eq!(ledger.lines.len(), 8);
+        assert_eq!(ledger.lines.len(), 9);
         assert!(ledger.render().contains("ok   baseline"));
     }
 

@@ -36,6 +36,7 @@ pub mod differential;
 pub mod fuzz;
 
 pub use differential::{
-    attribution_oracle, check_cell, dominance_oracle, kill_resume_oracle, DiffLedger,
+    attribution_oracle, check_cell, dominance_oracle, kill_resume_oracle,
+    tenant_conservation_oracle, DiffLedger,
 };
 pub use fuzz::{case_seed, run_case, run_fuzz, CaseSummary, FuzzLedger, FuzzOptions};

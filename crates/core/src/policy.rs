@@ -51,6 +51,10 @@ pub struct PactPolicy {
     /// Cumulative failed/dropped migration orders observed through
     /// `PolicyCtx` as of the last period (graceful-degradation state).
     failures_seen: u64,
+    /// Cumulative fleet admission-control rejections observed as of the
+    /// last period. Stays 0 outside fleet mode (`tenant_count() == 0`),
+    /// so legacy runs are bit-identical to builds without this field.
+    rejections_seen: u64,
 }
 
 impl PactPolicy {
@@ -70,6 +74,7 @@ impl PactPolicy {
             windows_seen: 0,
             last_period_snapshot: PmuCounters::default(),
             failures_seen: 0,
+            rejections_seen: 0,
         })
     }
 
@@ -196,7 +201,26 @@ impl PactPolicy {
         // tier's units turn over per period (the paper's "stable and
         // bounded supply of promotion candidates").
         let fast_units = (ctx.fast_capacity() / span).max(1);
-        let per_period_cap = (fast_units as usize / 8).clamp(4, self.cfg.max_promotions_per_period);
+        let mut per_period_cap =
+            (fast_units as usize / 8).clamp(4, self.cfg.max_promotions_per_period);
+
+        // Fleet-mode backoff: when the machine's admission controller
+        // rejected orders since the last period (token exhaustion or
+        // channel backpressure on a multi-tenant cell), halve this
+        // period's promotion burst instead of hammering a saturated
+        // migration path — deferred orders are already queued for retry
+        // and fresh orders would only displace them. Gated on
+        // tenant_count() so legacy single-workload runs are
+        // bit-identical to builds without fleet mode.
+        if ctx.tenant_count() > 0 {
+            let rejections = ctx.admission_rejections();
+            let new_rejections = rejections.saturating_sub(self.rejections_seen);
+            self.rejections_seen = rejections;
+            if new_rejections > 0 {
+                ctx.telemetry("admission_rejections", new_rejections as f64);
+                per_period_cap = (per_period_cap / 2).max(1);
+            }
+        }
         candidates.truncate(per_period_cap);
 
         // Graceful degradation: when the migration path sheds or fails
@@ -397,6 +421,7 @@ impl TieringPolicy for PactPolicy {
         self.windows_seen = 0;
         self.last_period_snapshot = PmuCounters::default();
         self.failures_seen = 0;
+        self.rejections_seen = 0;
     }
 
     fn on_sample(&mut self, ev: &SampleEvent, _ctx: &mut PolicyCtx) {
@@ -429,6 +454,7 @@ impl TieringPolicy for PactPolicy {
         w.put_f64(self.k);
         w.put_u32(self.windows_seen);
         w.put_u64(self.failures_seen);
+        w.put_u64(self.rejections_seen);
         Self::encode_pmu(&self.last_period_snapshot, &mut w);
         self.store.encode_state(&mut w);
         self.bins.encode_state(&mut w);
@@ -448,6 +474,7 @@ impl TieringPolicy for PactPolicy {
         self.k = r.get_f64().map_err(e)?;
         self.windows_seen = r.get_u32().map_err(e)?;
         self.failures_seen = r.get_u64().map_err(e)?;
+        self.rejections_seen = r.get_u64().map_err(e)?;
         self.last_period_snapshot = Self::decode_pmu(&mut r)?;
         self.store.decode_state(&mut r)?;
         self.bins.decode_state(&mut r)?;

@@ -127,6 +127,16 @@ pub enum EventKind {
         /// 1-based retry attempt.
         attempt: u32,
     },
+    /// Admission control rejected a migration order at issue (token
+    /// bucket empty or channel backpressure) and deferred it.
+    AdmissionRejected {
+        /// Index of the tenant whose order was rejected.
+        tenant: u32,
+        /// Global page number of the rejected unit.
+        page: u64,
+        /// Destination tier index.
+        to: TierIdx,
+    },
 }
 
 impl EventKind {
@@ -144,6 +154,7 @@ impl EventKind {
             EventKind::PolicyTelemetry { .. } => "policy_telemetry",
             EventKind::FaultInjected { .. } => "fault_injected",
             EventKind::OrderRetried { .. } => "order_retried",
+            EventKind::AdmissionRejected { .. } => "admission_rejected",
         }
     }
 }
@@ -224,6 +235,12 @@ impl EventKind {
                 w.put_u8(to);
                 w.put_u32(attempt);
             }
+            EventKind::AdmissionRejected { tenant, page, to } => {
+                w.put_u8(11);
+                w.put_u32(tenant);
+                w.put_u64(page);
+                w.put_u8(to);
+            }
         }
     }
 
@@ -280,6 +297,11 @@ impl EventKind {
                 page: r.get_u64().map_err(e)?,
                 to: r.get_u8().map_err(e)?,
                 attempt: r.get_u32().map_err(e)?,
+            },
+            11 => EventKind::AdmissionRejected {
+                tenant: r.get_u32().map_err(e)?,
+                page: r.get_u64().map_err(e)?,
+                to: r.get_u8().map_err(e)?,
             },
             other => return Err(format!("unknown trace event tag {other}")),
         })
@@ -585,5 +607,23 @@ mod tests {
         );
         assert_eq!(tier_name(0), "fast");
         assert_eq!(tier_name(1), "slow");
+    }
+
+    #[test]
+    fn admission_rejection_round_trips() {
+        let mut t = Tracer::ring(4);
+        let kind = EventKind::AdmissionRejected {
+            tenant: 2,
+            page: 4096,
+            to: 0,
+        };
+        assert_eq!(kind.name(), "admission_rejected");
+        t.emit(17, kind);
+        let mut w = ByteWriter::new();
+        t.encode_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut fresh = Tracer::ring(4);
+        fresh.decode_state(&mut ByteReader::new(&bytes)).unwrap();
+        assert_eq!(fresh.events_in_order(), t.events_in_order());
     }
 }

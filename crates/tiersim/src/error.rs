@@ -39,6 +39,14 @@ pub enum SimError {
     /// (corrupt frame, version/configuration mismatch, or a policy
     /// without snapshot support).
     Snapshot(String),
+    /// Fleet mode: the configured tenant list does not match the
+    /// colocated workload count (tenants map 1:1 onto workloads).
+    TenantMismatch {
+        /// Tenants in [`MachineConfig::tenants`](crate::MachineConfig::tenants).
+        tenants: usize,
+        /// Colocated workloads passed to the run.
+        workloads: usize,
+    },
     /// A workload stream emitted an address beyond its declared
     /// footprint.
     AddressOutOfRange {
@@ -65,6 +73,10 @@ impl std::fmt::Display for SimError {
             }
             SimError::Invariant(v) => write!(f, "{v}"),
             SimError::Snapshot(reason) => write!(f, "snapshot error: {reason}"),
+            SimError::TenantMismatch { tenants, workloads } => write!(
+                f,
+                "fleet config lists {tenants} tenants but {workloads} workloads are colocated"
+            ),
             SimError::AddressOutOfRange {
                 workload,
                 vaddr,

@@ -70,13 +70,13 @@ pub use attribution::{CriticalityReport, DEFAULT_REPORT_TOPK};
 pub use cache::{line_of, Llc, StrideDetector};
 pub use chmu::{Chmu, SpaceSaving};
 pub use config::{
-    ConfigError, LlcConfig, MachineConfig, MigrationConfig, PebsConfig, PebsScope, PrefetchConfig,
-    TierConfig,
+    AdmissionControl, ConfigError, LlcConfig, MachineConfig, MigrationConfig, PebsConfig,
+    PebsScope, PrefetchConfig, TenantSpec, TierConfig,
 };
 pub use error::SimError;
 pub use fault::{FaultPlan, StallFault, FAULTS_ENV};
 pub use invariant::{InvariantSet, InvariantViolation};
-pub use machine::{Machine, ProcessReport, RunReport, WindowRecord};
+pub use machine::{Machine, ProcessReport, RunReport, TenantReport, WindowRecord, MAX_DEFERRALS};
 pub use mem::Memory;
 pub use observe::export_trace;
 pub use pact_obs::{

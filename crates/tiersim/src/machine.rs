@@ -78,6 +78,48 @@ pub struct WindowRecord {
     pub metrics: Vec<(&'static str, f64)>,
 }
 
+/// Per-tenant completion summary of a fleet run (one entry per
+/// [`crate::TenantSpec`]; empty for legacy single-tenant runs).
+///
+/// Every per-tenant quantity is an exact partition of the run's global
+/// totals: PMU counters mirror the owning thread's (or owning page's,
+/// for migration traffic) updates, and stall lanes partition the
+/// page-stalls oracle by the tenant's disjoint base-page range. The
+/// tenant-conservation differential oracle in `pact-check` pins
+/// `Σ tenants == globals` field by field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantReport {
+    /// Tenant display name from the spec.
+    pub name: String,
+    /// QoS weight from the spec.
+    pub qos_weight: u32,
+    /// First base page of the tenant's address-space partition.
+    pub base_page: u64,
+    /// Size of the partition in base pages.
+    pub pages: u64,
+    /// Hardware counters attributed to this tenant.
+    pub counters: PmuCounters,
+    /// Base pages promoted on this tenant's behalf.
+    pub promotions: u64,
+    /// Base pages demoted on this tenant's behalf.
+    pub demotions: u64,
+    /// Promotion orders for this tenant's pages rejected for lack of
+    /// fast-tier space (or abandoned after retry exhaustion).
+    pub failed_promotions: u64,
+    /// Migration orders for this tenant's pages dropped (queue
+    /// overflow, injected drops, or deferral exhaustion).
+    pub dropped_orders: u64,
+    /// Orders that passed admission control (all orders when admission
+    /// control is off).
+    pub admitted_orders: u64,
+    /// Orders rejected by admission control (token bucket empty or
+    /// channel backpressure) and deferred.
+    pub rejected_orders: u64,
+    /// Stall cycles blamed on this tenant's pages, `[fast, slow]`
+    /// (all zero unless `track_page_stalls` was configured).
+    pub stall_cycles: [u64; 2],
+}
+
 /// Completion summary of one simulated process.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProcessReport {
@@ -119,6 +161,9 @@ pub struct RunReport {
     /// iterate the oracle (reports, diffs) see a deterministic
     /// sequence (det-hash-collections).
     pub page_stalls: Option<std::collections::BTreeMap<PageId, [u64; 2]>>,
+    /// Per-tenant summaries (fleet mode only; empty for legacy runs,
+    /// keeping single-tenant report JSON byte-identical).
+    pub tenants: Vec<TenantReport>,
 }
 
 impl RunReport {
@@ -419,6 +464,27 @@ struct ProcState {
     background: bool,
 }
 
+/// Per-tenant migration and admission accounting (fleet mode).
+#[derive(Debug, Default, Clone, Copy)]
+struct TenantStats {
+    promotions: u64,
+    demotions: u64,
+    failed_promotions: u64,
+    dropped_orders: u64,
+    admitted_orders: u64,
+    rejected_orders: u64,
+}
+
+/// Dense metric handles for one tenant's registry rows (names are
+/// interned `tenant/<name>/...` strings built once in `Sim::new`).
+#[derive(Debug, Clone, Copy)]
+struct TenantMetrics {
+    m_accesses: MetricId,
+    m_promoted: MetricId,
+    m_rejected: MetricId,
+    m_tokens: MetricId,
+}
+
 struct Sim<'a, 'w> {
     cfg: &'a MachineConfig,
     policy: &'a mut dyn TieringPolicy,
@@ -519,10 +585,40 @@ struct Sim<'a, 'w> {
     /// `cfg.snapshot_every > 0`, sealed frames are handed to it every
     /// `snapshot_every` completed windows.
     snap_sink: Option<&'a mut dyn FnMut(MachineSnapshot)>,
+    // Fleet mode (cfg.tenants non-empty). All vectors are empty on
+    // legacy single-tenant runs, which keeps the hot path free of
+    // per-tenant work and the output byte-identical to a pre-fleet
+    // build. Tenant i owns colocated workload i's threads and pages.
+    /// Per-tenant mirrors of `counters`: every PMU increment also lands
+    /// in the owning tenant's copy, so per-tenant sums equal globals
+    /// exactly (the tenant-conservation oracle).
+    tenant_counters: Vec<PmuCounters>,
+    tenant_stats: Vec<TenantStats>,
+    /// First base page per tenant (ascending; index 0 holds 0). Page
+    /// ownership is `partition_point` over this vector.
+    tenant_base: Vec<u64>,
+    /// Partition size per tenant in base pages.
+    tenant_pages: Vec<u64>,
+    /// Remaining admission tokens this window / per-window refill,
+    /// both empty unless admission control is configured.
+    tenant_tokens: Vec<u64>,
+    tenant_budget: Vec<u64>,
+    tenant_metrics: Vec<TenantMetrics>,
+    /// Admission-rejected orders awaiting retry:
+    /// `(due_window, attempt, order)`, bounded by [`ORDER_QUEUE_CAP`].
+    admission_deferred: VecDeque<(u64, u32, MigrationOrder)>,
+    /// Channel-saturation backpressure flag, recomputed at every window
+    /// edge from end-of-window channel backlog; while set, admission
+    /// control defers every order.
+    backpressured: bool,
 }
 
 /// Maximum pending async migration orders before new ones are dropped.
 const ORDER_QUEUE_CAP: usize = 1 << 16;
+
+/// Maximum admission-control deferrals of one order before it is
+/// dropped (each deferral doubles the wait, like fault retries).
+pub const MAX_DEFERRALS: u32 = 3;
 
 /// Channel backlog (in cycles of channel time, sampled at window
 /// boundaries) beyond which the channel counts as saturated for
@@ -574,9 +670,17 @@ impl<'a, 'w> Sim<'a, 'w> {
         policy: &'a mut dyn TieringPolicy,
         tracer: &'a mut Tracer,
     ) -> Result<Self, SimError> {
+        if !cfg.tenants.is_empty() && cfg.tenants.len() != workloads.len() {
+            return Err(SimError::TenantMismatch {
+                tenants: cfg.tenants.len(),
+                workloads: workloads.len(),
+            });
+        }
         let mut threads = Vec::new();
         let mut gated: Vec<Option<u32>> = Vec::new();
         let mut procs = Vec::new();
+        let mut proc_base = Vec::new();
+        let mut proc_pages = Vec::new();
         let mut next_base_page = 0u64;
         for (pi, wl) in workloads.iter().enumerate() {
             let fp_bytes = wl.footprint_bytes();
@@ -584,6 +688,8 @@ impl<'a, 'w> Sim<'a, 'w> {
             let fp_pages = fp_pages.div_ceil(HUGE_PAGE_SPAN) * HUGE_PAGE_SPAN;
             let base_page = next_base_page;
             next_base_page += fp_pages;
+            proc_base.push(base_page);
+            proc_pages.push(fp_pages);
             let mk = |stream| ThreadState {
                 stream,
                 proc: pi,
@@ -676,6 +782,40 @@ impl<'a, 'w> Sim<'a, 'w> {
             .as_ref()
             .filter(|p| p.is_active())
             .map(|p| FaultState::new(p.clone(), &mut registry));
+        // Fleet mode: per-tenant metric rows (interned names in tenant
+        // order, so registration — and every per-window snapshot — is
+        // deterministic) and QoS-weighted admission budgets.
+        let tenant_metrics: Vec<TenantMetrics> = cfg
+            .tenants
+            .iter()
+            .map(|t| {
+                let name = |suffix: &str| pact_obs::intern(&format!("tenant/{}/{suffix}", t.name));
+                TenantMetrics {
+                    m_accesses: registry.gauge(name("accesses")),
+                    m_promoted: registry.gauge(name("promoted_pages")),
+                    m_rejected: registry.counter(name("admission_rejected")),
+                    m_tokens: registry.gauge(name("tokens")),
+                }
+            })
+            .collect();
+        let tenant_budget: Vec<u64> = match &cfg.admission {
+            Some(adm) => {
+                // Validation guarantees non-empty tenants and weights
+                // >= 1, so the weight sum is positive.
+                let sum: u64 = cfg.tenants.iter().map(|t| t.qos_weight as u64).sum();
+                cfg.tenants
+                    .iter()
+                    .map(|t| (adm.budget_per_window * t.qos_weight as u64 / sum).max(1))
+                    .collect()
+            }
+            None => Vec::new(),
+        };
+        let tenant_tokens = tenant_budget.clone();
+        let (tenant_base, tenant_pages) = if cfg.tenants.is_empty() {
+            (Vec::new(), Vec::new())
+        } else {
+            (proc_base, proc_pages)
+        };
         let nshards = cfg.shards.max(1);
         let shard_heaps = if nshards >= 2 {
             // Thread ti lives on ready-heap ti % P; gated workers join
@@ -771,8 +911,27 @@ impl<'a, 'w> Sim<'a, 'w> {
                 .invariants
                 .map(|set| Box::new(InvariantChecker::new(set))),
             snap_sink: None,
+            tenant_counters: vec![PmuCounters::default(); cfg.tenants.len()],
+            tenant_stats: vec![TenantStats::default(); cfg.tenants.len()],
+            tenant_base,
+            tenant_pages,
+            tenant_tokens,
+            tenant_budget,
+            tenant_metrics,
+            admission_deferred: VecDeque::new(),
+            backpressured: false,
             cfg,
         })
+    }
+
+    /// Tenant that owns `page` (fleet mode only): the colocation layout
+    /// gives tenants disjoint ascending base-page ranges, so ownership
+    /// is a partition point over the range starts.
+    #[inline]
+    fn tenant_of_page(&self, page: PageId) -> usize {
+        debug_assert!(!self.tenant_base.is_empty());
+        // Invariant: tenant_base[0] == 0, so at least one start <= page.
+        self.tenant_base.partition_point(|&b| b <= page.0) - 1
     }
 
     /// Absolute machine time of thread `ti`: live threads carry the
@@ -900,6 +1059,42 @@ impl<'a, 'w> Sim<'a, 'w> {
             .map(|p| p.finish)
             .max()
             .unwrap_or(0);
+        // Fleet mode: per-tenant lanes. Stall lanes are derived from
+        // the page-stalls oracle by partitioning it over the tenants'
+        // disjoint base-page ranges — an exact partition of the global
+        // totals by construction.
+        let tenants: Vec<TenantReport> = self
+            .cfg
+            .tenants
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let lo = self.tenant_base[i];
+                let hi = lo + self.tenant_pages[i];
+                let mut stall_cycles = [0u64; 2];
+                if let Some(map) = &self.page_stalls {
+                    for (_, [fast, slow]) in map.range(PageId(lo)..PageId(hi)) {
+                        stall_cycles[0] += fast;
+                        stall_cycles[1] += slow;
+                    }
+                }
+                let st = self.tenant_stats[i];
+                TenantReport {
+                    name: spec.name.clone(),
+                    qos_weight: spec.qos_weight,
+                    base_page: lo,
+                    pages: self.tenant_pages[i],
+                    counters: self.tenant_counters[i],
+                    promotions: st.promotions,
+                    demotions: st.demotions,
+                    failed_promotions: st.failed_promotions,
+                    dropped_orders: st.dropped_orders,
+                    admitted_orders: st.admitted_orders,
+                    rejected_orders: st.rejected_orders,
+                    stall_cycles,
+                }
+            })
+            .collect();
         Ok(RunReport {
             policy: self.policy.name().to_string(),
             total_cycles,
@@ -919,6 +1114,7 @@ impl<'a, 'w> Sim<'a, 'w> {
             dropped_orders: self.dropped_orders,
             windows: self.windows,
             page_stalls: self.page_stalls,
+            tenants,
         })
     }
 
@@ -973,6 +1169,13 @@ impl<'a, 'w> Sim<'a, 'w> {
             AccessKind::Load => self.counters.loads += 1,
             AccessKind::Store => self.counters.stores += 1,
         }
+        if let Some(tc) = self.tenant_counters.get_mut(proc) {
+            tc.accesses += 1;
+            match a.kind {
+                AccessKind::Load => tc.loads += 1,
+                AccessKind::Store => tc.stores += 1,
+            }
+        }
 
         self.clock[ti] += (self.cfg.issue_cycles + a.work as u32) as u64;
 
@@ -986,6 +1189,9 @@ impl<'a, 'w> Sim<'a, 'w> {
             self.mem.unpoison(self.mem.unit_head(page));
             self.clock[ti] += self.cfg.migration.hint_fault_cycles;
             self.counters.hint_faults += 1;
+            if let Some(tc) = self.tenant_counters.get_mut(proc) {
+                tc.hint_faults += 1;
+            }
             self.deliver_sample(ti, SampleEvent::HintFault { page, tier });
         }
         // The fault may have migrated the page synchronously.
@@ -1007,6 +1213,9 @@ impl<'a, 'w> Sim<'a, 'w> {
 
         if hit {
             self.counters.llc_hits += 1;
+            if let Some(tc) = self.tenant_counters.get_mut(proc) {
+                tc.llc_hits += 1;
+            }
             self.clock[ti] += self.cfg.hit_cycles as u64;
             return Ok(());
         }
@@ -1037,9 +1246,15 @@ impl<'a, 'w> Sim<'a, 'w> {
                 // booked at earlier absolute times of this live thread.
                 self.clock[ti] = now - self.clock_offset;
                 self.counters.bytes[tidx] += LINE_BYTES;
+                if let Some(tc) = self.tenant_counters.get_mut(proc) {
+                    tc.bytes[tidx] += LINE_BYTES;
+                }
             }
             AccessKind::Load => {
                 self.counters.llc_misses[tidx] += 1;
+                if let Some(tc) = self.tenant_counters.get_mut(proc) {
+                    tc.llc_misses[tidx] += 1;
+                }
                 if tier == Tier::Slow {
                     if !self.chmu_pending.is_empty() {
                         // Sharded engine: buffer the observation under
@@ -1076,6 +1291,9 @@ impl<'a, 'w> Sim<'a, 'w> {
                     }
                     if !lost {
                         self.counters.pebs_samples += 1;
+                        if let Some(tc) = self.tenant_counters.get_mut(proc) {
+                            tc.pebs_samples += 1;
+                        }
                         self.registry.observe(self.m_pebs_latency, latency as f64);
                         self.clock[ti] += self.pebs.overhead_cycles() as u64;
                         self.deliver_sample(
@@ -1101,12 +1319,16 @@ impl<'a, 'w> Sim<'a, 'w> {
         let tidx = tier.index();
         let mut now = self.clock[ti] + self.clock_offset;
         let t = &mut self.threads[ti];
+        let proc = t.proc;
 
         // A dependent load cannot issue until its producer miss returns.
         let mut blamed: Option<(u64, u8, u64)> = None; // (page, tier, stall)
         if dep && t.last_miss_completion > now {
             let wait = t.last_miss_completion - now;
             self.counters.llc_stalls[t.last_miss_tier as usize] += wait;
+            if let Some(tc) = self.tenant_counters.get_mut(proc) {
+                tc.llc_stalls[t.last_miss_tier as usize] += wait;
+            }
             blamed = Some((t.last_miss_page, t.last_miss_tier, wait));
             now = t.last_miss_completion;
         }
@@ -1117,6 +1339,9 @@ impl<'a, 'w> Sim<'a, 'w> {
                 t.inflight.pop();
             } else if t.inflight.len() >= self.cfg.mshrs {
                 self.counters.llc_stalls[ct as usize] += c - now;
+                if let Some(tc) = self.tenant_counters.get_mut(proc) {
+                    tc.llc_stalls[ct as usize] += c - now;
+                }
                 blamed = Some((cp, ct, c - now));
                 now = c;
                 t.inflight.pop();
@@ -1144,10 +1369,21 @@ impl<'a, 'w> Sim<'a, 'w> {
         self.counters.demand_latency_sum[tidx] += completion - issue;
         self.counters.tor_occupancy[tidx] += completion - issue;
         self.counters.bytes[tidx] += LINE_BYTES;
+        if let Some(tc) = self.tenant_counters.get_mut(proc) {
+            tc.demand_latency_sum[tidx] += completion - issue;
+            tc.tor_occupancy[tidx] += completion - issue;
+            tc.bytes[tidx] += LINE_BYTES;
+        }
         // TOR busy cycles: union of [issue, completion) intervals.
         let busy_start = issue.max(self.tor_covered[tidx]);
         if completion > busy_start {
             self.counters.tor_busy[tidx] += completion - busy_start;
+            // The uncovered delta is attributed to the miss that
+            // extended the union, so tenant busy-time sums to the
+            // global union exactly (overlap is never double-counted).
+            if let Some(tc) = self.tenant_counters.get_mut(proc) {
+                tc.tor_busy[tidx] += completion - busy_start;
+            }
             self.tor_covered[tidx] = completion;
         }
         (completion - issue) as u32
@@ -1179,6 +1415,14 @@ impl<'a, 'w> Sim<'a, 'w> {
         self.llc.fill(pline);
         self.counters.prefetches[tidx] += 1;
         self.counters.bytes[tidx] += LINE_BYTES;
+        // Prefetchers only fetch within the issuing thread's footprint,
+        // so the page owner is the issuing tenant.
+        if !self.tenant_counters.is_empty() {
+            let owner = self.tenant_of_page(page);
+            let tc = &mut self.tenant_counters[owner];
+            tc.prefetches[tidx] += 1;
+            tc.bytes[tidx] += LINE_BYTES;
+        }
         // Prefetch traffic occupies the channel like any other transfer.
         self.channels[tidx].book(now, 1);
     }
@@ -1259,10 +1503,13 @@ impl<'a, 'w> Sim<'a, 'w> {
             if let Some(c) = self.checker.as_mut() {
                 c.note_issued();
             }
+            if !self.try_admit(order, now, 0) {
+                continue;
+            }
             if order.sync {
                 self.execute_order(order, Some(ti), 0);
             } else {
-                self.enqueue_order(order, now);
+                self.enqueue_admitted(order, now);
             }
         }
         self.order_buf = orders;
@@ -1278,10 +1525,74 @@ impl<'a, 'w> Sim<'a, 'w> {
             dropped_orders: self.dropped_orders,
             window: self.window_idx,
             faults_active: self.faults.is_some(),
+            tenants: self.cfg.tenants.len(),
+            admission_rejected: self.tenant_stats.iter().map(|t| t.rejected_orders).sum(),
         }
     }
 
+    /// Admission control at order issue (TierBPF-style): spends one of
+    /// the owning tenant's window tokens, unless the cell is
+    /// backpressured or the bucket is empty, in which case the order is
+    /// rejected, counted, traced, and deferred with doubling backoff
+    /// (dropped outright after [`MAX_DEFERRALS`] rejections or when the
+    /// deferral queue is full). Returns whether the order may proceed.
+    /// Always true when admission control is not configured — the
+    /// decision point sits in the globally serialized step order, so it
+    /// is shard-invariant by construction.
+    fn try_admit(&mut self, order: MigrationOrder, cycle: u64, attempt: u32) -> bool {
+        let Some(adm) = self.cfg.admission.as_ref() else {
+            return true;
+        };
+        let defer_windows = adm.defer_windows;
+        let tenant = self.tenant_of_page(order.page);
+        if !self.backpressured && self.tenant_tokens[tenant] > 0 {
+            self.tenant_tokens[tenant] -= 1;
+            self.tenant_stats[tenant].admitted_orders += 1;
+            return true;
+        }
+        self.tenant_stats[tenant].rejected_orders += 1;
+        self.registry.inc(self.tenant_metrics[tenant].m_rejected, 1);
+        self.tracer.emit(
+            cycle,
+            EventKind::AdmissionRejected {
+                tenant: tenant as u32,
+                page: order.page.0,
+                to: order.to.index() as u8,
+            },
+        );
+        if attempt < MAX_DEFERRALS && self.admission_deferred.len() < ORDER_QUEUE_CAP {
+            let due = self.window_idx + (defer_windows << attempt);
+            self.admission_deferred.push_back((due, attempt + 1, order));
+        } else {
+            // Deferrals exhausted (or the deferral queue overflowed):
+            // settle the order as a drop so the migration ledger and
+            // reports account for it.
+            self.dropped_orders += 1;
+            self.window_dropped += 1;
+            self.tenant_stats[tenant].dropped_orders += 1;
+            if let Some(c) = self.checker.as_mut() {
+                c.note_shed();
+            }
+            self.tracer.emit(
+                cycle,
+                EventKind::OrderDropped {
+                    page: order.page.0,
+                    to: order.to.index() as u8,
+                },
+            );
+        }
+        false
+    }
+
     fn enqueue_order(&mut self, order: MigrationOrder, cycle: u64) {
+        if !self.try_admit(order, cycle, 0) {
+            return;
+        }
+        self.enqueue_admitted(order, cycle);
+    }
+
+    /// Queues an order that already passed admission control.
+    fn enqueue_admitted(&mut self, order: MigrationOrder, cycle: u64) {
         // Injected admission-control drop: the order is shed before it
         // reaches the daemon queue, exactly like a capacity drop.
         if let Some(f) = self.faults.as_mut() {
@@ -1289,6 +1600,10 @@ impl<'a, 'w> Sim<'a, 'w> {
                 let mi = f.m_injected;
                 self.dropped_orders += 1;
                 self.window_dropped += 1;
+                if !self.tenant_stats.is_empty() {
+                    let tenant = self.tenant_of_page(order.page);
+                    self.tenant_stats[tenant].dropped_orders += 1;
+                }
                 if let Some(c) = self.checker.as_mut() {
                     c.note_shed();
                 }
@@ -1313,6 +1628,10 @@ impl<'a, 'w> Sim<'a, 'w> {
         if self.order_queue.len() >= ORDER_QUEUE_CAP {
             self.dropped_orders += 1;
             self.window_dropped += 1;
+            if !self.tenant_stats.is_empty() {
+                let tenant = self.tenant_of_page(order.page);
+                self.tenant_stats[tenant].dropped_orders += 1;
+            }
             if let Some(c) = self.checker.as_mut() {
                 c.note_shed();
             }
@@ -1371,6 +1690,10 @@ impl<'a, 'w> Sim<'a, 'w> {
                     None if order.to == Tier::Fast => {
                         self.failed_promotions += 1;
                         self.window_failed += 1;
+                        if !self.tenant_stats.is_empty() {
+                            let tenant = self.tenant_of_page(order.page);
+                            self.tenant_stats[tenant].failed_promotions += 1;
+                        }
                         if let Some(c) = self.checker.as_mut() {
                             c.note_abandoned();
                         }
@@ -1380,6 +1703,10 @@ impl<'a, 'w> Sim<'a, 'w> {
                     None => {
                         self.dropped_orders += 1;
                         self.window_dropped += 1;
+                        if !self.tenant_stats.is_empty() {
+                            let tenant = self.tenant_of_page(order.page);
+                            self.tenant_stats[tenant].dropped_orders += 1;
+                        }
                         if let Some(c) = self.checker.as_mut() {
                             c.note_abandoned();
                         }
@@ -1403,6 +1730,10 @@ impl<'a, 'w> Sim<'a, 'w> {
                 if order.to == Tier::Fast {
                     self.failed_promotions += 1;
                     self.window_failed += 1;
+                    if !self.tenant_stats.is_empty() {
+                        let tenant = self.tenant_of_page(order.page);
+                        self.tenant_stats[tenant].failed_promotions += 1;
+                    }
                     self.tracer
                         .emit(anchor, EventKind::PromotionRejected { page: order.page.0 });
                 }
@@ -1427,6 +1758,15 @@ impl<'a, 'w> Sim<'a, 'w> {
                     self.channels[tidx].book(anchor, lines);
                     self.counters.bytes[tidx] += moved * PAGE_BYTES;
                 }
+                // Migration traffic is attributed to the moved page's
+                // owner so per-tenant byte totals sum to the globals.
+                if !self.tenant_counters.is_empty() {
+                    let owner = self.tenant_of_page(order.page);
+                    let tc = &mut self.tenant_counters[owner];
+                    for tidx in 0..2 {
+                        tc.bytes[tidx] += moved * PAGE_BYTES;
+                    }
+                }
                 // TLB shootdown hits every live thread equally: advance
                 // the shared offset once — O(1) instead of a full-fleet
                 // write, and ready-heap keys (relative clocks) stay
@@ -1445,6 +1785,13 @@ impl<'a, 'w> Sim<'a, 'w> {
                     Tier::Slow => {
                         self.demotions += moved;
                         self.window_demos += moved;
+                    }
+                }
+                if !self.tenant_stats.is_empty() {
+                    let tenant = self.tenant_of_page(order.page);
+                    match order.to {
+                        Tier::Fast => self.tenant_stats[tenant].promotions += moved,
+                        Tier::Slow => self.tenant_stats[tenant].demotions += moved,
                     }
                 }
             }
@@ -1542,6 +1889,29 @@ impl<'a, 'w> Sim<'a, 'w> {
             }
         }
 
+        // Admission-deferred orders whose backoff expired re-attempt
+        // admission at this edge (against the tokens refilled at the
+        // previous edge); re-rejected orders defer again or drop inside
+        // `try_admit`. Runs before the daemon so freshly admitted
+        // orders can be serviced this window.
+        if !self.admission_deferred.is_empty() {
+            let mut pending = std::mem::take(&mut self.admission_deferred);
+            for (due, attempt, order) in pending.drain(..) {
+                if due > self.window_idx {
+                    self.admission_deferred.push_back((due, attempt, order));
+                } else if self.try_admit(order, edge, attempt) {
+                    if order.sync {
+                        // The issuing thread has long moved on; a
+                        // deferred sync order completes on the daemon
+                        // path like a retried one.
+                        self.execute_order(order, None, 0);
+                    } else {
+                        self.enqueue_admitted(order, edge);
+                    }
+                }
+            }
+        }
+
         // Background daemon: migrate within its per-window page budget.
         // Due retries of transiently failed orders run first (they are
         // the oldest work); leftovers beyond the budget slip one window.
@@ -1626,6 +1996,24 @@ impl<'a, 'w> Sim<'a, 'w> {
             self.registry.set(m_tracked, chmu.tracked() as f64);
             self.registry.set(m_total, chmu.total() as f64);
         }
+        // Fleet mode: recompute the backpressure flag from end-of-window
+        // channel backlog, and refresh the per-tenant registry rows
+        // (cumulative accesses / promoted pages, remaining tokens).
+        if let Some(adm) = self.cfg.admission.as_ref() {
+            let threshold = adm.saturation_backlog_cycles;
+            self.backpressured =
+                (0..2).any(|tidx| self.channels[tidx].backlog_cycles(edge) >= threshold);
+        }
+        for i in 0..self.tenant_metrics.len() {
+            let tm = self.tenant_metrics[i];
+            self.registry
+                .set(tm.m_accesses, self.tenant_counters[i].accesses as f64);
+            self.registry
+                .set(tm.m_promoted, self.tenant_stats[i].promotions as f64);
+            if let Some(&tok) = self.tenant_tokens.get(i) {
+                self.registry.set(tm.m_tokens, tok as f64);
+            }
+        }
         if delta.pebs_samples > 0 || delta.hint_faults > 0 {
             self.tracer.emit(
                 edge,
@@ -1701,7 +2089,10 @@ impl<'a, 'w> Sim<'a, 'w> {
                     self.registry.counter_total(self.m_chan_lines[0]),
                     self.registry.counter_total(self.m_chan_lines[1]),
                 ],
-                queue_len: self.order_queue.len(),
+                // Admission-deferred orders are issued-but-unsettled,
+                // exactly like queued ones; fold them into the live
+                // side of the migration ledger.
+                queue_len: self.order_queue.len() + self.admission_deferred.len(),
                 pending_retries: self.faults.as_ref().map_or(0, |f| f.pending_retries()),
                 promotions: self.promotions,
                 demotions: self.demotions,
@@ -1723,6 +2114,8 @@ impl<'a, 'w> Sim<'a, 'w> {
         self.last_snapshot = self.counters;
         self.window_idx += 1;
         self.next_edge += self.cfg.window_cycles;
+        // Token buckets refill at the edge for the window just opened.
+        self.tenant_tokens.copy_from_slice(&self.tenant_budget);
         if allow_snapshot
             && self.cfg.snapshot_every > 0
             && self.snap_sink.is_some()
@@ -1843,6 +2236,35 @@ impl<'a, 'w> Sim<'a, 'w> {
             w.put_u64(o.page.0);
             w.put_u8(o.to.index() as u8);
             w.put_bool(o.sync);
+        }
+        // Fleet section (presence follows the config): per-tenant PMU
+        // mirrors, migration stats, admission token state, and the
+        // deferred-order retry queue. Format version 2.
+        if !self.cfg.tenants.is_empty() {
+            for tc in &self.tenant_counters {
+                tc.encode_state(&mut w);
+            }
+            for st in &self.tenant_stats {
+                w.put_u64(st.promotions);
+                w.put_u64(st.demotions);
+                w.put_u64(st.failed_promotions);
+                w.put_u64(st.dropped_orders);
+                w.put_u64(st.admitted_orders);
+                w.put_u64(st.rejected_orders);
+            }
+            w.put_usize(self.tenant_tokens.len());
+            for &t in &self.tenant_tokens {
+                w.put_u64(t);
+            }
+            w.put_bool(self.backpressured);
+            w.put_usize(self.admission_deferred.len());
+            for (due, attempt, o) in &self.admission_deferred {
+                w.put_u64(*due);
+                w.put_u32(*attempt);
+                w.put_u64(o.page.0);
+                w.put_u8(o.to.index() as u8);
+                w.put_bool(o.sync);
+            }
         }
         // The ground-truth stall oracle (presence follows the config).
         if let Some(map) = &self.page_stalls {
@@ -2024,6 +2446,51 @@ impl<'a, 'w> Sim<'a, 'w> {
             let sync = r.get_bool().map_err(e)?;
             self.order_queue
                 .push_back((cycle, MigrationOrder { page, to, sync }));
+        }
+        // Fleet section (mirrors capture; presence follows the config,
+        // which the frame fingerprint already pinned).
+        if !self.cfg.tenants.is_empty() {
+            for tc in self.tenant_counters.iter_mut() {
+                *tc = PmuCounters::decode_state(r)?;
+            }
+            for st in self.tenant_stats.iter_mut() {
+                st.promotions = r.get_u64().map_err(e)?;
+                st.demotions = r.get_u64().map_err(e)?;
+                st.failed_promotions = r.get_u64().map_err(e)?;
+                st.dropped_orders = r.get_u64().map_err(e)?;
+                st.admitted_orders = r.get_u64().map_err(e)?;
+                st.rejected_orders = r.get_u64().map_err(e)?;
+            }
+            let nt = r.get_usize().map_err(e)?;
+            if nt != self.tenant_tokens.len() {
+                return Err(format!(
+                    "snapshot carries {nt} tenant token buckets, config has {}",
+                    self.tenant_tokens.len()
+                ));
+            }
+            for t in self.tenant_tokens.iter_mut() {
+                *t = r.get_u64().map_err(e)?;
+            }
+            self.backpressured = r.get_bool().map_err(e)?;
+            let nd = r.get_usize().map_err(e)?;
+            if nd > ORDER_QUEUE_CAP {
+                return Err(format!(
+                    "snapshot deferral queue holds {nd} entries, cap is {ORDER_QUEUE_CAP}"
+                ));
+            }
+            self.admission_deferred.clear();
+            for _ in 0..nd {
+                let due = r.get_u64().map_err(e)?;
+                let attempt = r.get_u32().map_err(e)?;
+                let page = PageId(r.get_u64().map_err(e)?);
+                let to = tier_of(r.get_u8().map_err(e)?)?;
+                let sync = r.get_bool().map_err(e)?;
+                self.admission_deferred.push_back((
+                    due,
+                    attempt,
+                    MigrationOrder { page, to, sync },
+                ));
+            }
         }
         if let Some(map) = self.page_stalls.as_mut() {
             map.clear();

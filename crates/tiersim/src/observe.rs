@@ -114,6 +114,30 @@ impl RunReport {
             j.end_object();
         }
         j.end_array();
+        // Fleet lanes: emitted only for fleet runs so legacy reports
+        // stay byte-identical to builds without multi-tenancy.
+        if !self.tenants.is_empty() {
+            j.key("tenants");
+            j.begin_array();
+            for t in &self.tenants {
+                j.begin_object();
+                j.field_str("name", &t.name);
+                j.field_u64("qos_weight", u64::from(t.qos_weight));
+                j.field_u64("base_page", t.base_page);
+                j.field_u64("pages", t.pages);
+                j.field_u64("promotions", t.promotions);
+                j.field_u64("demotions", t.demotions);
+                j.field_u64("failed_promotions", t.failed_promotions);
+                j.field_u64("dropped_orders", t.dropped_orders);
+                j.field_u64("admitted_orders", t.admitted_orders);
+                j.field_u64("rejected_orders", t.rejected_orders);
+                u64_pair(&mut j, "stall_cycles", t.stall_cycles);
+                j.key("counters");
+                counters_json(&mut j, &t.counters);
+                j.end_object();
+            }
+            j.end_array();
+        }
         j.key("windows");
         j.begin_array();
         for w in &self.windows {

@@ -72,6 +72,10 @@ pub(crate) struct CtxTotals {
     /// their degradation paths on this so fault-free runs stay
     /// bit-identical to builds without the fault layer.
     pub faults_active: bool,
+    /// Number of colocated tenants (0 for legacy single-workload runs).
+    pub tenants: usize,
+    /// Cumulative migration orders rejected by fleet admission control.
+    pub admission_rejected: u64,
 }
 
 /// Per-window counter view handed to [`TieringPolicy::on_window`].
@@ -253,6 +257,20 @@ impl<'a> PolicyCtx<'a> {
         self.totals.faults_active
     }
 
+    /// Number of colocated tenants in this run (0 for legacy
+    /// single-workload runs — policies must treat 0 as "fleet mode
+    /// off" and change nothing, so legacy runs stay bit-identical).
+    pub fn tenant_count(&self) -> usize {
+        self.totals.tenants
+    }
+
+    /// Cumulative migration orders rejected by the fleet admission
+    /// controller (token exhaustion or channel backpressure). Always 0
+    /// when [`tenant_count`](Self::tenant_count) is 0.
+    pub fn admission_rejections(&self) -> u64 {
+        self.totals.admission_rejected
+    }
+
     /// Records a named time-series value for this window (e.g. PACT's
     /// current bin width); surfaces in the run report for Figures 8–9.
     pub fn telemetry(&mut self, key: &'static str, value: f64) {
@@ -402,6 +420,8 @@ mod tests {
                 dropped_orders: 1,
                 window: 7,
                 faults_active: true,
+                tenants: 3,
+                admission_rejected: 4,
             },
         );
         assert_eq!(ctx.promotions(), 3);
@@ -410,6 +430,8 @@ mod tests {
         assert_eq!(ctx.dropped_orders(), 1);
         assert_eq!(ctx.window_index(), 7);
         assert!(ctx.fault_injection_active());
+        assert_eq!(ctx.tenant_count(), 3);
+        assert_eq!(ctx.admission_rejections(), 4);
         ctx.promote(PageId(1));
         ctx.promote_sync(PageId(2));
         ctx.demote(PageId(0));

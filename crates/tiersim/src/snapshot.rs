@@ -41,7 +41,9 @@ pub const MAGIC: [u8; 8] = *b"PACTSNAP";
 
 /// Snapshot format version this build reads and writes. Bumped on any
 /// payload layout change; old frames are rejected, not reinterpreted.
-pub const FORMAT_VERSION: u32 = 1;
+/// Version 2 added the fleet section (per-tenant PMU mirrors, token
+/// buckets, and the admission deferral queue) for multi-tenant cells.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Frame header bytes before the payload (magic + version + fingerprint
 /// + window + payload length).
@@ -252,6 +254,17 @@ pub fn config_fingerprint(cfg: &MachineConfig) -> u64 {
         w.put_bool(set.counters);
         w.put_bool(set.windows);
     }
+    w.put_usize(cfg.tenants.len());
+    for t in &cfg.tenants {
+        w.put_str(&t.name);
+        w.put_u32(t.qos_weight);
+    }
+    w.put_bool(cfg.admission.is_some());
+    if let Some(adm) = &cfg.admission {
+        w.put_u64(adm.budget_per_window);
+        w.put_f64(adm.saturation_backlog_cycles);
+        w.put_u64(adm.defer_windows);
+    }
     fnv1a(&w.into_bytes())
 }
 
@@ -326,8 +339,16 @@ mod tests {
         let mut diff = base.clone();
         diff.fault_plan = Some(crate::FaultPlan::default());
         assert_ne!(config_fingerprint(&diff), h);
-        let mut diff = base;
+        let mut diff = base.clone();
         diff.fast_tier_pages += 1;
         assert_ne!(config_fingerprint(&diff), h);
+        let mut diff = base.clone();
+        diff.tenants = vec![crate::TenantSpec::new("t0", 1)];
+        assert_ne!(config_fingerprint(&diff), h);
+        let mut fleet = base;
+        fleet.tenants = vec![crate::TenantSpec::new("t0", 1)];
+        let fh = config_fingerprint(&fleet);
+        fleet.admission = Some(crate::AdmissionControl::default());
+        assert_ne!(config_fingerprint(&fleet), fh);
     }
 }

@@ -46,6 +46,7 @@ mod phased;
 mod silo;
 mod spec;
 pub mod suite;
+mod zipfdrift;
 
 pub use common::{BufferedStream, Generator, LayoutBuilder, Zipf};
 pub use gpt2::Gpt2;
@@ -56,3 +57,4 @@ pub use mlc::Mlc;
 pub use phased::{Phase, PhasePattern, Phased};
 pub use silo::Silo;
 pub use spec::{Bwaves, Deepsjeng, Xz};
+pub use zipfdrift::ZipfDrift;

@@ -22,6 +22,7 @@ pub struct Mlc {
     work: u16,
     footprint: u64,
     regions: Vec<Region>,
+    background: bool,
 }
 
 impl Mlc {
@@ -45,6 +46,7 @@ impl Mlc {
             work,
             footprint,
             regions,
+            background: true,
         }
     }
 
@@ -53,11 +55,26 @@ impl Mlc {
     pub fn paper_thread(threads: usize, loads_per_thread: u64) -> Self {
         Self::new(threads, 4 << 20, loads_per_thread, 16)
     }
+
+    /// The fleet-cell antagonist: the same streaming pattern as the
+    /// Figure 11 hog, but run as a *foreground* tenant named
+    /// `mlc-hog`, so its bounded access stream counts toward the run
+    /// and its bandwidth is attributed to its own tenant lane in
+    /// multi-tenant cells.
+    pub fn hog(threads: usize, buffer_bytes: u64, loads_per_thread: u64) -> Self {
+        let mut m = Self::new(threads, buffer_bytes, loads_per_thread, 0);
+        m.background = false;
+        m
+    }
 }
 
 impl Workload for Mlc {
     fn name(&self) -> String {
-        format!("mlc-{}t", self.threads)
+        if self.background {
+            format!("mlc-{}t", self.threads)
+        } else {
+            "mlc-hog".to_string()
+        }
     }
 
     fn footprint_bytes(&self) -> u64 {
@@ -69,7 +86,7 @@ impl Workload for Mlc {
     }
 
     fn is_background(&self) -> bool {
-        true
+        self.background
     }
 
     fn streams(&self) -> Vec<Box<dyn AccessStream + '_>> {
@@ -117,6 +134,13 @@ mod tests {
     #[test]
     fn is_background() {
         assert!(Mlc::paper_thread(1, 100).is_background());
+    }
+
+    #[test]
+    fn hog_is_a_foreground_tenant() {
+        let h = Mlc::hog(2, 1 << 20, 100);
+        assert!(!h.is_background());
+        assert_eq!(h.name(), "mlc-hog");
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use pact_tiersim::Workload;
 
 use crate::graph::{kronecker, power_law, uniform, Csr, GraphWorkload, Kernel};
-use crate::{Bwaves, Deepsjeng, Gpt2, Gups, KvStore, Masim, Silo, Xz};
+use crate::{Bwaves, Deepsjeng, Gpt2, Gups, KvStore, Masim, Mlc, Silo, Xz, ZipfDrift};
 
 /// Size class of a suite workload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,7 +40,9 @@ pub const SUITE: [&str; 12] = [
 /// Builds a suite workload by name.
 ///
 /// Accepts every name in [`SUITE`] plus the motivation-study workloads
-/// `"masim"` and `"gups"`.
+/// `"masim"` and `"gups"`, and the fleet-cell tenants `"mlc-hog"`
+/// (foreground bandwidth antagonist) and `"zipf-drift"` (skew-drift
+/// Zipf point lookups).
 ///
 /// # Panics
 ///
@@ -111,7 +113,17 @@ pub fn build(name: &str, scale: Scale, seed: u64) -> Box<dyn Workload> {
             Scale::Smoke => Box::new(Gups::new(1 << 20, 50_000, 2, seed)),
             Scale::Paper => Box::new(Gups::new(24 << 20, 4_000_000, 2, seed)),
         },
-        other => panic!("unknown workload '{other}'; valid names: {SUITE:?}, masim, gups"),
+        "mlc-hog" => match s {
+            Scale::Smoke => Box::new(Mlc::hog(2, 256 * 1024, 30_000)),
+            Scale::Paper => Box::new(Mlc::hog(4, 4 << 20, 2_000_000)),
+        },
+        "zipf-drift" => match s {
+            Scale::Smoke => Box::new(ZipfDrift::new(256, 60_000, 0.99, 10_000, seed)),
+            Scale::Paper => Box::new(ZipfDrift::new(6_144, 4_000_000, 0.99, 400_000, seed)),
+        },
+        other => panic!(
+            "unknown workload '{other}'; valid names: {SUITE:?}, masim, gups, mlc-hog, zipf-drift"
+        ),
     }
 }
 
@@ -182,6 +194,16 @@ mod tests {
     fn motivation_workloads_build() {
         for name in ["masim", "gups"] {
             let wl = build(name, Scale::Smoke, 1);
+            assert!(!wl.streams().is_empty());
+        }
+    }
+
+    #[test]
+    fn fleet_tenants_build_as_foreground() {
+        for name in ["mlc-hog", "zipf-drift"] {
+            let wl = build(name, Scale::Smoke, 1);
+            assert_eq!(wl.name(), name);
+            assert!(!wl.is_background(), "{name} must bound a fleet run");
             assert!(!wl.streams().is_empty());
         }
     }

@@ -1,0 +1,161 @@
+//! Skew-drift Zipf tenant for multi-tenant fleet cells.
+//!
+//! A YCSB-style Zipf(θ) key chooser whose hot set *rotates* through the
+//! footprint: every `drift_every` accesses the rank→page mapping shifts
+//! by one-eighth of the footprint, so yesterday's hot pages go cold and
+//! a fresh region heats up. This is the canonical hard case for
+//! recency/frequency tiering under contention — the tenant keeps
+//! generating promotion demand for as long as it runs, which is exactly
+//! what a fleet admission controller has to budget against.
+
+use std::collections::VecDeque;
+
+use pact_stats::SplitMix64;
+use pact_tiersim::{Access, AccessStream, Region, Workload, LINE_BYTES, PAGE_BYTES};
+
+use crate::common::{scramble, stream_rng, BufferedStream, Generator, LayoutBuilder, Zipf};
+
+/// A single-threaded Zipf point-lookup tenant with a drifting hot set.
+#[derive(Debug, Clone)]
+pub struct ZipfDrift {
+    pages: u64,
+    accesses: u64,
+    theta: f64,
+    drift_every: u64,
+    seed: u64,
+    footprint: u64,
+    regions: Vec<Region>,
+}
+
+impl ZipfDrift {
+    /// Builds the tenant: `pages` of footprint, `accesses` dependent
+    /// loads drawn Zipf(θ), hot set rotating by `pages / 8` every
+    /// `drift_every` accesses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pages == 0`, `drift_every == 0`, or θ is outside
+    /// `(0, 1)` (see [`Zipf::new`]).
+    pub fn new(pages: u64, accesses: u64, theta: f64, drift_every: u64, seed: u64) -> Self {
+        assert!(pages > 0, "need a non-empty footprint");
+        assert!(drift_every > 0, "drift period must be positive");
+        let mut lb = LayoutBuilder::new();
+        lb.region("zipf_heap", pages * PAGE_BYTES);
+        let (footprint, regions) = lb.finish();
+        Self {
+            pages,
+            accesses,
+            theta,
+            drift_every,
+            seed,
+            footprint,
+            regions,
+        }
+    }
+}
+
+impl Workload for ZipfDrift {
+    fn name(&self) -> String {
+        "zipf-drift".to_string()
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        self.footprint
+    }
+
+    fn regions(&self) -> Vec<Region> {
+        self.regions.clone()
+    }
+
+    fn streams(&self) -> Vec<Box<dyn AccessStream + '_>> {
+        vec![Box::new(BufferedStream::new(DriftGen {
+            zipf: Zipf::new(self.pages, self.theta),
+            rng: stream_rng(self.seed, 0),
+            pages: self.pages,
+            remaining: self.accesses,
+            emitted: 0,
+            drift_every: self.drift_every,
+            offset: 0,
+        }))]
+    }
+}
+
+struct DriftGen {
+    zipf: Zipf,
+    rng: SplitMix64,
+    pages: u64,
+    remaining: u64,
+    emitted: u64,
+    drift_every: u64,
+    offset: u64,
+}
+
+impl Generator for DriftGen {
+    fn refill(&mut self, out: &mut VecDeque<Access>) -> bool {
+        if self.remaining == 0 {
+            return false;
+        }
+        let batch = self.remaining.min(64);
+        for _ in 0..batch {
+            let rank = self.zipf.sample(&mut self.rng);
+            // Hash the rank so hot keys scatter (real stores hash), then
+            // rotate by the drift offset so the hot *pages* migrate.
+            let page = (scramble(rank, self.pages) + self.offset) % self.pages;
+            let line = self.rng.random::<u64>() % (PAGE_BYTES / LINE_BYTES);
+            out.push_back(
+                Access::dependent_load(page * PAGE_BYTES + line * LINE_BYTES).with_work(2),
+            );
+            self.emitted += 1;
+            if self.emitted.is_multiple_of(self.drift_every) {
+                self.offset = (self.offset + (self.pages / 8).max(1)) % self.pages;
+            }
+        }
+        self.remaining -= batch;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(wl: &ZipfDrift) -> Vec<u64> {
+        let mut s = wl.streams().remove(0);
+        std::iter::from_fn(|| s.next_access().map(|a| a.vaddr)).collect()
+    }
+
+    #[test]
+    fn emits_exactly_the_requested_accesses_in_bounds() {
+        let wl = ZipfDrift::new(64, 1_000, 0.9, 100, 7);
+        let addrs = drain(&wl);
+        assert_eq!(addrs.len(), 1_000);
+        assert!(addrs.iter().all(|&a| a < wl.footprint_bytes()));
+    }
+
+    #[test]
+    fn stream_is_repeatable() {
+        let wl = ZipfDrift::new(128, 500, 0.9, 64, 11);
+        assert_eq!(drain(&wl), drain(&wl));
+    }
+
+    #[test]
+    fn hot_set_drifts_over_time() {
+        // With a short drift period, the popular pages of the first
+        // chunk and the last chunk should differ.
+        let wl = ZipfDrift::new(256, 4_000, 0.99, 250, 3);
+        let addrs = drain(&wl);
+        let page_of = |v: u64| v / PAGE_BYTES;
+        let head: std::collections::BTreeSet<u64> =
+            addrs[..500].iter().map(|&v| page_of(v)).collect();
+        let tail: std::collections::BTreeSet<u64> =
+            addrs[3_500..].iter().map(|&v| page_of(v)).collect();
+        assert_ne!(head, tail, "hot set never moved");
+    }
+
+    #[test]
+    fn is_a_foreground_tenant() {
+        let wl = ZipfDrift::new(16, 10, 0.5, 5, 1);
+        assert!(!wl.is_background());
+        assert_eq!(wl.name(), "zipf-drift");
+    }
+}

@@ -123,3 +123,102 @@ fn tampered_frames_fail_closed_under_faults() {
         other => panic!("fingerprint mismatch must be rejected, got {other:?}"),
     }
 }
+
+// --- fleet mode (DESIGN.md §15) --------------------------------------
+
+/// A three-tenant fleet cell with a migration budget tight enough that
+/// the admission controller is rejecting and deferring orders at most
+/// window boundaries — so snapshot frames carry live token buckets,
+/// the backpressure flag, and a non-empty deferral queue.
+fn fleet_snap_cfg(shards: usize, snapshot_every: u64) -> MachineConfig {
+    let mut cfg = snap_cfg(shards, snapshot_every);
+    cfg.tenants = vec![
+        pact_tiersim::TenantSpec::new("gups", 4),
+        pact_tiersim::TenantSpec::new("mlc-hog", 1),
+        pact_tiersim::TenantSpec::new("zipf-drift", 2),
+    ];
+    cfg.admission = Some(pact_tiersim::AdmissionControl {
+        budget_per_window: 3,
+        ..pact_tiersim::AdmissionControl::default()
+    });
+    cfg
+}
+
+fn fleet_workloads() -> Vec<Box<dyn pact_tiersim::Workload>> {
+    ["gups", "mlc-hog", "zipf-drift"]
+        .iter()
+        .map(|name| build(name, Scale::Smoke, 7))
+        .collect()
+}
+
+fn fleet_capture(snapshot_every: u64) -> (RunReport, Vec<MachineSnapshot>) {
+    let workloads = fleet_workloads();
+    let refs: Vec<&dyn pact_tiersim::Workload> = workloads.iter().map(|w| w.as_ref()).collect();
+    let machine = Machine::new(fleet_snap_cfg(1, snapshot_every)).expect("config is valid");
+    let mut policy = fresh_policy();
+    let mut frames = Vec::new();
+    let mut tracer = Tracer::disabled();
+    let report = machine
+        .try_run_snapshotting(&refs, &mut policy, &mut tracer, &mut |s| frames.push(s))
+        .expect("fleet capture run succeeds");
+    (report, frames)
+}
+
+fn fleet_resume(frame: &MachineSnapshot, shards: usize) -> Result<RunReport, SimError> {
+    let workloads = fleet_workloads();
+    let refs: Vec<&dyn pact_tiersim::Workload> = workloads.iter().map(|w| w.as_ref()).collect();
+    let machine = Machine::new(fleet_snap_cfg(shards, 0)).expect("config is valid");
+    let mut policy = fresh_policy();
+    let mut tracer = Tracer::disabled();
+    machine.try_resume(&refs, &mut policy, &mut tracer, frame)
+}
+
+#[test]
+fn fleet_snapshots_mid_backpressure_resume_byte_identically() {
+    let (base, frames) = fleet_capture(4);
+    // The cell must actually be under admission pressure, or the
+    // frames carry no token/deferral state worth testing.
+    let rejected: u64 = base.tenants.iter().map(|t| t.rejected_orders).sum();
+    let admitted: u64 = base.tenants.iter().map(|t| t.admitted_orders).sum();
+    assert!(
+        rejected > 0,
+        "budget 3/window over three tenants produced no rejections — the test lost its subject"
+    );
+    assert!(admitted > 0, "the cell admitted nothing at all");
+    assert!(!frames.is_empty(), "no fleet snapshots captured");
+    let want = base.to_json();
+    for frame in &frames {
+        let window = frame.window().expect("frame header is readable");
+        for shards in [1usize, 4, 7] {
+            let got = fleet_resume(frame, shards)
+                .unwrap_or_else(|e| {
+                    panic!("fleet resume from window {window} at {shards} shards: {e}")
+                })
+                .to_json();
+            assert_eq!(
+                got, want,
+                "fleet resume from window {window} at {shards} shards diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn fleet_frames_refuse_a_tenantless_machine() {
+    // Dropping the tenant list changes the configuration fingerprint:
+    // resuming a fleet capture on a single-tenant machine is refused,
+    // not silently degraded.
+    let (_, frames) = fleet_capture(8);
+    let frame = frames.last().expect("at least one fleet snapshot");
+    let mut cfg = fleet_snap_cfg(1, 0);
+    cfg.tenants = Vec::new();
+    cfg.admission = None;
+    let machine = Machine::new(cfg).expect("config is valid");
+    let mut policy = fresh_policy();
+    let mut tracer = Tracer::disabled();
+    let wl = build("masim", Scale::Smoke, 7);
+    match machine.try_resume(&[wl.as_ref()], &mut policy, &mut tracer, frame) {
+        Err(SimError::Snapshot(e)) => assert!(e.contains("fingerprint"), "{e}"),
+        other => panic!("tenantless resume must be rejected, got {other:?}"),
+    }
+}
