@@ -53,11 +53,27 @@ stage_fmt() {
 }
 
 # Static analysis, two layers: pact-lint (the workspace determinism &
-# hygiene linter — rule catalogue in DESIGN.md §11) and clippy with
-# warnings denied. `tierctl lint` exits 1 on findings, 2 on usage/IO
-# errors; either fails the stage.
+# hygiene linter — token rules in DESIGN.md §11, semantic X-rules in
+# §16) and clippy with warnings denied. The mutation self-test proves
+# the semantic analyzer still has teeth (seeded deletions of a codec
+# field write, a tenant counter mirror, and an EventKind match arm must
+# each be caught), then the full scan gates on zero unsuppressed
+# findings and leaves the JSON report in target/ci-lint for the
+# workflow's artifact upload. `tierctl lint` exits 1 on findings, 2 on
+# usage/IO errors; either fails the stage.
 stage_lint() {
-    cargo run --release -p pact-bench --bin tierctl -- lint
+    lint_dir="target/ci-lint"
+    rm -rf "$lint_dir"
+    mkdir -p "$lint_dir"
+    cargo run --release -p pact-bench --bin tierctl -- lint --self-test
+    rc=0
+    cargo run --release -p pact-bench --bin tierctl -- lint --json \
+        > "$lint_dir/lint-report.json" || rc=$?
+    [ "$rc" -eq 0 ] || {
+        echo "    FAIL: unsuppressed lint findings (see $lint_dir/lint-report.json)"
+        cargo run --release -p pact-bench --bin tierctl -- lint || true
+        exit 1
+    }
     cargo clippy --workspace --all-targets -- -D warnings
 }
 

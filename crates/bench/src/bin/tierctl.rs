@@ -828,6 +828,58 @@ struct LintArgs {
     json: bool,
     rules: Vec<String>,
     list_rules: bool,
+    changed_files: Option<Vec<String>>,
+    timings: bool,
+    self_test: bool,
+}
+
+/// Expands one `--rule` argument against the catalogue: an exact id
+/// (`det-rng`), an exact code (`X001`), or a trailing-`*` glob over
+/// either (`X*`, `det-*`).
+fn expand_rule_pattern(pat: &str) -> Result<Vec<String>, String> {
+    let matches: Vec<String> = pact_lint::RULES
+        .iter()
+        .filter(|r| {
+            if let Some(prefix) = pat.strip_suffix('*') {
+                r.id.starts_with(prefix) || r.code.starts_with(prefix)
+            } else {
+                r.id == pat || r.code == pat
+            }
+        })
+        .map(|r| r.id.to_string())
+        .collect();
+    if matches.is_empty() {
+        return Err(format!(
+            "unknown rule '{pat}'; see tierctl lint --list-rules"
+        ));
+    }
+    Ok(matches)
+}
+
+/// Parses a `--changed-files` value: a comma/newline-separated list,
+/// or `-` to read newline-separated paths from stdin (the pre-commit
+/// shape). Paths are normalized to workspace-relative forward-slash
+/// form; non-`.rs` entries are ignored so `git diff --name-only` can
+/// be piped in unfiltered.
+fn parse_changed_files(value: &str) -> Result<Vec<String>, String> {
+    let raw = if value == "-" {
+        let mut buf = String::new();
+        use std::io::Read;
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("cannot read --changed-files from stdin: {e}"))?;
+        buf
+    } else {
+        value.to_string()
+    };
+    let mut files: Vec<String> = raw
+        .split(['\n', ','])
+        .map(|s| s.trim().trim_start_matches("./").replace('\\', "/"))
+        .filter(|s| !s.is_empty() && s.ends_with(".rs"))
+        .collect();
+    files.sort();
+    files.dedup();
+    Ok(files)
 }
 
 fn parse_lint_args(mut it: impl Iterator<Item = String>) -> Result<LintArgs, String> {
@@ -836,39 +888,66 @@ fn parse_lint_args(mut it: impl Iterator<Item = String>) -> Result<LintArgs, Str
         json: false,
         rules: Vec::new(),
         list_rules: false,
+        changed_files: None,
+        timings: false,
+        self_test: false,
     };
     while let Some(a) = it.next() {
         match a.as_str() {
             "--root" => args.root = Some(it.next().ok_or("--root needs a path")?),
             "--json" => args.json = true,
             "--rule" => {
-                let id = it.next().ok_or("--rule needs a rule id")?;
-                if pact_lint::rule_by_id(&id).is_none() {
-                    return Err(format!(
-                        "unknown rule '{id}'; see tierctl lint --list-rules"
-                    ));
-                }
-                args.rules.push(id);
+                let pat = it.next().ok_or("--rule needs a rule id, code, or glob")?;
+                args.rules.extend(expand_rule_pattern(&pat)?);
             }
+            "--changed-files" => {
+                let value = it
+                    .next()
+                    .ok_or("--changed-files needs a list or '-' for stdin")?;
+                args.changed_files = Some(parse_changed_files(&value)?);
+            }
+            "--timings" => args.timings = true,
+            "--self-test" => args.self_test = true,
             "--list-rules" => args.list_rules = true,
             "--help" | "-h" => {
                 return Err(
-                    "usage: tierctl lint [--root DIR] [--json] [--rule ID]... [--list-rules]"
+                    "usage: tierctl lint [--root DIR] [--json] [--rule ID|CODE|GLOB*]... \
+                     [--changed-files LIST|-] [--timings] [--self-test] [--list-rules]"
                         .into(),
                 )
             }
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
+    args.rules.sort();
+    args.rules.dedup();
     Ok(args)
 }
 
-/// The `lint` subcommand: the pact-lint workspace pass. Exit 0 clean,
-/// 1 findings, 2 usage/IO error.
+/// The `lint` subcommand: the pact-lint workspace pass, file scans
+/// fanned out across the bench worker pool (`PACT_JOBS`). Exit 0
+/// clean, 1 findings, 2 usage/IO error.
 fn run_lint(args: &LintArgs) {
     if args.list_rules {
         print!("{}", pact_lint::LintReport::catalogue());
         return;
+    }
+    if args.self_test {
+        match pact_lint::mutation_self_test() {
+            Ok(checks) => {
+                for c in &checks {
+                    println!("self-test ok: {c}");
+                }
+                println!("pact-lint self-test: {} checks passed", checks.len());
+                return;
+            }
+            Err(failures) => {
+                for f in &failures {
+                    eprintln!("self-test FAILED: {f}");
+                }
+                std::process::exit(1);
+            }
+        }
     }
     let root = match &args.root {
         Some(r) => std::path::PathBuf::from(r),
@@ -887,14 +966,56 @@ fn run_lint(args: &LintArgs) {
         enabled_rules: args.rules.clone(),
         ..pact_lint::LintConfig::default()
     };
-    let report = pact_lint::lint_workspace(&root, &cfg).unwrap_or_else(|e| {
+    let fail = |e: &dyn std::fmt::Display| -> ! {
         eprintln!("{e}");
         std::process::exit(2);
-    });
+    };
+    if let Err(e) = pact_lint::ensure_workspace_root(&root) {
+        fail(&e);
+    }
+    let files = pact_lint::workspace_files(&root).unwrap_or_else(|e| fail(&e));
+    let jobs = pact_bench::jobs_from_env();
+    let t0 = std::time::Instant::now();
+    // Fan the per-file scans out; the merge re-sorts by file/line/col,
+    // so the report is byte-identical at any PACT_JOBS.
+    let scans = pact_bench::try_run_indexed(files.len(), jobs, |i| {
+        let path = root.join(&files[i]);
+        std::fs::read_to_string(&path)
+            .map(|src| pact_lint::scan_file(&files[i], &src, &cfg))
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))
+    })
+    .unwrap_or_else(|e: String| fail(&e));
+    let (report, timings) = pact_lint::finish_scans(scans, &cfg, args.changed_files.as_deref());
+    let wall = t0.elapsed();
     if args.json {
         print!("{}", report.render_json());
     } else {
         print!("{}", report.render_text());
+    }
+    if args.timings {
+        let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+        println!("pact-lint timings (files {}, jobs {jobs}):", files.len());
+        println!(
+            "  lex+token-rules      {:>8.2} ms (cpu, fused D/H/S pass)",
+            ms(timings.token_pass)
+        );
+        println!(
+            "  parse                {:>8.2} ms (cpu)",
+            ms(timings.parse_pass)
+        );
+        println!(
+            "  snapshot-coverage    {:>8.2} ms",
+            ms(timings.snapshot_coverage)
+        );
+        println!(
+            "  counter-mirror       {:>8.2} ms",
+            ms(timings.counter_mirror)
+        );
+        println!(
+            "  event-exhaustiveness {:>8.2} ms",
+            ms(timings.event_exhaustiveness)
+        );
+        println!("  total wall           {:>8.2} ms", ms(wall));
     }
     if !report.is_clean() {
         std::process::exit(1);

@@ -502,3 +502,135 @@ fn lint_of_this_workspace_is_clean() {
         String::from_utf8_lossy(&out.stdout)
     );
 }
+
+/// A minimal X001 violation: field `b` neither encoded nor decoded.
+const X001_SRC: &str = "\
+pub struct S {
+    a: u64,
+    b: u64,
+}
+impl S {
+    fn encode_state(&self, w: &mut W) { w.put(self.a); }
+    fn decode_state(&mut self, r: &mut R) { self.a = r.take(); }
+}
+";
+
+#[test]
+fn lint_rule_glob_selects_the_x_family() {
+    let dir = fixture_dir("lint_xglob");
+    let src = format!("use std::collections::HashMap;\n{X001_SRC}");
+    lint_fixture(&dir, &src);
+    let root = dir.to_str().expect("utf8 path");
+    let all = run(&["lint", "--root", root]);
+    assert_eq!(all.status.code(), Some(1));
+    let all_out = String::from_utf8_lossy(&all.stdout).into_owned();
+    assert!(all_out.contains("det-hash-collections"), "{all_out}");
+    assert!(all_out.contains("snapshot-coverage"), "{all_out}");
+    let only_x = run(&["lint", "--root", root, "--rule", "X*"]);
+    assert_eq!(only_x.status.code(), Some(1));
+    let x_out = String::from_utf8_lossy(&only_x.stdout).into_owned();
+    assert!(!x_out.contains("det-hash-collections"), "{x_out}");
+    assert!(x_out.contains("snapshot-coverage"), "{x_out}");
+}
+
+#[test]
+fn lint_changed_files_agrees_with_the_full_run() {
+    let dir = fixture_dir("lint_changed");
+    lint_fixture(&dir, X001_SRC);
+    std::fs::write(
+        dir.join("crates/tiersim/src/other.rs"),
+        "use std::collections::HashMap;\n",
+    )
+    .expect("write second source");
+    let root = dir.to_str().expect("utf8 path");
+    let full = run(&["lint", "--root", root]);
+    assert_eq!(full.status.code(), Some(1));
+    let full_out = String::from_utf8_lossy(&full.stdout).into_owned();
+    let changed = run(&[
+        "lint",
+        "--root",
+        root,
+        "--changed-files",
+        "crates/tiersim/src/lib.rs",
+    ]);
+    assert_eq!(changed.status.code(), Some(1));
+    let changed_out = String::from_utf8_lossy(&changed.stdout).into_owned();
+    // Whole-workspace and changed-files runs agree exactly on the
+    // overlapping file: same findings at the same positions.
+    let locs = |text: &str| -> Vec<String> {
+        text.lines()
+            .filter(|l| l.trim_start().starts_with("-->"))
+            .map(|l| l.trim().to_string())
+            .collect()
+    };
+    let full_lib: Vec<String> = locs(&full_out)
+        .into_iter()
+        .filter(|l| l.contains("lib.rs"))
+        .collect();
+    assert!(!full_lib.is_empty(), "{full_out}");
+    assert_eq!(locs(&changed_out), full_lib, "{changed_out}");
+    assert!(!changed_out.contains("other.rs"), "{changed_out}");
+    // The untouched file's findings still gate a full run, proving the
+    // filter trims the report, not the analysis.
+    assert!(full_out.contains("other.rs"), "{full_out}");
+}
+
+#[test]
+fn lint_changed_files_reads_stdin_dash() {
+    use std::io::Write as _;
+    let dir = fixture_dir("lint_changed_stdin");
+    lint_fixture(&dir, X001_SRC);
+    let root = dir.to_str().expect("utf8 path");
+    let mut child = tierctl(&["lint", "--root", root, "--changed-files", "-"])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn tierctl");
+    child
+        .stdin
+        .as_mut()
+        .expect("piped stdin")
+        .write_all(b"crates/tiersim/src/lib.rs\n")
+        .expect("write stdin");
+    let out = child.wait_with_output().expect("tierctl exits");
+    assert_eq!(out.status.code(), Some(1), "{}", stderr_of(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("snapshot-coverage"), "{stdout}");
+}
+
+#[test]
+fn lint_self_test_is_green() {
+    let out = run(&["lint", "--self-test"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr_of(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("pact-lint self-test: 4 checks passed"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn lint_timings_prints_per_rule_walls() {
+    let dir = fixture_dir("lint_timings");
+    lint_fixture(&dir, "//! Clean.\npub fn ok() -> u32 { 1 }\n");
+    let out = run(&[
+        "lint",
+        "--timings",
+        "--root",
+        dir.to_str().expect("utf8 path"),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr_of(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in [
+        "pact-lint timings",
+        "lex+token-rules",
+        "parse",
+        "snapshot-coverage",
+        "counter-mirror",
+        "event-exhaustiveness",
+        "total wall",
+    ] {
+        assert!(stdout.contains(needle), "missing `{needle}` in: {stdout}");
+    }
+}

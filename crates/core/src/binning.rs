@@ -21,7 +21,7 @@ use crate::config::{BinningMode, PactConfig};
 /// The adaptive binning engine.
 #[derive(Debug, Clone)]
 pub struct AdaptiveBins {
-    mode: BinningMode,
+    mode: BinningMode, // snapshot: skip — decode targets an engine built from the same configuration
     reservoir: Reservoir,
     rng: SplitMix64,
     width: f64,
@@ -29,8 +29,8 @@ pub struct AdaptiveBins {
     scale: f64,
     /// Static mode: width frozen after the first estimate.
     frozen: bool,
-    static_bins: usize,
-    t_scale: f64,
+    static_bins: usize, // snapshot: skip — fixed by the configuration on restore
+    t_scale: f64,       // snapshot: skip — fixed by the configuration on restore
 }
 
 impl AdaptiveBins {

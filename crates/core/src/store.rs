@@ -35,6 +35,7 @@ pub struct PacStore {
     /// default entries and are skipped via `tracked`.
     entries: Vec<PageEntry>,
     /// Whether the page at each index is tracked.
+    // snapshot: skip — rebuilt from the decoded id list
     tracked: Vec<bool>,
     /// Tracked pages in first-touch order (deterministic iteration).
     ids: Vec<PageId>,

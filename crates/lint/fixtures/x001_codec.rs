@@ -1,0 +1,23 @@
+//! X001 self-test fixture: a codec-paired struct with full field
+//! round-trip coverage and one justified skip. The mutation harness
+//! deletes the `MUTATE:x001` line (the encode write of `b`) and
+//! expects snapshot-coverage to object.
+
+pub struct Snap {
+    a: u64,
+    b: u64,
+    // snapshot: skip — rebuilt from config on resume
+    scratch: u64,
+}
+
+impl Snap {
+    pub fn encode_state(&self, w: &mut ByteWriter) {
+        w.put_u64(self.a);
+        w.put_u64(self.b); // MUTATE:x001
+    }
+
+    pub fn decode_state(&mut self, r: &mut ByteReader) {
+        self.a = r.take_u64();
+        self.b = r.take_u64();
+    }
+}

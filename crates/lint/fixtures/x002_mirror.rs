@@ -1,0 +1,34 @@
+//! X002 self-test fixture: global counter bumps with their
+//! per-tenant mirrors, in both shapes the machine uses (an `if let`
+//! alias binding and a direct indexed bump). The mutation harness
+//! deletes the `MUTATE:x002` line (the `hits` mirror) and expects
+//! counter-mirror to object.
+
+pub struct PmuCounters {
+    pub hits: u64,
+}
+
+pub struct TenantStats {
+    pub promotions: u64,
+}
+
+pub struct Sim {
+    counters: PmuCounters,
+    tenant_counters: Vec<PmuCounters>,
+    promotions: u64,
+    tenant_stats: Vec<TenantStats>,
+}
+
+impl Sim {
+    pub fn record_hit(&mut self, proc_idx: usize) {
+        self.counters.hits += 1;
+        if let Some(tc) = self.tenant_counters.get_mut(proc_idx) { tc.hits += 1; } // MUTATE:x002
+    }
+
+    pub fn record_promotion(&mut self, tenant: usize) {
+        self.promotions += 1;
+        if !self.tenant_stats.is_empty() {
+            self.tenant_stats[tenant].promotions += 1;
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! X003 self-test fixture: exhaustive event dispatch plus a tag
+//! decoder whose error arm carries the sanctioned suppression. The
+//! mutation harness deletes the `MUTATE:x003` line (the `Gamma` arm
+//! of `name`) and expects event-exhaustiveness to object.
+
+pub enum EventKind {
+    Alpha,
+    Beta,
+    Gamma,
+}
+
+pub fn name(k: &EventKind) -> &'static str {
+    match k {
+        EventKind::Alpha => "alpha",
+        EventKind::Beta => "beta",
+        EventKind::Gamma => "gamma", // MUTATE:x003
+    }
+}
+
+pub fn decode(tag: u8) -> Result<EventKind, String> {
+    match tag {
+        0 => Ok(EventKind::Alpha),
+        1 => Ok(EventKind::Beta),
+        2 => Ok(EventKind::Gamma),
+        // pact-lint: allow(event-exhaustiveness) — unknown tags from foreign frames must error, not map to a variant
+        other => Err(format!("unknown trace event tag {other}")),
+    }
+}

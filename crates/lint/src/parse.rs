@@ -1,0 +1,756 @@
+//! Recursive-descent model builder: walks the lexer's token stream
+//! and extracts the [`FileModel`] the semantic rules (X001–X003)
+//! consume. This is not a Rust parser — it recognizes just enough
+//! item structure (structs, enums, impl blocks, fns, match arms) to
+//! be *sound about position*: a field, bump, or match arm is always
+//! attributed to the right line, and string/comment content can never
+//! leak into the model because the lexer already classified it.
+//!
+//! Items inside `#[test]`/`#[cfg(test)]` regions are parsed and
+//! discarded, mirroring the token pass's test exemption.
+
+use crate::lexer::{Tok, TokKind};
+use crate::model::{
+    Bump, Call, CallKind, EnumDef, FieldDef, FileModel, FnDef, LetBind, MatchArm, MatchExpr,
+    SkipAnno, StructDef, SuppressionRef,
+};
+use crate::rules::{comment_facts, matching, test_regions};
+use std::collections::BTreeSet;
+
+/// Builds the model for one file from its full token stream.
+pub(crate) fn parse_file(rel_path: &str, toks: &[Tok<'_>]) -> FileModel {
+    let facts = comment_facts(toks);
+
+    // `// snapshot: skip — <reason>` annotations, resolved to the
+    // line they target (own line, or next code line when standalone).
+    let mut skips: Vec<(u32, SkipAnno)> = Vec::new();
+    for t in toks {
+        if t.kind != TokKind::LineComment {
+            continue;
+        }
+        if let Some(anno) = parse_skip(t) {
+            skips.push((facts.annotation_target(t.line), anno));
+        }
+    }
+
+    let code: Vec<&Tok<'_>> = toks
+        .iter()
+        .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+        .collect();
+    let tests = test_regions(&code);
+
+    let mut model = FileModel {
+        path: rel_path.to_string(),
+        ..FileModel::default()
+    };
+    model.suppressions = facts
+        .suppressions
+        .iter()
+        .filter(|s| s.problem.is_none())
+        .map(|s| SuppressionRef {
+            rule_id: s.rule_id.clone(),
+            target_line: s.target_line,
+        })
+        .collect();
+
+    let mut p = Parser {
+        code: &code,
+        tests,
+        skips,
+        model: &mut model,
+    };
+    p.items(0, code.len(), None);
+    model
+}
+
+/// Parses a `// snapshot: skip — <reason>` annotation comment.
+/// Doc comments only describe the grammar and never count.
+fn parse_skip(t: &Tok<'_>) -> Option<SkipAnno> {
+    if !t.text.starts_with("//") || t.text.starts_with("///") || t.text.starts_with("//!") {
+        return None;
+    }
+    let pos = t.text.find("snapshot:")?;
+    let rest = t.text[pos + "snapshot:".len()..].trim_start();
+    let tail = rest.strip_prefix("skip")?;
+    // "skipped"/"skipping" in prose is not an annotation.
+    if tail.chars().next().is_some_and(|c| c.is_alphanumeric()) {
+        return None;
+    }
+    let reason = tail
+        .trim_start()
+        .trim_start_matches(['—', '-', ':', '–'])
+        .trim();
+    Some(SkipAnno {
+        reason_ok: !reason.is_empty(),
+        line: t.line,
+        col: t.col,
+    })
+}
+
+struct Parser<'a, 'b> {
+    code: &'a [&'a Tok<'b>],
+    tests: Vec<(usize, usize)>,
+    skips: Vec<(u32, SkipAnno)>,
+    model: &'a mut FileModel,
+}
+
+impl Parser<'_, '_> {
+    fn in_test(&self, idx: usize) -> bool {
+        self.tests.iter().any(|&(a, b)| idx >= a && idx <= b)
+    }
+
+    fn ident_at(&self, i: usize) -> Option<&str> {
+        self.code
+            .get(i)
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+    }
+
+    fn punct_at(&self, i: usize, ch: &str) -> bool {
+        self.code
+            .get(i)
+            .is_some_and(|t| t.kind == TokKind::Punct && t.text == ch)
+    }
+
+    /// Whether the punct at `i` and the one at `i + 1` are glued
+    /// (multi-char operators lex as adjacent single-char puncts).
+    fn glued(&self, i: usize) -> bool {
+        match (self.code.get(i), self.code.get(i + 1)) {
+            (Some(a), Some(b)) => a.line == b.line && b.col == a.col + 1,
+            _ => false,
+        }
+    }
+
+    /// Scans `[lo, hi)` for items; `owner` is the enclosing impl's
+    /// self type.
+    fn items(&mut self, lo: usize, hi: usize, owner: Option<&str>) {
+        let mut i = lo;
+        while i < hi {
+            let discard = self.in_test(i);
+            match self.ident_at(i) {
+                Some("struct") if self.ident_at(i + 1).is_some() => {
+                    i = self.item_struct(i, hi, discard);
+                }
+                Some("enum") if self.ident_at(i + 1).is_some() => {
+                    i = self.item_enum(i, hi, discard);
+                }
+                Some("impl") => {
+                    i = self.item_impl(i, hi, discard);
+                }
+                Some("fn") if self.ident_at(i + 1).is_some() => {
+                    i = self.item_fn(i, hi, owner, discard);
+                }
+                Some("mod") if self.ident_at(i + 1).is_some() && self.punct_at(i + 2, "{") => {
+                    match matching(self.code, i + 2, "{", "}") {
+                        Some(close) => {
+                            if !discard {
+                                self.items(i + 3, close.min(hi), None);
+                            }
+                            i = close + 1;
+                        }
+                        None => i += 1,
+                    }
+                }
+                _ => i += 1,
+            }
+        }
+    }
+
+    /// Finds the next `{`, `(`, or `;` at angle-bracket depth 0 —
+    /// the end of a generic item head. `->` arrows do not close
+    /// angles.
+    fn head_end(&self, mut i: usize, hi: usize) -> Option<usize> {
+        let mut angle = 0i32;
+        while i < hi {
+            let t = self.code[i];
+            if t.kind == TokKind::Punct {
+                match t.text {
+                    "<" => angle += 1,
+                    ">" => {
+                        let arrow = i > 0 && self.punct_at(i - 1, "-") && self.glued(i - 1);
+                        if !arrow {
+                            angle = (angle - 1).max(0);
+                        }
+                    }
+                    "{" | "(" | ";" if angle == 0 => return Some(i),
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        None
+    }
+
+    fn item_struct(&mut self, i: usize, hi: usize, discard: bool) -> usize {
+        // Invariant: item_struct is only entered when ident_at(i+1) matched.
+        let name = self.ident_at(i + 1).expect("struct name checked by caller");
+        let Some(end) = self.head_end(i + 2, hi) else {
+            return hi;
+        };
+        let mut def = StructDef {
+            name: name.to_string(),
+            fields: Vec::new(),
+        };
+        let after = match self.code[end].text {
+            "{" => {
+                let Some(close) = matching(self.code, end, "{", "}") else {
+                    return hi;
+                };
+                self.struct_fields(end + 1, close, &mut def);
+                close + 1
+            }
+            "(" => match matching(self.code, end, "(", ")") {
+                // Tuple struct: positional fields are outside X001's
+                // model (no codec-paired tuple structs exist).
+                Some(close) => close + 1,
+                None => hi,
+            },
+            _ => end + 1, // unit struct `;`
+        };
+        if !discard {
+            self.model.structs.push(def);
+        }
+        after
+    }
+
+    fn struct_fields(&mut self, lo: usize, hi: usize, def: &mut StructDef) {
+        let mut k = lo;
+        while k < hi {
+            // Attributes and visibility before the field name.
+            if self.punct_at(k, "#") && self.punct_at(k + 1, "[") {
+                match matching(self.code, k + 1, "[", "]") {
+                    Some(c) => {
+                        k = c + 1;
+                        continue;
+                    }
+                    None => return,
+                }
+            }
+            if self.ident_at(k) == Some("pub") {
+                k += 1;
+                if self.punct_at(k, "(") {
+                    match matching(self.code, k, "(", ")") {
+                        Some(c) => k = c + 1,
+                        None => return,
+                    }
+                }
+                continue;
+            }
+            let (Some(name), true) = (self.ident_at(k), self.punct_at(k + 1, ":")) else {
+                k += 1;
+                continue;
+            };
+            let t = self.code[k];
+            let skip = self
+                .skips
+                .iter()
+                .find(|(target, _)| *target == t.line)
+                .map(|(_, a)| a.clone());
+            def.fields.push(FieldDef {
+                name: name.to_string(),
+                line: t.line,
+                col: t.col,
+                skip,
+            });
+            // Skip the type: to the next `,` at depth 0 over every
+            // delimiter kind (generics included; `->` guarded).
+            let mut depth = 0i32;
+            let mut angle = 0i32;
+            k += 2;
+            while k < hi {
+                let t = self.code[k];
+                if t.kind == TokKind::Punct {
+                    match t.text {
+                        "(" | "[" | "{" => depth += 1,
+                        ")" | "]" | "}" => depth -= 1,
+                        "<" => angle += 1,
+                        ">" => {
+                            let arrow = k > 0 && self.punct_at(k - 1, "-") && self.glued(k - 1);
+                            if !arrow {
+                                angle = (angle - 1).max(0);
+                            }
+                        }
+                        "," if depth == 0 && angle == 0 => {
+                            k += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+                k += 1;
+            }
+        }
+    }
+
+    fn item_enum(&mut self, i: usize, hi: usize, discard: bool) -> usize {
+        // Invariant: item_enum is only entered when ident_at(i+1) matched.
+        let name = self.ident_at(i + 1).expect("enum name checked by caller");
+        let Some(end) = self.head_end(i + 2, hi) else {
+            return hi;
+        };
+        if self.code[end].text != "{" {
+            return end + 1;
+        }
+        let Some(close) = matching(self.code, end, "{", "}") else {
+            return hi;
+        };
+        let mut def = EnumDef {
+            name: name.to_string(),
+            variants: Vec::new(),
+        };
+        let mut k = end + 1;
+        while k < close {
+            if self.punct_at(k, "#") && self.punct_at(k + 1, "[") {
+                match matching(self.code, k + 1, "[", "]") {
+                    Some(c) => {
+                        k = c + 1;
+                        continue;
+                    }
+                    None => break,
+                }
+            }
+            let Some(v) = self.ident_at(k) else {
+                k += 1;
+                continue;
+            };
+            def.variants.push(v.to_string());
+            // Skip payload/discriminant to the `,` at depth 0.
+            let mut depth = 0i32;
+            k += 1;
+            while k < close {
+                let t = self.code[k];
+                if t.kind == TokKind::Punct {
+                    match t.text {
+                        "(" | "[" | "{" => depth += 1,
+                        ")" | "]" | "}" => depth -= 1,
+                        "," if depth == 0 => {
+                            k += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+                k += 1;
+            }
+        }
+        if !discard {
+            self.model.enums.push(def);
+        }
+        close + 1
+    }
+
+    fn item_impl(&mut self, i: usize, hi: usize, discard: bool) -> usize {
+        let Some(end) = self.head_end(i + 1, hi) else {
+            return hi;
+        };
+        if self.code[end].text != "{" {
+            return end + 1;
+        }
+        // Owner: last identifier at angle depth 0 in the head — after
+        // `for` when present (`impl Trait for Type`), so generics and
+        // trait paths never win.
+        let mut angle = 0i32;
+        let mut start = i + 1;
+        let mut owner: Option<String> = None;
+        for k in i + 1..end {
+            let t = self.code[k];
+            match t.kind {
+                TokKind::Punct if t.text == "<" => angle += 1,
+                TokKind::Punct if t.text == ">" => angle = (angle - 1).max(0),
+                TokKind::Ident if t.text == "for" && angle == 0 => {
+                    start = k + 1;
+                    owner = None;
+                }
+                TokKind::Ident if angle == 0 && k >= start && t.text != "dyn" => {
+                    owner = Some(t.text.to_string());
+                }
+                _ => {}
+            }
+        }
+        let Some(close) = matching(self.code, end, "{", "}") else {
+            return hi;
+        };
+        if !discard {
+            self.items(end + 1, close, owner.as_deref());
+        }
+        close + 1
+    }
+
+    fn item_fn(&mut self, i: usize, hi: usize, owner: Option<&str>, discard: bool) -> usize {
+        // Invariant: item_fn is only entered when ident_at(i+1) matched.
+        let name = self.ident_at(i + 1).expect("fn name checked by caller");
+        // Signature: generics, params, return type — ends at the body
+        // `{` or a `;` (trait method declaration).
+        let Some(params) = self.head_end(i + 2, hi) else {
+            return hi;
+        };
+        if self.code[params].text != "(" {
+            return params + 1;
+        }
+        let Some(params_close) = matching(self.code, params, "(", ")") else {
+            return hi;
+        };
+        let Some(body_open) = self.body_or_semi(params_close + 1, hi) else {
+            return hi;
+        };
+        if self.code[body_open].text != "{" {
+            return body_open + 1; // declaration without a body
+        }
+        let Some(close) = matching(self.code, body_open, "{", "}") else {
+            return hi;
+        };
+        if !discard {
+            let def = self.fn_facts(name, owner, body_open + 1, close);
+            self.model.fns.push(def);
+        }
+        close + 1
+    }
+
+    /// Finds the fn body `{` (or trailing `;`) after the parameter
+    /// list: skips the return type and any `where` clause, jumping
+    /// over parenthesized/bracketed groups (tuple return types) and
+    /// tracking angle depth (`->` arrows do not close angles).
+    fn body_or_semi(&self, mut i: usize, hi: usize) -> Option<usize> {
+        let mut angle = 0i32;
+        while i < hi {
+            let t = self.code[i];
+            if t.kind == TokKind::Punct {
+                match t.text {
+                    "<" => angle += 1,
+                    ">" => {
+                        let arrow = i > 0 && self.punct_at(i - 1, "-") && self.glued(i - 1);
+                        if !arrow {
+                            angle = (angle - 1).max(0);
+                        }
+                    }
+                    "(" if angle == 0 => {
+                        i = matching(self.code, i, "(", ")")?;
+                    }
+                    "[" if angle == 0 => {
+                        i = matching(self.code, i, "[", "]")?;
+                    }
+                    "{" | ";" if angle == 0 => return Some(i),
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        None
+    }
+
+    /// Extracts the fact streams from a fn body `[lo, hi)`.
+    fn fn_facts(&self, name: &str, owner: Option<&str>, lo: usize, hi: usize) -> FnDef {
+        let mut def = FnDef {
+            name: name.to_string(),
+            owner: owner.map(str::to_string),
+            idents: BTreeSet::new(),
+            calls: BTreeSet::new(),
+            bumps: Vec::new(),
+            lets: Vec::new(),
+            matches: Vec::new(),
+        };
+        let mut j = lo;
+        while j < hi {
+            let t = self.code[j];
+            match t.kind {
+                TokKind::Ident => {
+                    def.idents.insert(t.text.to_string());
+                    if self.punct_at(j + 1, "(") {
+                        if let Some(kind) = self.call_kind(j) {
+                            def.calls.insert(Call {
+                                kind,
+                                name: t.text.to_string(),
+                            });
+                        }
+                    }
+                    match t.text {
+                        "let" => {
+                            if let Some(b) = self.let_bind(j + 1, hi) {
+                                def.lets.push(b);
+                            }
+                        }
+                        "match" => {
+                            // The match is modeled AND its tokens keep
+                            // streaming into idents/calls/bumps below
+                            // (decode paths live inside match arms).
+                            if let Some((m, _)) = self.match_expr(j + 1, hi) {
+                                def.matches.push(m);
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                TokKind::Punct if t.text == "+" && self.punct_at(j + 1, "=") && self.glued(j) => {
+                    if let Some(chain) = self.receiver_chain(j) {
+                        def.bumps.push(Bump {
+                            chain,
+                            line: t.line,
+                            col: t.col,
+                        });
+                    }
+                    j += 2;
+                    continue;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        def
+    }
+
+    /// Classifies the call whose callee ident sits at `j` (the `(` is
+    /// at `j + 1`). `None` for methods on sub-objects, which resolve
+    /// outside the file model.
+    fn call_kind(&self, j: usize) -> Option<CallKind> {
+        if j >= 1 && self.punct_at(j - 1, ".") {
+            // Method call: follows the caller's impl only when the
+            // receiver is exactly `self`.
+            let plain_self = j >= 2
+                && self.ident_at(j - 2) == Some("self")
+                && !(j >= 3 && (self.punct_at(j - 3, ".") || self.punct_at(j - 3, "]")));
+            return plain_self.then_some(CallKind::SelfCall);
+        }
+        if j >= 2 && self.punct_at(j - 1, ":") && self.punct_at(j - 2, ":") {
+            return self
+                .ident_at(j.checked_sub(3)?)
+                .map(|q| CallKind::Qualified(q.to_string()));
+        }
+        Some(CallKind::Bare)
+    }
+
+    /// Walks backwards from the `+` of a `+=` to collect the receiver
+    /// chain `a.b[idx].c` ⇒ `[a, b, c]`. Returns `None` for receivers
+    /// the model cannot name (e.g. `(*p).x`, method-call results).
+    fn receiver_chain(&self, plus: usize) -> Option<Vec<String>> {
+        let mut chain: Vec<String> = Vec::new();
+        let mut end = plus.checked_sub(1)?;
+        loop {
+            let t = self.code[end];
+            match t.kind {
+                TokKind::Punct if t.text == "]" => {
+                    // Reverse-match the index group.
+                    let mut depth = 0i32;
+                    let mut k = end;
+                    loop {
+                        let u = self.code[k];
+                        if u.kind == TokKind::Punct {
+                            if u.text == "]" {
+                                depth += 1;
+                            } else if u.text == "[" {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                        }
+                        k = k.checked_sub(1)?;
+                    }
+                    end = k.checked_sub(1)?;
+                }
+                TokKind::Ident => {
+                    chain.push(t.text.to_string());
+                    if end >= 1 && self.punct_at(end - 1, ".") {
+                        end = end.checked_sub(2)?;
+                    } else {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+        if chain.is_empty() {
+            return None;
+        }
+        chain.reverse();
+        Some(chain)
+    }
+
+    /// Parses the binding after a `let` keyword at `lo - 1`: pattern
+    /// identifiers up to the `=`, initializer identifiers up to the
+    /// statement/block end.
+    fn let_bind(&self, lo: usize, hi: usize) -> Option<LetBind> {
+        let mut depth = 0i32;
+        let mut names = Vec::new();
+        let mut j = lo;
+        let eq = loop {
+            if j >= hi {
+                return None;
+            }
+            let t = self.code[j];
+            match t.kind {
+                TokKind::Punct => match t.text {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth -= 1,
+                    "=" if depth == 0 => break j,
+                    ";" if depth == 0 => return None, // `let x;`
+                    _ => {}
+                },
+                TokKind::Ident => {
+                    let c = t.text.chars().next().unwrap_or('_');
+                    if c.is_lowercase() && !matches!(t.text, "mut" | "ref" | "box") {
+                        names.push(t.text.to_string());
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        };
+        let mut rhs = BTreeSet::new();
+        let mut depth = 0i32;
+        let mut j = eq + 1;
+        while j < hi {
+            let t = self.code[j];
+            match t.kind {
+                TokKind::Punct => match t.text {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    ";" | "{" if depth == 0 => break,
+                    _ => {}
+                },
+                TokKind::Ident => {
+                    if t.text == "else" && depth == 0 {
+                        break; // let-else / if-let body
+                    }
+                    rhs.insert(t.text.to_string());
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        Some(LetBind { names, rhs })
+    }
+
+    /// Parses a match expression whose head starts at `lo` (just past
+    /// the `match` keyword). Returns the model and the index past the
+    /// closing brace.
+    fn match_expr(&self, lo: usize, hi: usize) -> Option<(MatchExpr, usize)> {
+        // Head: to the first `{` at paren/bracket depth 0.
+        let mut depth = 0i32;
+        let mut j = lo;
+        let open = loop {
+            if j >= hi {
+                return None;
+            }
+            let t = self.code[j];
+            if t.kind == TokKind::Punct {
+                match t.text {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "{" if depth == 0 => break j,
+                    ";" if depth == 0 => return None,
+                    _ => {}
+                }
+            }
+            j += 1;
+        };
+        let close = matching(self.code, open, "{", "}")?;
+        let head = self.code[lo.saturating_sub(1)];
+        let mut m = MatchExpr {
+            line: head.line,
+            col: head.col,
+            arms: Vec::new(),
+        };
+        let mut k = open + 1;
+        while k < close {
+            // Arm attributes.
+            if self.punct_at(k, "#") && self.punct_at(k + 1, "[") {
+                match matching(self.code, k + 1, "[", "]") {
+                    Some(c) => {
+                        k = c + 1;
+                        continue;
+                    }
+                    None => break,
+                }
+            }
+            // Pattern: to the `=>` at depth 0.
+            let pat_start = k;
+            let mut depth = 0i32;
+            let arrow = loop {
+                if k >= close {
+                    break None;
+                }
+                let t = self.code[k];
+                if t.kind == TokKind::Punct {
+                    match t.text {
+                        "(" | "[" | "{" => depth += 1,
+                        ")" | "]" | "}" => depth -= 1,
+                        "=" if depth == 0 && self.punct_at(k + 1, ">") && self.glued(k) => {
+                            break Some(k);
+                        }
+                        _ => {}
+                    }
+                }
+                k += 1;
+            };
+            let Some(arrow) = arrow else {
+                break;
+            };
+            let pattern = &self.code[pat_start..arrow];
+            // Body: a block, or tokens to the `,` at depth 0.
+            let body_start = arrow + 2;
+            let body_end;
+            if self.punct_at(body_start, "{") {
+                let c = matching(self.code, body_start, "{", "}")?;
+                body_end = c + 1;
+                k = if self.punct_at(body_end, ",") {
+                    body_end + 1
+                } else {
+                    body_end
+                };
+            } else {
+                let mut depth = 0i32;
+                let mut b = body_start;
+                while b < close {
+                    let t = self.code[b];
+                    if t.kind == TokKind::Punct {
+                        match t.text {
+                            "(" | "[" | "{" => depth += 1,
+                            ")" | "]" | "}" => depth -= 1,
+                            "," if depth == 0 => break,
+                            _ => {}
+                        }
+                    }
+                    b += 1;
+                }
+                body_end = b;
+                k = if b < close { b + 1 } else { b };
+            }
+            let body = &self.code[body_start..body_end.min(close + 1)];
+            let first = pattern.first().map(|t| **t);
+            let wildcard = match pattern {
+                [t] => {
+                    t.text == "_"
+                        || (t.kind == TokKind::Ident && !matches!(t.text, "true" | "false"))
+                }
+                _ => false,
+            };
+            m.arms.push(MatchArm {
+                pattern_paths: path_pairs(pattern),
+                body_paths: path_pairs(body),
+                wildcard,
+                line: first.map_or(head.line, |t| t.line),
+                col: first.map_or(head.col, |t| t.col),
+            });
+        }
+        Some((m, close + 1))
+    }
+}
+
+/// Collects `(qualifier, name)` pairs from `Ident :: Ident`
+/// sequences; `a::b::C` yields `(a, b)` and `(b, C)`.
+fn path_pairs(toks: &[&Tok<'_>]) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for w in 0..toks.len().saturating_sub(3) {
+        let [a, c1, c2, b] = [toks[w], toks[w + 1], toks[w + 2], toks[w + 3]];
+        if a.kind == TokKind::Ident
+            && b.kind == TokKind::Ident
+            && c1.kind == TokKind::Punct
+            && c1.text == ":"
+            && c2.kind == TokKind::Punct
+            && c2.text == ":"
+        {
+            out.push((a.text.to_string(), b.text.to_string()));
+        }
+    }
+    out
+}

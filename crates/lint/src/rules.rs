@@ -22,7 +22,7 @@ pub struct Rule {
 }
 
 /// The rule catalogue. Order is report order.
-pub const RULES: [Rule; 8] = [
+pub const RULES: [Rule; 11] = [
     Rule {
         id: "det-hash-collections",
         code: "D001",
@@ -71,6 +71,24 @@ pub const RULES: [Rule; 8] = [
         summary: "malformed or unknown pact-lint suppression comment",
         help: "write `// pact-lint: allow(<rule-id>) — <reason>` with a known rule and a non-empty reason",
     },
+    Rule {
+        id: "snapshot-coverage",
+        code: "X001",
+        summary: "every field of a snapshot-coded struct must round-trip through encode AND decode",
+        help: "write the field in the encode path and read it back in decode, or annotate it with `// snapshot: skip — <reason>`",
+    },
+    Rule {
+        id: "counter-mirror",
+        code: "X002",
+        summary: "every global PMU/migration counter bump must have a per-tenant mirror in the same fn",
+        help: "bump the matching tenant_counters/tenant_stats field alongside the global, or justify with `// pact-lint: allow(counter-mirror) — <reason>`",
+    },
+    Rule {
+        id: "event-exhaustiveness",
+        code: "X003",
+        summary: "EventKind dispatch sites must name every variant; wildcard arms defeat the check",
+        help: "add the missing variant arms so a new EventKind fails the lint instead of vanishing from a trace path",
+    },
 ];
 
 /// Looks a rule up by its kebab-case id.
@@ -99,39 +117,66 @@ pub struct Diagnostic {
 }
 
 /// A suppression comment, parsed.
-struct Suppression {
-    rule_id: String,
+pub(crate) struct Suppression {
+    pub(crate) rule_id: String,
     /// Line the suppression applies to (its own line, or the next
     /// code line when the comment stands alone).
-    target_line: u32,
+    pub(crate) target_line: u32,
     /// Where the comment itself is, for S001 diagnostics.
-    line: u32,
-    col: u32,
-    problem: Option<String>,
+    pub(crate) line: u32,
+    pub(crate) col: u32,
+    pub(crate) problem: Option<String>,
 }
 
-/// Lints one file's source text against the configured rules.
-/// `rel_path` is the workspace-relative path used for scoping
-/// decisions and diagnostics.
-pub fn lint_source(rel_path: &str, src: &str, cfg: &LintConfig) -> Vec<Diagnostic> {
-    let class = cfg.classify(rel_path);
-    let toks = lex(src);
+/// Comment-derived facts shared by the token pass and the parse
+/// layer: lines fully covered by comments (for annotation and
+/// suppression reach-through), lines carrying an `Invariant:`
+/// annotation, and all parsed suppressions with their target lines
+/// resolved.
+pub(crate) struct CommentFacts {
+    pub(crate) comment_lines: std::collections::BTreeSet<u32>,
+    pub(crate) code_lines: std::collections::BTreeSet<u32>,
+    pub(crate) invariant_lines: std::collections::BTreeSet<u32>,
+    pub(crate) suppressions: Vec<Suppression>,
+}
 
-    // --- comment-derived facts --------------------------------------
-    // Lines fully covered by comments (for annotation/suppression
-    // reach-through), lines carrying an Invariant annotation, and all
-    // parsed suppressions.
-    let mut comment_lines = std::collections::BTreeSet::new();
-    let mut code_lines = std::collections::BTreeSet::new();
-    let mut invariant_lines = std::collections::BTreeSet::new();
-    let mut suppressions: Vec<Suppression> = Vec::new();
-    for t in &toks {
+impl CommentFacts {
+    /// Whether `line` holds comments and nothing else.
+    pub(crate) fn comment_only(&self, line: u32) -> bool {
+        self.comment_lines.contains(&line) && !self.code_lines.contains(&line)
+    }
+
+    /// Resolves the line a standalone annotation comment at `line`
+    /// applies to: the next line holding code (stacked annotation
+    /// comments skip over each other). A trailing comment targets its
+    /// own line.
+    pub(crate) fn annotation_target(&self, line: u32) -> u32 {
+        if !self.comment_only(line) {
+            return line;
+        }
+        let mut l = line + 1;
+        while self.comment_only(l) {
+            l += 1;
+        }
+        l
+    }
+}
+
+/// Collects [`CommentFacts`] from a full token stream.
+pub(crate) fn comment_facts(toks: &[Tok<'_>]) -> CommentFacts {
+    let mut facts = CommentFacts {
+        comment_lines: std::collections::BTreeSet::new(),
+        code_lines: std::collections::BTreeSet::new(),
+        invariant_lines: std::collections::BTreeSet::new(),
+        suppressions: Vec::new(),
+    };
+    for t in toks {
         let is_comment = matches!(t.kind, TokKind::LineComment | TokKind::BlockComment);
         for line in t.line..=t.end_line.max(t.line) {
             if is_comment {
-                comment_lines.insert(line);
+                facts.comment_lines.insert(line);
             } else {
-                code_lines.insert(line);
+                facts.code_lines.insert(line);
             }
         }
         if !is_comment {
@@ -139,34 +184,47 @@ pub fn lint_source(rel_path: &str, src: &str, cfg: &LintConfig) -> Vec<Diagnosti
         }
         if t.text.to_ascii_lowercase().contains("invariant:") {
             for line in t.line..=t.end_line.max(t.line) {
-                invariant_lines.insert(line);
+                facts.invariant_lines.insert(line);
             }
         }
         if let Some(s) = parse_suppression(t) {
-            suppressions.push(s);
+            facts.suppressions.push(s);
         }
     }
-    // A comment standing alone on its line targets the next line that
-    // holds code (stacked suppressions skip over each other).
-    let comment_only = |line: u32| comment_lines.contains(&line) && !code_lines.contains(&line);
-    for s in &mut suppressions {
-        if comment_only(s.line) {
-            let mut l = s.line + 1;
-            while comment_only(l) {
-                l += 1;
-            }
-            s.target_line = l;
-        }
+    let targets: Vec<u32> = facts
+        .suppressions
+        .iter()
+        .map(|s| facts.annotation_target(s.line))
+        .collect();
+    for (s, target) in facts.suppressions.iter_mut().zip(targets) {
+        s.target_line = target;
     }
+    facts
+}
+
+/// Lints one file's source text against the configured rules.
+/// `rel_path` is the workspace-relative path used for scoping
+/// decisions and diagnostics.
+pub fn lint_source(rel_path: &str, src: &str, cfg: &LintConfig) -> Vec<Diagnostic> {
+    let toks = lex(src);
+    lint_tokens(rel_path, &toks, cfg)
+}
+
+/// Token-pass body of [`lint_source`], reusable by callers that
+/// already hold the token stream (the combined scan lexes once).
+pub(crate) fn lint_tokens(rel_path: &str, toks: &[Tok<'_>], cfg: &LintConfig) -> Vec<Diagnostic> {
+    let class = cfg.classify(rel_path);
+    let facts = comment_facts(toks);
+    let suppressions = &facts.suppressions;
     // An unwrap at line L is annotated when L itself, or the block of
     // comment-only lines immediately above it, mentions `Invariant:`.
     let has_invariant = |line: u32| {
-        if invariant_lines.contains(&line) {
+        if facts.invariant_lines.contains(&line) {
             return true;
         }
         let mut l = line.saturating_sub(1);
-        while l >= 1 && comment_only(l) {
-            if invariant_lines.contains(&l) {
+        while l >= 1 && facts.comment_only(l) {
+            if facts.invariant_lines.contains(&l) {
                 return true;
             }
             l -= 1;
@@ -322,7 +380,7 @@ pub fn lint_source(rel_path: &str, src: &str, cfg: &LintConfig) -> Vec<Diagnosti
 
     // --- suppression application ------------------------------------
     let mut out: Vec<Diagnostic> = Vec::new();
-    for s in &suppressions {
+    for s in suppressions {
         if !enabled("suppression") {
             continue;
         }
@@ -350,7 +408,7 @@ pub fn lint_source(rel_path: &str, src: &str, cfg: &LintConfig) -> Vec<Diagnosti
 
 /// Parses a `pact-lint: allow(<rule>) — <reason>` comment. Returns
 /// `None` for comments that do not mention `pact-lint` at all.
-fn parse_suppression(t: &Tok<'_>) -> Option<Suppression> {
+pub(crate) fn parse_suppression(t: &Tok<'_>) -> Option<Suppression> {
     // Suppressions are plain `//` line comments; doc comments only
     // ever *describe* the grammar (this crate's own docs included).
     if !t.text.starts_with("//") || t.text.starts_with("///") || t.text.starts_with("//!") {
@@ -405,7 +463,7 @@ fn parse_suppression(t: &Tok<'_>) -> Option<Suppression> {
 /// Finds spans (inclusive code-token index ranges) of test-only code:
 /// items annotated `#[test]` / `#[cfg(test)]` (and `cfg` attributes
 /// naming `test` positively — `not(test)` is production code).
-fn test_regions(code: &[&Tok<'_>]) -> Vec<(usize, usize)> {
+pub(crate) fn test_regions(code: &[&Tok<'_>]) -> Vec<(usize, usize)> {
     let mut spans = Vec::new();
     let punct_is = |i: usize, ch: &str| {
         code.get(i)
@@ -492,7 +550,7 @@ fn test_regions(code: &[&Tok<'_>]) -> Vec<(usize, usize)> {
 }
 
 /// Index of the token closing the delimiter opened at `open`.
-fn matching(code: &[&Tok<'_>], open: usize, op: &str, cl: &str) -> Option<usize> {
+pub(crate) fn matching(code: &[&Tok<'_>], open: usize, op: &str, cl: &str) -> Option<usize> {
     let mut depth = 0i32;
     for (j, t) in code.iter().enumerate().skip(open) {
         if t.kind != TokKind::Punct {

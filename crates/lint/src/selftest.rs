@@ -1,0 +1,128 @@
+//! Mutation self-test: proof that the semantic rules have teeth.
+//!
+//! Three committed fixtures each model one protected invariant in
+//! its clean form. The harness lints them as-is (expecting zero
+//! findings), then re-lints with one seeded deletion per rule — a
+//! codec field write, a tenant counter mirror, a match arm — and
+//! asserts the matching rule catches exactly that regression. CI
+//! runs this via `tierctl lint --self-test`; a lint build that lets
+//! any mutant through fails the stage.
+
+use crate::config::{LintConfig, MirrorSpec};
+use crate::{finish_scans, scan_file};
+
+const X001_FIXTURE: &str = include_str!("../fixtures/x001_codec.rs");
+const X002_FIXTURE: &str = include_str!("../fixtures/x002_mirror.rs");
+const X003_FIXTURE: &str = include_str!("../fixtures/x003_events.rs");
+
+/// Fixture paths are synthetic but classified like real machine code
+/// (deterministic crate), so every rule family is live on them.
+const X001_PATH: &str = "crates/tiersim/src/selftest_x001.rs";
+const X002_PATH: &str = "crates/tiersim/src/selftest_x002.rs";
+const X003_PATH: &str = "crates/tiersim/src/selftest_x003.rs";
+
+/// The config the self-test lints its fixture workspace under: the
+/// default policy with the semantic scopes retargeted at the
+/// fixtures.
+pub(crate) fn selftest_config() -> LintConfig {
+    LintConfig {
+        mirror_files: vec![X002_PATH.to_string()],
+        mirror_specs: vec![
+            MirrorSpec {
+                owner: "Sim".to_string(),
+                global_field: Some("counters".to_string()),
+                tenant_field: "tenant_counters".to_string(),
+                mirror_struct: "PmuCounters".to_string(),
+            },
+            MirrorSpec {
+                owner: "Sim".to_string(),
+                global_field: None,
+                tenant_field: "tenant_stats".to_string(),
+                mirror_struct: "TenantStats".to_string(),
+            },
+        ],
+        event_match_files: vec![X003_PATH.to_string()],
+        ..LintConfig::default()
+    }
+}
+
+/// The fixture workspace with at most one mutation applied:
+/// `mutate = Some(tag)` deletes the line marked `// MUTATE:<tag>`.
+pub(crate) fn fixture_sources(mutate: Option<&str>) -> Vec<(String, String)> {
+    [
+        (X001_PATH, X001_FIXTURE),
+        (X002_PATH, X002_FIXTURE),
+        (X003_PATH, X003_FIXTURE),
+    ]
+    .into_iter()
+    .map(|(path, src)| {
+        let src = match mutate {
+            Some(tag) => {
+                let marker = format!("// MUTATE:{tag}");
+                src.lines()
+                    .filter(|l| !l.contains(&marker))
+                    .collect::<Vec<_>>()
+                    .join("\n")
+                    + "\n"
+            }
+            None => src.to_string(),
+        };
+        (path.to_string(), src)
+    })
+    .collect()
+}
+
+fn run_fixtures(mutate: Option<&str>) -> Vec<(String, String, u32)> {
+    let cfg = selftest_config();
+    let scans = fixture_sources(mutate)
+        .into_iter()
+        .map(|(path, src)| scan_file(&path, &src, &cfg))
+        .collect();
+    let (report, _) = finish_scans(scans, &cfg, None);
+    report
+        .diagnostics
+        .into_iter()
+        .map(|d| (d.rule.id.to_string(), d.file, d.line))
+        .collect()
+}
+
+/// Runs the mutation self-test. Returns one human-readable line per
+/// passed check, or the list of failures.
+///
+/// # Errors
+///
+/// Every failed check, described.
+pub fn mutation_self_test() -> Result<Vec<String>, Vec<String>> {
+    let mut passed = Vec::new();
+    let mut failed = Vec::new();
+
+    let clean = run_fixtures(None);
+    if clean.is_empty() {
+        passed.push("clean fixtures: 0 findings".to_string());
+    } else {
+        failed.push(format!("clean fixtures are not clean: {clean:?}"));
+    }
+
+    for (tag, rule, what) in [
+        ("x001", "snapshot-coverage", "deleted codec field write"),
+        ("x002", "counter-mirror", "deleted tenant counter mirror"),
+        ("x003", "event-exhaustiveness", "deleted match arm"),
+    ] {
+        let got = run_fixtures(Some(tag));
+        let hit = got.iter().filter(|(id, _, _)| id == rule).count();
+        let others = got.iter().filter(|(id, _, _)| id != rule).count();
+        if hit >= 1 && others == 0 {
+            passed.push(format!("{rule} catches {what} ({hit} finding)"));
+        } else {
+            failed.push(format!(
+                "{rule}: expected only {rule} findings for {what}, got {got:?}"
+            ));
+        }
+    }
+
+    if failed.is_empty() {
+        Ok(passed)
+    } else {
+        Err(failed)
+    }
+}

@@ -1,0 +1,256 @@
+//! The cross-file semantic rules (X-family), running on the
+//! [`WorkspaceModel`] the parse layer built:
+//!
+//! * **X001 snapshot-coverage** — every field of a codec-paired
+//!   struct must be reachable (by name) from both the encode and the
+//!   decode fn's transitive identifier closure, or carry a
+//!   `// snapshot: skip — <reason>` annotation.
+//! * **X002 counter-mirror** — in the fleet-gated machine file, every
+//!   `+=` on a global PMU/migration counter field must have a
+//!   same-fn `+=` on the per-tenant mirror of that field.
+//! * **X003 event-exhaustiveness** — `match`es over the trace event
+//!   enum in tracer/exporter files must mention every declared
+//!   variant (pattern or body: tag decoders construct variants in arm
+//!   bodies), and catch-all arms are flagged.
+//!
+//! All X findings honor the standard `// pact-lint: allow(<rule>) —
+//! <reason>` suppression; a malformed skip annotation is an S001.
+
+use crate::config::LintConfig;
+use crate::model::{FnDef, WorkspaceModel};
+use crate::rules::{rule_by_id, Diagnostic};
+use std::collections::BTreeSet;
+
+fn diag(rule_id: &str, file: &str, line: u32, col: u32, message: String) -> Diagnostic {
+    Diagnostic {
+        // Invariant: the semantic pass only emits catalogue rule ids.
+        rule: rule_by_id(rule_id).expect("semantic rule id is in the catalogue"),
+        file: file.to_string(),
+        line,
+        col,
+        message,
+    }
+}
+
+/// X001: field round-trip coverage for every codec-paired struct in
+/// the deterministic crates.
+pub(crate) fn snapshot_coverage(ws: &WorkspaceModel, cfg: &LintConfig) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if !cfg.rule_enabled("snapshot-coverage") {
+        return out;
+    }
+    for file in &ws.files {
+        if !cfg.classify(&file.path).deterministic {
+            continue;
+        }
+        for s in &file.structs {
+            let side = |names: &[String]| -> Vec<&FnDef> {
+                file.fns
+                    .iter()
+                    .filter(|f| {
+                        f.owner.as_deref() == Some(s.name.as_str()) && names.contains(&f.name)
+                    })
+                    .collect()
+            };
+            let enc = side(&cfg.codec_encode_fns);
+            let dec = side(&cfg.codec_decode_fns);
+            if enc.is_empty() || dec.is_empty() {
+                continue; // not codec-paired: out of X001's model
+            }
+            let enc_names: Vec<&str> = enc.iter().map(|f| f.name.as_str()).collect();
+            let dec_names: Vec<&str> = dec.iter().map(|f| f.name.as_str()).collect();
+            let enc_idents = file.ident_closure(enc);
+            let dec_idents = file.ident_closure(dec);
+            for field in &s.fields {
+                if let Some(skip) = &field.skip {
+                    if skip.reason_ok {
+                        continue;
+                    }
+                    if cfg.rule_enabled("suppression") {
+                        out.push(diag(
+                            "suppression",
+                            &file.path,
+                            skip.line,
+                            skip.col,
+                            "snapshot skip is missing its `— <reason>` justification".into(),
+                        ));
+                    }
+                }
+                let in_enc = enc_idents.contains(&field.name);
+                let in_dec = dec_idents.contains(&field.name);
+                if in_enc && in_dec {
+                    continue;
+                }
+                let missing = match (in_enc, in_dec) {
+                    (false, false) => format!(
+                        "neither written by `{}` nor read by `{}`",
+                        enc_names.join("`/`"),
+                        dec_names.join("`/`")
+                    ),
+                    (false, true) => format!("not written by `{}`", enc_names.join("`/`")),
+                    _ => format!("not read back by `{}`", dec_names.join("`/`")),
+                };
+                out.push(diag(
+                    "snapshot-coverage",
+                    &file.path,
+                    field.line,
+                    field.col,
+                    format!(
+                        "snapshot-coded field `{}.{}` is {missing}",
+                        s.name, field.name
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// X002: same-fn per-tenant mirroring of global counter bumps in the
+/// configured machine files.
+pub(crate) fn counter_mirror(ws: &WorkspaceModel, cfg: &LintConfig) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if !cfg.rule_enabled("counter-mirror") {
+        return out;
+    }
+    for rel in &cfg.mirror_files {
+        let Some(file) = ws.file(rel) else { continue };
+        for spec in &cfg.mirror_specs {
+            let Some(fields) = ws.struct_fields(&spec.mirror_struct) else {
+                continue;
+            };
+            for f in file
+                .fns
+                .iter()
+                .filter(|f| f.owner.as_deref() == Some(spec.owner.as_str()))
+            {
+                // Local aliases of the tenant lane: `let tc = &mut
+                // self.tenant_counters[owner]`, `if let Some(tc) = …`.
+                let aliases: BTreeSet<&str> = f
+                    .lets
+                    .iter()
+                    .filter(|l| l.rhs.contains(&spec.tenant_field))
+                    .flat_map(|l| l.names.iter().map(String::as_str))
+                    .collect();
+                let is_global = |chain: &[String]| match &spec.global_field {
+                    Some(g) => {
+                        matches!(chain, [a, b, c] if a == "self" && b == g && fields.contains(c))
+                    }
+                    None => matches!(chain, [a, b] if a == "self" && fields.contains(b)),
+                };
+                let mirrored: BTreeSet<&str> = f
+                    .bumps
+                    .iter()
+                    .filter_map(|b| {
+                        let (last, head) = b.chain.split_last()?;
+                        if !fields.contains(last) {
+                            return None;
+                        }
+                        let via_tenant = head.contains(&spec.tenant_field);
+                        let via_alias = head.first().is_some_and(|p| aliases.contains(p.as_str()));
+                        (via_tenant || via_alias).then_some(last.as_str())
+                    })
+                    .collect();
+                for b in f.bumps.iter().filter(|b| is_global(&b.chain)) {
+                    // Invariant: is_global only matches non-empty chains.
+                    let field = b.chain.last().expect("global chain is non-empty");
+                    if mirrored.contains(field.as_str()) {
+                        continue;
+                    }
+                    out.push(diag(
+                        "counter-mirror",
+                        &file.path,
+                        b.line,
+                        b.col,
+                        format!(
+                            "global `{}` bump in `fn {}` has no per-tenant `{}` mirror",
+                            b.chain.join("."),
+                            f.name,
+                            spec.tenant_field
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// X003: exhaustiveness of event-enum dispatch in the configured
+/// trace files. A match is in scope once it references at least two
+/// distinct variants (single-variant filters are dispatch-free).
+pub(crate) fn event_exhaustiveness(ws: &WorkspaceModel, cfg: &LintConfig) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if !cfg.rule_enabled("event-exhaustiveness") {
+        return out;
+    }
+    let Some(variants) = ws.enum_variants(&cfg.event_enum) else {
+        return out;
+    };
+    let declared: BTreeSet<&str> = variants.iter().map(String::as_str).collect();
+    for rel in &cfg.event_match_files {
+        let Some(file) = ws.file(rel) else { continue };
+        for f in &file.fns {
+            for m in &f.matches {
+                let mentioned: BTreeSet<&str> = m
+                    .arms
+                    .iter()
+                    .flat_map(|a| a.pattern_paths.iter().chain(a.body_paths.iter()))
+                    .filter(|(q, v)| *q == cfg.event_enum && declared.contains(v.as_str()))
+                    .map(|(_, v)| v.as_str())
+                    .collect();
+                if mentioned.len() < 2 {
+                    continue;
+                }
+                let missing: Vec<&str> = declared.difference(&mentioned).copied().collect();
+                if !missing.is_empty() {
+                    out.push(diag(
+                        "event-exhaustiveness",
+                        &file.path,
+                        m.line,
+                        m.col,
+                        format!(
+                            "`{}` match in `fn {}` handles {} of {} variants; missing: {}",
+                            cfg.event_enum,
+                            f.name,
+                            mentioned.len(),
+                            declared.len(),
+                            missing.join(", ")
+                        ),
+                    ));
+                }
+                for arm in m.arms.iter().filter(|a| a.wildcard) {
+                    out.push(diag(
+                        "event-exhaustiveness",
+                        &file.path,
+                        arm.line,
+                        arm.col,
+                        format!(
+                            "catch-all arm in `{}` match in `fn {}` hides unhandled variants",
+                            cfg.event_enum, f.name
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Drops diagnostics covered by a well-formed suppression in their
+/// file (S001 findings are never suppressible).
+pub(crate) fn apply_suppressions(ws: &WorkspaceModel, diags: Vec<Diagnostic>) -> Vec<Diagnostic> {
+    diags
+        .into_iter()
+        .filter(|d| {
+            if d.rule.id == "suppression" {
+                return true;
+            }
+            ws.file(&d.file).is_none_or(|f| {
+                !f.suppressions
+                    .iter()
+                    .any(|s| s.rule_id == d.rule.id && s.target_line == d.line)
+            })
+        })
+        .collect()
+}

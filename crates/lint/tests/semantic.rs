@@ -1,0 +1,386 @@
+//! Semantic (X-rule) tests: multi-file fixtures scanned through the
+//! same [`pact_lint::scan_file`]/[`pact_lint::finish_scans`] split the
+//! CLI uses, with findings pinned as (rule, file, line, col) and the
+//! JSON report pinned against a golden fixture.
+
+use pact_lint::{finish_scans, mutation_self_test, scan_file, LintConfig, MirrorSpec};
+
+/// Scans every (path, src) pair and returns surviving findings as
+/// `(rule_id, file, line, col)`.
+fn xfindings(files: &[(&str, &str)], cfg: &LintConfig) -> Vec<(String, String, u32, u32)> {
+    let scans = files
+        .iter()
+        .map(|(p, s)| scan_file(p, s, cfg))
+        .collect::<Vec<_>>();
+    let (report, _) = finish_scans(scans, cfg, None);
+    report
+        .diagnostics
+        .into_iter()
+        .map(|d| (d.rule.id.to_string(), d.file, d.line, d.col))
+        .collect()
+}
+
+/// Default config narrowed to the X rules so token-pass noise in the
+/// fixtures (which are not written to D-rule standards) stays out.
+fn xcfg() -> LintConfig {
+    LintConfig {
+        enabled_rules: vec![
+            "snapshot-coverage".into(),
+            "counter-mirror".into(),
+            "event-exhaustiveness".into(),
+            "suppression".into(),
+        ],
+        ..LintConfig::default()
+    }
+}
+
+const SIM: &str = "crates/tiersim/src/subject.rs";
+
+// ---------------------------------------------------------------- X001
+
+#[test]
+fn covered_and_skipped_fields_are_clean() {
+    let src = "\
+pub struct S {
+    a: u64,
+    // snapshot: skip — rebuilt on resume
+    b: u64,
+}
+impl S {
+    fn encode_state(&self, w: &mut W) { w.put(self.a); }
+    fn decode_state(&mut self, r: &mut R) { self.a = r.take(); }
+}
+";
+    assert_eq!(xfindings(&[(SIM, src)], &xcfg()), vec![]);
+}
+
+#[test]
+fn uncovered_field_reports_the_missing_side() {
+    let src = "\
+pub struct S {
+    a: u64,
+    b: u64,
+    c: u64,
+}
+impl S {
+    fn encode_state(&self, w: &mut W) { w.put(self.a); w.put(self.b); }
+    fn decode_state(&mut self, r: &mut R) { self.a = r.take(); self.c = r.take(); }
+}
+";
+    // b: written, never read back. c: read, never written. Both X001.
+    assert_eq!(
+        xfindings(&[(SIM, src)], &xcfg()),
+        vec![
+            ("snapshot-coverage".into(), SIM.into(), 3, 5),
+            ("snapshot-coverage".into(), SIM.into(), 4, 5),
+        ]
+    );
+}
+
+#[test]
+fn skip_without_reason_is_s001_and_field_still_counts() {
+    let src = "\
+pub struct S {
+    // snapshot: skip
+    a: u64,
+}
+impl S {
+    fn encode_state(&self, _w: &mut W) {}
+    fn decode_state(&mut self, _r: &mut R) {}
+}
+";
+    assert_eq!(
+        xfindings(&[(SIM, src)], &xcfg()),
+        vec![
+            ("suppression".into(), SIM.into(), 2, 5),
+            ("snapshot-coverage".into(), SIM.into(), 3, 5),
+        ]
+    );
+}
+
+#[test]
+fn skip_annotation_reaches_through_doc_comments() {
+    let src = "\
+pub struct S {
+    // snapshot: skip — scratch
+    /// Doc text between the annotation and the field.
+    a: u64,
+}
+impl S {
+    fn encode_state(&self, _w: &mut W) {}
+    fn decode_state(&mut self, _r: &mut R) {}
+}
+";
+    assert_eq!(xfindings(&[(SIM, src)], &xcfg()), vec![]);
+}
+
+#[test]
+fn coverage_follows_self_calls_but_not_same_name_fns_of_other_types() {
+    // encode reaches `a` through self.write_a(). The bare `fill(w)`
+    // call resolves to the free fn only — T::fill shares the name but
+    // belongs to another type, so its mention of `b` must not leak
+    // into S's coverage (the closure-saturation hazard).
+    let src = "\
+pub struct S {
+    a: u64,
+    b: u64,
+}
+impl S {
+    fn encode_state(&self, w: &mut W) { self.write_a(w); fill(w); }
+    fn write_a(&self, w: &mut W) { w.put(self.a); }
+    fn decode_state(&mut self, r: &mut R) { self.a = r.take(); self.b = r.take(); }
+}
+struct T { b: u64 }
+impl T {
+    fn fill(&self) -> u64 { self.b }
+}
+fn fill(_w: &mut W) {}
+";
+    assert_eq!(
+        xfindings(&[(SIM, src)], &xcfg()),
+        vec![("snapshot-coverage".into(), SIM.into(), 3, 5)]
+    );
+}
+
+#[test]
+fn non_codec_structs_and_host_crates_are_out_of_scope() {
+    let src = "\
+pub struct Plain { a: u64 }
+pub struct Half { a: u64 }
+impl Half {
+    fn encode_state(&self, _w: &mut W) {}
+}
+";
+    assert_eq!(xfindings(&[(SIM, src)], &xcfg()), vec![]);
+    // The same codec-paired struct in a non-deterministic crate is
+    // out of X001's scope entirely.
+    let bad = "\
+pub struct S { a: u64 }
+impl S {
+    fn encode_state(&self, _w: &mut W) {}
+    fn decode_state(&mut self, _r: &mut R) {}
+}
+";
+    assert_eq!(
+        xfindings(&[("crates/bench/src/subject.rs", bad)], &xcfg()),
+        vec![]
+    );
+}
+
+#[test]
+fn x001_suppression_on_the_field_line_is_honored() {
+    let src = "\
+pub struct S {
+    // pact-lint: allow(snapshot-coverage) — measured elsewhere
+    a: u64,
+}
+impl S {
+    fn encode_state(&self, _w: &mut W) {}
+    fn decode_state(&mut self, _r: &mut R) {}
+}
+";
+    assert_eq!(xfindings(&[(SIM, src)], &xcfg()), vec![]);
+}
+
+// ---------------------------------------------------------------- X002
+
+fn mirror_cfg() -> LintConfig {
+    LintConfig {
+        mirror_files: vec![SIM.to_string()],
+        mirror_specs: vec![MirrorSpec {
+            owner: "Sim".into(),
+            global_field: Some("counters".into()),
+            tenant_field: "tenant_counters".into(),
+            mirror_struct: "Pmu".into(),
+        }],
+        ..xcfg()
+    }
+}
+
+#[test]
+fn mirrored_bumps_direct_and_via_alias_are_clean() {
+    let src = "\
+pub struct Pmu { hits: u64, misses: u64 }
+pub struct Sim { counters: Pmu, tenant_counters: Vec<Pmu> }
+impl Sim {
+    fn hit(&mut self, t: usize) {
+        self.counters.hits += 1;
+        self.tenant_counters[t].hits += 1;
+    }
+    fn miss(&mut self, t: usize) {
+        self.counters.misses += 1;
+        if let Some(tc) = self.tenant_counters.get_mut(t) { tc.misses += 1; }
+    }
+}
+";
+    assert_eq!(xfindings(&[(SIM, src)], &mirror_cfg()), vec![]);
+}
+
+#[test]
+fn unmirrored_global_bump_is_flagged_and_suppressible() {
+    let src = "\
+pub struct Pmu { hits: u64 }
+pub struct Sim { counters: Pmu, tenant_counters: Vec<Pmu> }
+impl Sim {
+    fn hit(&mut self) {
+        self.counters.hits += 1;
+    }
+    fn hit2(&mut self) {
+        // pact-lint: allow(counter-mirror) — single-tenant path
+        self.counters.hits += 1;
+    }
+}
+";
+    assert_eq!(
+        xfindings(&[(SIM, src)], &mirror_cfg()),
+        vec![("counter-mirror".into(), SIM.into(), 5, 28)]
+    );
+}
+
+#[test]
+fn mirror_in_a_different_fn_does_not_count() {
+    let src = "\
+pub struct Pmu { hits: u64 }
+pub struct Sim { counters: Pmu, tenant_counters: Vec<Pmu> }
+impl Sim {
+    fn hit(&mut self) { self.counters.hits += 1; }
+    fn mirror(&mut self, t: usize) { self.tenant_counters[t].hits += 1; }
+}
+";
+    assert_eq!(
+        xfindings(&[(SIM, src)], &mirror_cfg()),
+        vec![("counter-mirror".into(), SIM.into(), 4, 44)]
+    );
+}
+
+// ---------------------------------------------------------------- X003
+
+fn event_cfg() -> LintConfig {
+    LintConfig {
+        event_enum: "Ev".into(),
+        event_match_files: vec![SIM.to_string()],
+        ..xcfg()
+    }
+}
+
+const EV_ENUM: &str = "pub enum Ev { A, B, C }\n";
+
+#[test]
+fn exhaustive_matches_and_single_variant_filters_are_clean() {
+    let dispatch = "\
+fn name(e: &Ev) -> &'static str {
+    match e {
+        Ev::A => \"a\",
+        Ev::B => \"b\",
+        Ev::C => \"c\",
+    }
+}
+fn only_a(e: &Ev) -> bool {
+    match e {
+        Ev::A => true,
+        _ => false,
+    }
+}
+";
+    let enum_file = ("crates/tiersim/src/ev.rs", EV_ENUM);
+    assert_eq!(
+        xfindings(&[enum_file, (SIM, dispatch)], &event_cfg()),
+        vec![]
+    );
+}
+
+#[test]
+fn missing_variant_and_wildcard_are_flagged() {
+    let dispatch = "\
+fn name(e: &Ev) -> &'static str {
+    match e {
+        Ev::A => \"a\",
+        Ev::B => \"b\",
+        other => \"?\",
+    }
+}
+";
+    let enum_file = ("crates/tiersim/src/ev.rs", EV_ENUM);
+    assert_eq!(
+        xfindings(&[enum_file, (SIM, dispatch)], &event_cfg()),
+        vec![
+            ("event-exhaustiveness".into(), SIM.into(), 2, 5),
+            ("event-exhaustiveness".into(), SIM.into(), 5, 9),
+        ]
+    );
+}
+
+#[test]
+fn tag_decoder_variants_in_arm_bodies_count() {
+    let decode = "\
+fn decode(tag: u8) -> Result<Ev, String> {
+    Ok(match tag {
+        0 => Ev::A,
+        1 => Ev::B,
+        2 => Ev::C,
+        // pact-lint: allow(event-exhaustiveness) — unknown tags must error
+        other => return Err(format!(\"bad tag {other}\")),
+    })
+}
+";
+    let enum_file = ("crates/tiersim/src/ev.rs", EV_ENUM);
+    assert_eq!(xfindings(&[enum_file, (SIM, decode)], &event_cfg()), vec![]);
+}
+
+// -------------------------------------------------- report & harness
+
+#[test]
+fn changed_files_filter_agrees_with_the_full_run() {
+    let broken = "\
+pub struct S { a: u64 }
+impl S {
+    fn encode_state(&self, _w: &mut W) {}
+    fn decode_state(&mut self, _r: &mut R) {}
+}
+";
+    let other = ("crates/tiersim/src/other.rs", "pub struct T { x: u64 }\n");
+    let cfg = xcfg();
+    let full = xfindings(&[(SIM, broken), other], &cfg);
+    let scans = vec![
+        scan_file(SIM, broken, &cfg),
+        scan_file(other.0, other.1, &cfg),
+    ];
+    let changed = vec![SIM.to_string()];
+    let (filtered, _) = finish_scans(scans, &cfg, Some(&changed));
+    let filtered: Vec<_> = filtered
+        .diagnostics
+        .into_iter()
+        .map(|d| (d.rule.id.to_string(), d.file, d.line, d.col))
+        .collect();
+    // Every full-run finding in a changed file appears identically in
+    // the changed-files run, and nothing else does.
+    let expected: Vec<_> = full.into_iter().filter(|f| f.1 == SIM).collect();
+    assert_eq!(filtered, expected);
+    assert!(!filtered.is_empty());
+}
+
+#[test]
+fn semantic_json_report_matches_golden() {
+    let src = "\
+pub struct S {
+    a: u64,
+    b: u64,
+}
+impl S {
+    fn encode_state(&self, w: &mut W) { w.put(self.a); w.put(self.b); }
+    fn decode_state(&mut self, r: &mut R) { self.a = r.take(); }
+}
+";
+    let cfg = xcfg();
+    let (report, _) = finish_scans(vec![scan_file(SIM, src, &cfg)], &cfg, None);
+    assert_eq!(
+        report.render_json(),
+        include_str!("golden/semantic_report.json")
+    );
+}
+
+#[test]
+fn mutation_self_test_is_green() {
+    let passed = mutation_self_test().expect("mutation self-test must pass");
+    assert_eq!(passed.len(), 4, "clean + one check per X rule: {passed:?}");
+}

@@ -85,6 +85,7 @@ pub struct MetricsRegistry {
     /// Total snapshot entries across all metrics (histograms count 5),
     /// so the per-window snapshot `Vec` is sized exactly — one
     /// allocation, pinned by the window-allocation test.
+    // snapshot: skip — re-accumulated as decode re-registers each metric
     snapshot_width: usize,
 }
 

@@ -303,6 +303,7 @@ impl EventKind {
                 page: r.get_u64().map_err(e)?,
                 to: r.get_u8().map_err(e)?,
             },
+            // pact-lint: allow(event-exhaustiveness) — unknown tags from newer frames must error, not silently map to a variant
             other => return Err(format!("unknown trace event tag {other}")),
         })
     }

@@ -15,8 +15,8 @@ const INVALID: u64 = u64::MAX;
 #[derive(Debug, Clone)]
 pub struct Llc {
     tags: Vec<u64>,
-    ways: usize,
-    set_mask: u64,
+    ways: usize,   // snapshot: skip — geometry from the configuration on restore
+    set_mask: u64, // snapshot: skip — geometry from the configuration on restore
     hits: u64,
     misses: u64,
 }
@@ -142,9 +142,9 @@ impl Llc {
 pub struct StrideDetector {
     streams: [StreamEntry; STREAM_TABLE],
     clock: u64,
-    trigger: u32,
-    degree: u32,
-    enabled: bool,
+    trigger: u32,  // snapshot: skip — fixed by the prefetch configuration on restore
+    degree: u32,   // snapshot: skip — fixed by the prefetch configuration on restore
+    enabled: bool, // snapshot: skip — fixed by the prefetch configuration on restore
 }
 
 const STREAM_TABLE: usize = 8;

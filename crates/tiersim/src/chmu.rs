@@ -39,6 +39,7 @@ pub struct SpaceSaving {
     capacity: usize,
     heap: Vec<Slot>,
     /// page id -> heap index + 1; 0 means untracked. Grown on demand.
+    // snapshot: skip — dense index rebuilt from the restored heap order
     pos: Vec<u32>,
     total: u64,
 }

@@ -270,15 +270,15 @@ pub(crate) struct RetryEntry {
 /// byte-identical metric sets).
 #[derive(Debug)]
 pub(crate) struct FaultState {
-    plan: FaultPlan,
+    plan: FaultPlan, // snapshot: skip — comes from the configuration on restore
     rng: SplitMix64,
     retries: VecDeque<RetryEntry>,
     /// `fault/injected`: total faults injected, all classes.
-    pub m_injected: MetricId,
+    pub m_injected: MetricId, // snapshot: skip — handle re-registered at construction
     /// `fault/retries`: retry attempts scheduled.
-    pub m_retries: MetricId,
+    pub m_retries: MetricId, // snapshot: skip — handle re-registered at construction
     /// `fault/pebs_lost`: PEBS samples lost to injection.
-    pub m_pebs_lost: MetricId,
+    pub m_pebs_lost: MetricId, // snapshot: skip — handle re-registered at construction
 }
 
 impl FaultState {

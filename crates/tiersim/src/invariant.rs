@@ -148,7 +148,7 @@ const CAP_EPS: f64 = 1.0 + 1e-6;
 /// `note_*` hooks, plus cross-window monotonicity state.
 #[derive(Debug, Clone)]
 pub(crate) struct InvariantChecker {
-    set: InvariantSet,
+    set: InvariantSet, // snapshot: skip — armed set comes from the configuration on restore
     // Order ledger (in orders).
     issued: u64,
     executed: u64,

@@ -504,19 +504,25 @@ struct Sim<'a, 'w> {
     // Sharded event loop (cfg.shards >= 2): one ready-heap of
     // `Reverse((relative_clock, thread))` per shard; the pick scans the
     // P shard minima instead of all T threads. Empty on the serial path.
+    // snapshot: skip — rebuilt from the restored thread clocks after decode
     shard_heaps: Vec<BinaryHeap<Reverse<(u64, u32)>>>,
     /// Per-page-shard buffered CHMU observations `(seq, page)`, merged
     /// back into exact global order at every policy read point. Empty
     /// unless sharded *and* a CHMU is configured.
+    // snapshot: skip — debug-asserted empty at window-edge capture
     chmu_pending: Vec<Vec<(u64, PageId)>>,
+    // snapshot: skip — scratch merge buffer, cleared after every drain
     chmu_merge: Vec<(u64, PageId)>,
+    // snapshot: skip — only intra-batch order matters; restarts at zero with empty buffers
     chmu_seq: u64,
     /// Per-page-shard buffered stall attributions
     /// `(page, blamed_tier_index, cycles)`, drained additively in fixed
     /// shard order at window edges. Empty unless sharded *and*
     /// `track_page_stalls` is on.
+    // snapshot: skip — debug-asserted empty at window-edge capture
     stall_pending: Vec<Vec<(PageId, u8, u64)>>,
     /// Reusable due-retry buffer for the window loop.
+    // snapshot: skip — scratch, cleared before every use
     retry_buf: Vec<RetryEntry>,
     procs: Vec<ProcState>,
     mem: Memory,
@@ -525,7 +531,7 @@ struct Sim<'a, 'w> {
     pebs: PebsSampler,
     rng: SplitMix64,
     counters: PmuCounters,
-    latency: [u64; 2],
+    latency: [u64; 2], // snapshot: skip — fixed tier latencies from the configuration
     channels: [Channel; 2],
     tor_covered: [u64; 2],
     // Window state.
@@ -533,13 +539,14 @@ struct Sim<'a, 'w> {
     next_edge: u64,
     last_snapshot: PmuCounters,
     windows: Vec<WindowRecord>,
-    window_promos: u64,
-    window_demos: u64,
+    window_promos: u64, // snapshot: skip — per-window accumulator, reset before the edge capture
+    window_demos: u64,  // snapshot: skip — per-window accumulator, reset before the edge capture
+    // snapshot: skip — debug-asserted empty at window-edge capture
     window_telemetry: Vec<(&'static str, f64)>,
     // Reusable policy-callback sinks: cleared and lent to PolicyCtx on
     // every sample/window so the hot path never allocates.
-    order_buf: Vec<MigrationOrder>,
-    telemetry_buf: Vec<(&'static str, f64)>,
+    order_buf: Vec<MigrationOrder>, // snapshot: skip — debug-asserted empty at window-edge capture
+    telemetry_buf: Vec<(&'static str, f64)>, // snapshot: skip — debug-asserted empty at window-edge capture
     // Migration state. Queue entries carry the enqueue cycle so the
     // daemon can observe queue latency into `mig/latency_cycles` when
     // it services an order.
@@ -548,24 +555,27 @@ struct Sim<'a, 'w> {
     demotions: u64,
     failed_promotions: u64,
     dropped_orders: u64,
-    window_failed: u64,
-    window_dropped: u64,
+    window_failed: u64, // snapshot: skip — per-window accumulator, reset before the edge capture
+    window_dropped: u64, // snapshot: skip — per-window accumulator, reset before the edge capture
     hint_scan_per_window: u64,
+    // snapshot: skip — recomputed from the restored thread liveness after decode
     foreground_threads: usize,
     page_stalls: Option<std::collections::BTreeMap<PageId, [u64; 2]>>,
     // Observability: structured event sink, metrics registry, and the
     // dense metric handles the substrate updates each window.
     tracer: &'a mut Tracer,
     registry: MetricsRegistry,
-    m_daemon_pages: MetricId,
-    m_queue_len: MetricId,
-    m_fast_used: MetricId,
-    m_chan_backlog: [MetricId; 2],
-    m_chan_lines: [MetricId; 2],
-    m_chmu: Option<(MetricId, MetricId)>,
-    m_pebs_latency: MetricId,
-    m_mig_latency: MetricId,
-    m_chan_occupancy: [MetricId; 2],
+    // All `m_*` handles below: dense metric ids assigned by the fixed
+    // registration order at construction, identical on any resume.
+    m_daemon_pages: MetricId, // snapshot: skip — handle re-registered at construction
+    m_queue_len: MetricId,    // snapshot: skip — handle re-registered at construction
+    m_fast_used: MetricId,    // snapshot: skip — handle re-registered at construction
+    m_chan_backlog: [MetricId; 2], // snapshot: skip — handle re-registered at construction
+    m_chan_lines: [MetricId; 2], // snapshot: skip — handle re-registered at construction
+    m_chmu: Option<(MetricId, MetricId)>, // snapshot: skip — handle re-registered at construction
+    m_pebs_latency: MetricId, // snapshot: skip — handle re-registered at construction
+    m_mig_latency: MetricId,  // snapshot: skip — handle re-registered at construction
+    m_chan_occupancy: [MetricId; 2], // snapshot: skip — handle re-registered at construction
     /// Tracer ring-overwrite total as of the last window edge; the
     /// per-window delta becomes `WindowRecord::trace_dropped_events`.
     overwritten_seen: u64,
@@ -584,6 +594,7 @@ struct Sim<'a, 'w> {
     /// Crash-recovery snapshot sink; when set and
     /// `cfg.snapshot_every > 0`, sealed frames are handed to it every
     /// `snapshot_every` completed windows.
+    // snapshot: skip — host-side sink, re-attached by the driver on resume
     snap_sink: Option<&'a mut dyn FnMut(MachineSnapshot)>,
     // Fleet mode (cfg.tenants non-empty). All vectors are empty on
     // legacy single-tenant runs, which keeps the hot path free of
@@ -596,14 +607,16 @@ struct Sim<'a, 'w> {
     tenant_stats: Vec<TenantStats>,
     /// First base page per tenant (ascending; index 0 holds 0). Page
     /// ownership is `partition_point` over this vector.
+    // snapshot: skip — derived from the tenant configuration at construction
     tenant_base: Vec<u64>,
     /// Partition size per tenant in base pages.
+    // snapshot: skip — derived from the tenant configuration at construction
     tenant_pages: Vec<u64>,
     /// Remaining admission tokens this window / per-window refill,
     /// both empty unless admission control is configured.
     tenant_tokens: Vec<u64>,
-    tenant_budget: Vec<u64>,
-    tenant_metrics: Vec<TenantMetrics>,
+    tenant_budget: Vec<u64>, // snapshot: skip — per-window refill from the admission configuration
+    tenant_metrics: Vec<TenantMetrics>, // snapshot: skip — handles re-registered at construction
     /// Admission-rejected orders awaiting retry:
     /// `(due_window, attempt, order)`, bounded by [`ORDER_QUEUE_CAP`].
     admission_deferred: VecDeque<(u64, u32, MigrationOrder)>,
@@ -2138,10 +2151,18 @@ impl<'a, 'w> Sim<'a, 'w> {
     fn capture_snapshot(&self) -> Result<MachineSnapshot, SimError> {
         let _prof = pact_obs::hostprof::span("snapshot_capture");
         debug_assert!(self.chmu_pending.iter().all(|v| v.is_empty()));
+        debug_assert!(self.chmu_merge.is_empty());
         debug_assert!(self.stall_pending.iter().all(|v| v.is_empty()));
         debug_assert!(self.order_buf.is_empty());
         debug_assert!(self.telemetry_buf.is_empty());
         debug_assert!(self.window_telemetry.is_empty());
+        // The per-window accumulators were folded into the sealed
+        // WindowRecord and reset before this call; a nonzero value here
+        // means a snapshot mid-window, which no frame can represent.
+        debug_assert_eq!(self.window_promos, 0);
+        debug_assert_eq!(self.window_demos, 0);
+        debug_assert_eq!(self.window_failed, 0);
+        debug_assert_eq!(self.window_dropped, 0);
         let mut blob = Vec::new();
         if !self.policy.save_state(&mut blob) {
             return Err(SimError::Snapshot(format!(
@@ -2991,6 +3012,48 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn window_accumulators_reset_before_every_edge_capture() {
+        // Snapshot-coverage (X001) audit regression: the per-window
+        // accumulators (`window_promos`/`window_demos`/`window_failed`/
+        // `window_dropped`) are snapshot-skipped on the grounds that
+        // `fire_window` folds them into the sealed WindowRecord and
+        // resets them *before* the edge capture. Run a fault-heavy
+        // config where failed and dropped orders occur in most windows;
+        // the capture-side debug_asserts abort this (debug-built) test
+        // if that ordering ever drifts, and the resume must still be
+        // byte-identical.
+        let wl = TraceWorkload::new("chase", 1 << 22, chasing_trace(400, 8_000));
+        let mut cfg = snapshotty_cfg();
+        cfg.snapshot_every = 1;
+        cfg.fault_plan = Some(crate::FaultPlan {
+            drop_order: 0.4,
+            fail_migration: 0.6,
+            ..crate::FaultPlan::default()
+        });
+        let m = Machine::new(cfg.clone()).unwrap();
+        let mut snaps = Vec::new();
+        let mut tracer = Tracer::disabled();
+        let reference = m
+            .try_run_snapshotting(&[&wl], &mut HotPromote::default(), &mut tracer, &mut |s| {
+                snaps.push(s)
+            })
+            .unwrap();
+        assert!(
+            reference.failed_promotions > 0 && reference.dropped_orders > 0,
+            "fault plan must make the skipped accumulators nonzero mid-window \
+             (failed {}, dropped {})",
+            reference.failed_promotions,
+            reference.dropped_orders
+        );
+        let last = snaps.last().expect("snapshot_every=1 captures frames");
+        let mut tr = Tracer::disabled();
+        let resumed = m
+            .try_resume(&[&wl], &mut HotPromote::default(), &mut tr, last)
+            .unwrap();
+        assert_eq!(format!("{resumed:?}"), format!("{reference:?}"));
     }
 
     #[test]

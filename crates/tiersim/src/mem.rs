@@ -36,9 +36,9 @@ pub struct Memory {
     flags: Vec<u8>,
     /// Saturating window stamp of the last touch, unit-head only.
     last_window: Vec<u32>,
-    fast_capacity: u64,
+    fast_capacity: u64, // snapshot: skip — fixed by the configuration on restore
     fast_used: u64,
-    unit_span: u64,
+    unit_span: u64, // snapshot: skip — fixed by the configuration on restore
     /// CLOCK list of fast-resident unit heads (approximate LRU).
     fast_clock: VecDeque<PageId>,
     /// Scan list of slow-resident unit heads (for hint-fault poisoning

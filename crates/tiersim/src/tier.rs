@@ -20,8 +20,10 @@ const EPOCHS: usize = 32;
 #[derive(Debug, Clone)]
 pub struct Channel {
     /// Cycles one 64-byte line occupies the channel.
+    // snapshot: skip — fixed by channel construction on restore
     transfer: f64,
     /// Line capacity of one epoch.
+    // snapshot: skip — fixed by channel construction on restore
     cap: f64,
     /// Lines booked per epoch, ring-indexed by `epoch % EPOCHS`.
     lines: [f64; EPOCHS],
